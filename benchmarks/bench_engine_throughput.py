@@ -1,0 +1,67 @@
+"""Ablation A3: engine event-loop throughput.
+
+Microbenchmarks of the simulation engine itself: firings per second on
+(a) the Fig. 3 CPU net, (b) the full Fig. 12 node net, and (c) a
+synthetic wide net with many concurrently enabled timed transitions.
+These are true pytest-benchmark microbenchmarks (multiple rounds) —
+they quantify the paper's "long simulation time" remark for our
+substrate.
+"""
+
+import pytest
+
+from repro.core import Exponential, PetriNet, Simulation
+from repro.models import NodeParameters, build_cpu_petri_net, build_wsn_node_net
+from repro.models.workload import ClosedWorkload
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+def test_throughput_cpu_net(benchmark):
+    def run():
+        net = build_cpu_petri_net(1.0, 10.0, 0.1, 0.3)
+        sim = Simulation(net, seed=1)
+        result = sim.run(2000.0)
+        return result.firings
+
+    firings = benchmark(run)
+    assert firings > 1000
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+def test_throughput_node_net(benchmark):
+    def run():
+        net = build_wsn_node_net(
+            NodeParameters(power_down_threshold=0.01), ClosedWorkload(1.0)
+        )
+        sim = Simulation(net, seed=1)
+        result = sim.run(200.0)
+        return result.firings
+
+    firings = benchmark(run)
+    assert firings > 1000
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+def test_throughput_wide_net(benchmark):
+    """Fork-join fan of 20 parallel exponential stages."""
+
+    def build():
+        net = PetriNet("wide")
+        net.add_place("hub", initial_tokens=20)
+        for i in range(20):
+            net.add_place(f"stage{i}")
+            net.add_transition(
+                f"out{i}", Exponential(1.0 + 0.1 * i),
+                inputs=["hub"], outputs=[f"stage{i}"],
+            )
+            net.add_transition(
+                f"back{i}", Exponential(2.0), inputs=[f"stage{i}"], outputs=["hub"],
+            )
+        return net
+
+    def run():
+        sim = Simulation(build(), seed=2)
+        return sim.run(100.0).firings
+
+    firings = benchmark(run)
+    assert firings > 1000

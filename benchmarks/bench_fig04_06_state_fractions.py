@@ -1,0 +1,60 @@
+"""Figures 4–6: CPU state-time percentages vs Power_Down_Threshold.
+
+Regenerates the three state-share figures (PUD = 0.001 / 0.3 / 10 s)
+at the paper's scale: λ = 1 job/s, mean service 0.1 s, 1000 simulated
+seconds, thresholds 0.001–1 s.  Each series is printed for all three
+estimators and the figure's qualitative claims are asserted.
+"""
+
+import pytest
+
+from conftest import once, write_result
+from repro.des import CPUStates
+from repro.energy import format_state_percentages
+from repro.experiments import CPUComparisonConfig, run_cpu_comparison
+
+CONFIG = CPUComparisonConfig(horizon=1000.0)
+
+
+def _render(result, figure_name):
+    blocks = []
+    for est in ("simulation", "markov", "petri"):
+        blocks.append(
+            format_state_percentages(
+                result.thresholds,
+                {s: result.fractions[est][s] for s in CPUStates.ALL},
+                title=f"{figure_name} — {est}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+@pytest.mark.benchmark(group="fig4-6")
+def test_fig04_states_pud_0_001(benchmark):
+    result = once(benchmark, lambda: run_cpu_comparison(0.001, CONFIG))
+    write_result("fig04_states_pud_0_001", _render(result, "Figure 4 (PUD=0.001s)"))
+    sim = result.fractions["simulation"]
+    assert sim["idle"][0] < sim["idle"][-1]          # idle grows with PDT
+    assert sim["standby"][0] > sim["standby"][-1]    # standby shrinks
+    assert max(sim["active"]) - min(sim["active"]) < 0.05  # active flat
+
+
+@pytest.mark.benchmark(group="fig4-6")
+def test_fig05_states_pud_0_3(benchmark):
+    result = once(benchmark, lambda: run_cpu_comparison(0.3, CONFIG))
+    write_result("fig05_states_pud_0_3", _render(result, "Figure 5 (PUD=0.3s)"))
+    # Petri net tracks the simulator better than the Markov model.
+    assert result.mean_abs_fraction_error("petri") <= (
+        result.mean_abs_fraction_error("markov") + 0.01
+    )
+
+
+@pytest.mark.benchmark(group="fig4-6")
+def test_fig06_states_pud_10(benchmark):
+    result = once(benchmark, lambda: run_cpu_comparison(10.0, CONFIG))
+    write_result("fig06_states_pud_10", _render(result, "Figure 6 (PUD=10s)"))
+    # "the Markov model completely fails ... the Petri net is in lock
+    # step with the simulator"
+    assert result.mean_abs_fraction_error("petri") < 0.03
+    assert result.mean_abs_fraction_error("markov") > 0.15
+    assert result.fractions["simulation"]["powerup"][0] > 0.5

@@ -1,0 +1,54 @@
+"""Figures 7–9: CPU energy estimates vs Power_Down_Threshold.
+
+Energy per Eq. (7) with the PXA271 Table III powers over the 1000 s
+run, for all three estimators and the three PUD scenarios.
+"""
+
+import pytest
+
+from conftest import once, write_result
+from repro.energy import format_energy_series
+from repro.experiments import CPUComparisonConfig, run_cpu_comparison
+
+CONFIG = CPUComparisonConfig(horizon=1000.0)
+
+
+def _render(result, figure_name):
+    return format_energy_series(
+        result.thresholds,
+        {
+            "Simulation": result.energy_j["simulation"],
+            "Markov": result.energy_j["markov"],
+            "Petri Net": result.energy_j["petri"],
+        },
+        title=figure_name,
+    )
+
+
+@pytest.mark.benchmark(group="fig7-9")
+def test_fig07_energy_pud_0_001(benchmark):
+    result = once(benchmark, lambda: run_cpu_comparison(0.001, CONFIG))
+    write_result("fig07_energy_pud_0_001", _render(result, "Figure 7 (PUD=0.001s)"))
+    for est in ("simulation", "markov", "petri"):
+        e = result.energy_j[est]
+        assert e[-1] > e[0], f"{est}: energy must grow with PDT at tiny PUD"
+
+
+@pytest.mark.benchmark(group="fig7-9")
+def test_fig08_energy_pud_0_3(benchmark):
+    result = once(benchmark, lambda: run_cpu_comparison(0.3, CONFIG))
+    write_result("fig08_energy_pud_0_3", _render(result, "Figure 8 (PUD=0.3s)"))
+    d = result.delta_energy()
+    # Paper Table V: the Petri net is closer to the simulator.
+    assert d["sim_petri"].avg < d["sim_markov"].avg
+
+
+@pytest.mark.benchmark(group="fig7-9")
+def test_fig09_energy_pud_10(benchmark):
+    result = once(benchmark, lambda: run_cpu_comparison(10.0, CONFIG))
+    write_result("fig09_energy_pud_10", _render(result, "Figure 9 (PUD=10s)"))
+    # Paper: the energy trend *decreases* as the threshold increases,
+    # because idling is cheaper than repeatedly paying a 10 s wake-up.
+    for est in ("simulation", "petri"):
+        e = result.energy_j[est]
+        assert e[-1] < e[0], est

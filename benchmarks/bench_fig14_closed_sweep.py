@@ -1,0 +1,49 @@
+"""Figure 14: closed-model Power_Down_Threshold sweep (15 min, 1 event/s).
+
+Regenerates the eight stacked energy components over the paper's
+23-point threshold grid, locates the optimum, and checks the paper's
+Section VII-A claims: the optimum sits just above the radio-phase
+duration (paper: 0.00177 s) and beats both extremes (paper: 35 % vs
+immediate power-down, 29 % vs never powering down).
+"""
+
+import pytest
+
+from conftest import once, write_result
+from repro.energy import format_breakdown_sweep
+from repro.experiments import (
+    NodeSweepConfig,
+    format_optimum_summary,
+    run_node_energy_sweep,
+)
+
+CONFIG = NodeSweepConfig(workload="closed", horizon=900.0, seed=2010)
+
+
+@pytest.mark.benchmark(group="fig14-15")
+def test_fig14_closed_sweep(benchmark):
+    sweep = once(benchmark, lambda: run_node_energy_sweep(CONFIG))
+    t_opt, e_opt = sweep.optimum()
+    text = format_breakdown_sweep(
+        sweep.thresholds,
+        sweep.breakdowns,
+        title="Figure 14: PDT vs Energy Requirements (closed model, 1 event/s)",
+    )
+    text += "\n" + format_optimum_summary(
+        "closed",
+        t_opt,
+        e_opt,
+        sweep.savings_vs_immediate(),
+        sweep.savings_vs_never(),
+    )
+    text += "\n(paper: optimum 0.00177 s, ~2432 J, 35% vs immediate, 29% vs never)"
+    write_result("fig14_closed_sweep", text)
+
+    # Optimum location: the just-above-radio-phase cluster.
+    assert 0.0017 <= t_opt <= 0.01
+    # Both savings claims hold directionally.
+    assert sweep.savings_vs_immediate() > 0.10
+    assert sweep.savings_vs_never() > 0.10
+    # The wake-up transitional component collapses past 0.00177 s.
+    wake = dict(zip(sweep.thresholds, sweep.series("cpu_wakeup")))
+    assert wake[0.00178] < 0.7 * wake[1e-9]

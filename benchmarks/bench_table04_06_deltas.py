@@ -1,0 +1,65 @@
+"""Tables IV–VI: Δ-energy statistics between the three estimators.
+
+Avg / Variance / StdDev / RMSE of |energy difference| across the
+Figs. 7–9 threshold sweeps, printed in the paper's three-column layout.
+"""
+
+import pytest
+
+from conftest import once, write_result
+from repro.experiments import (
+    CPUComparisonConfig,
+    format_delta_table,
+    run_cpu_comparison,
+)
+
+CONFIG = CPUComparisonConfig(horizon=1000.0)
+
+PAPER_ROWS = {
+    # power_up_delay: (avg sim-markov, avg sim-petri, avg markov-petri)
+    0.001: (7.37, 7.37, 0.05),
+    0.3: (7.28, 4.99, 2.29),
+    10.0: (42.41, 0.12, 42.41),
+}
+
+
+@pytest.mark.benchmark(group="table4-6")
+def test_table04_deltas_pud_0_001(benchmark):
+    result = once(benchmark, lambda: run_cpu_comparison(0.001, CONFIG))
+    d = result.delta_energy()
+    text = format_delta_table(d, 0.001, "IV")
+    text += (
+        f"\n(paper: Sim-Markov {PAPER_ROWS[0.001][0]}, "
+        f"Sim-Petri {PAPER_ROWS[0.001][1]}, Markov-Petri {PAPER_ROWS[0.001][2]})"
+    )
+    write_result("table04_deltas_pud_0_001", text)
+    # Paper Table IV: the two models nearly coincide with each other.
+    assert d["markov_petri"].avg < d["sim_markov"].avg
+    assert abs(d["sim_markov"].avg - d["sim_petri"].avg) < 1.0
+
+
+@pytest.mark.benchmark(group="table4-6")
+def test_table05_deltas_pud_0_3(benchmark):
+    result = once(benchmark, lambda: run_cpu_comparison(0.3, CONFIG))
+    d = result.delta_energy()
+    text = format_delta_table(d, 0.3, "V")
+    text += (
+        f"\n(paper: Sim-Markov {PAPER_ROWS[0.3][0]}, "
+        f"Sim-Petri {PAPER_ROWS[0.3][1]}, Markov-Petri {PAPER_ROWS[0.3][2]})"
+    )
+    write_result("table05_deltas_pud_0_3", text)
+    assert d["sim_petri"].avg < d["sim_markov"].avg
+
+
+@pytest.mark.benchmark(group="table4-6")
+def test_table06_deltas_pud_10(benchmark):
+    result = once(benchmark, lambda: run_cpu_comparison(10.0, CONFIG))
+    d = result.delta_energy()
+    text = format_delta_table(d, 10.0, "VI")
+    text += (
+        f"\n(paper: Sim-Markov {PAPER_ROWS[10.0][0]}, "
+        f"Sim-Petri {PAPER_ROWS[10.0][1]}, Markov-Petri {PAPER_ROWS[10.0][2]})"
+    )
+    write_result("table06_deltas_pud_10", text)
+    # The catastrophic Markov failure: an order of magnitude worse.
+    assert d["sim_markov"].avg > 10 * d["sim_petri"].avg

@@ -1,0 +1,52 @@
+"""Tables VIII–X: the Section V simple-system validation.
+
+* Table VIII/IX — steady-state probabilities of the Fig. 10 stages
+  from a long Petri-net run, side-by-side with the paper's values.
+* Table X — IMote2 "hardware" energy vs Petri-net prediction with the
+  percent difference (paper: 2.95 %).
+"""
+
+import pytest
+
+from conftest import once, write_result
+from repro.experiments import (
+    ValidationConfig,
+    format_steady_state_table,
+    format_validation_table,
+    run_simple_node_validation,
+)
+
+#: Paper's Table IX (the 19.7 % Transmitting row is a typo; the delay-
+#: consistent value is ~0.12 % — see DESIGN.md).
+PAPER_TABLE_IX = {
+    "Wait": 59.8,
+    "Temp_Place": 19.7,
+    "Receiving": 0.098,
+    "Computation": 20.2,
+    "Transmitting": 0.117,
+}
+
+CONFIG = ValidationConfig(n_events=100, petri_horizon=20_000.0, seed=2010)
+
+
+@pytest.mark.benchmark(group="table8-10")
+def test_table08_09_simple_steady_state(benchmark):
+    result = once(benchmark, lambda: run_simple_node_validation(CONFIG))
+    probs = result.petri.stage_probabilities
+    text = format_steady_state_table(probs, paper_values=PAPER_TABLE_IX)
+    write_result("table08_09_simple_steady_state", text)
+    assert probs["Wait"] == pytest.approx(0.595, abs=0.02)
+    assert probs["Temp_Place"] == pytest.approx(0.198, abs=0.02)
+    assert probs["Computation"] == pytest.approx(0.204, abs=0.02)
+    assert probs["Receiving"] < 0.01
+    assert probs["Transmitting"] < 0.01
+
+
+@pytest.mark.benchmark(group="table8-10")
+def test_table10_imote2_validation(benchmark):
+    result = once(benchmark, lambda: run_simple_node_validation(CONFIG))
+    text = format_validation_table(result.table_rows())
+    write_result("table10_imote2_validation", text)
+    # Paper: 2.95 % difference; we assert the same band and direction.
+    assert 0.5 < result.percent_difference < 5.0
+    assert result.petri_energy_j < result.hardware_energy_j

@@ -1,0 +1,32 @@
+"""Shared helpers for the table/figure regeneration benchmarks.
+
+Every benchmark regenerates one paper artifact (table or figure series)
+at the paper's own scale, times it with pytest-benchmark, prints the
+regenerated rows, and persists them under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist a regenerated table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    These are experiment regenerations (seconds each), not
+    microbenchmarks; one round keeps total wall time sane while still
+    recording the runtime in the benchmark table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

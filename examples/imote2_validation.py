@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The Section V validation: model prediction vs "measured" IMote2 energy.
+
+Replays the paper's protocol end to end:
+
+1. characterise the node — we take Table VII's measured state powers
+   as given (they are printed in the paper);
+2. "measure" a run — the IMote2 hardware simulator triggers 100 random
+   events and integrates power, including the small unmodeled overhead
+   a real node draws;
+3. predict with the model — the Fig. 10 Petri net is simulated to
+   steady state and Eq. (8) turns stage probabilities into mean power;
+4. compare — the paper reports a 2.95 % difference.
+
+Run:  python examples/imote2_validation.py
+"""
+
+from repro.experiments import (
+    ValidationConfig,
+    format_steady_state_table,
+    format_validation_table,
+    run_simple_node_validation,
+)
+
+PAPER_TABLE_IX = {
+    "Wait": 59.8,
+    "Temp_Place": 19.7,
+    "Receiving": 0.098,
+    "Computation": 20.2,
+    "Transmitting": 0.117,  # delay-consistent value; the printed 19.7 is a typo
+}
+
+
+def main() -> None:
+    result = run_simple_node_validation(
+        ValidationConfig(n_events=100, petri_horizon=10_000.0, seed=2010)
+    )
+
+    print(
+        format_steady_state_table(
+            result.petri.stage_probabilities, paper_values=PAPER_TABLE_IX
+        )
+    )
+    print()
+    print(format_validation_table(result.table_rows()))
+    print()
+    print(
+        f"Petri-net prediction differs from the measured energy by "
+        f"{result.percent_difference:.2f}% (paper: 2.95%)."
+    )
+    print(
+        "The gap is the node's unmodeled baseline draw (OS ticks, "
+        "regulator loss) that the four-stage power model cannot see."
+    )
+
+
+if __name__ == "__main__":
+    main()

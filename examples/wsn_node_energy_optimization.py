@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The Section VII question: what Power_Down_Threshold minimises energy?
+
+Runs the full Figs. 12/13 node model (CPU + radio + DVS) over a
+threshold grid for both workload generators, prints the component
+breakdown (the Figs. 14/15 stacked series) and answers the paper's
+headline question with the measured optimum and savings.
+
+Run:  python examples/wsn_node_energy_optimization.py
+"""
+
+from repro.energy import format_breakdown_sweep
+from repro.experiments import (
+    NodeSweepConfig,
+    format_optimum_summary,
+    run_node_energy_sweep,
+)
+from repro.models import NodeParameters
+
+# A condensed grid around the interesting region (the full 23-point
+# paper grid lives in benchmarks/bench_fig14_closed_sweep.py).
+GRID = (1e-9, 1e-6, 0.0017, 0.00178, 0.005, 0.01, 0.1, 1.0, 10.0)
+HORIZON = 300.0  # seconds (the benchmarks use the paper's 900 s)
+
+
+def optimise(workload: str) -> None:
+    sweep = run_node_energy_sweep(
+        NodeSweepConfig(
+            workload=workload,
+            horizon=HORIZON,
+            thresholds=GRID,
+            seed=7,
+        )
+    )
+    print(
+        format_breakdown_sweep(
+            sweep.thresholds,
+            sweep.breakdowns,
+            title=f"\n{workload} workload, {HORIZON:.0f} s at 1 event/s",
+        )
+    )
+    t_opt, e_opt = sweep.optimum()
+    print(
+        format_optimum_summary(
+            workload,
+            t_opt,
+            e_opt,
+            sweep.savings_vs_immediate(),
+            sweep.savings_vs_never(),
+        )
+    )
+    radio_phase = NodeParameters().radio_phase_duration()
+    print(
+        f"(radio phase = {radio_phase:.5f} s; the optimum threshold sits "
+        "just above it so the CPU stays awake across one event's radio "
+        "bursts but sleeps between events)"
+    )
+
+
+if __name__ == "__main__":
+    for workload in ("closed", "open"):
+        print("\n" + "=" * 72)
+        print(f"{workload.upper()} WORKLOAD GENERATOR")
+        print("=" * 72)
+        optimise(workload)

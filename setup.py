@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .`` via pyproject build isolation)
+cannot build. This shim enables the legacy editable path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""``repro.analysis`` — structural and numerical Petri-net analysis.
+
+The reproduction's stand-in for TimeNET's analysis panel:
+
+* :mod:`repro.analysis.reachability` — explicit reachability graphs for
+  bounded nets (deadlock census, bounds, home states);
+* :mod:`repro.analysis.invariants` — minimal P/T-invariants via the
+  Farkas algorithm plus fast rational null-space checks;
+* :mod:`repro.analysis.structural` — boundedness / conservativeness /
+  liveness verdicts and declared-invariant assertions used by the model
+  builders;
+* :mod:`repro.analysis.ctmc_conversion` — exponential-SPN → CTMC
+  conversion with vanishing-marking elimination (exact steady state via
+  :mod:`repro.markov.ctmc`).
+"""
+
+from .ctmc_conversion import TangibleCTMC, spn_to_ctmc
+from .invariants import (
+    Invariant,
+    conserved_token_sum,
+    nullspace_invariants,
+    p_invariants,
+    t_invariants,
+)
+from .reachability import ReachabilityGraph, build_reachability_graph
+from .structural import (
+    BoundednessReport,
+    LivenessReport,
+    boundedness,
+    check_model_invariants,
+    is_conservative,
+    liveness_summary,
+)
+
+__all__ = [
+    "ReachabilityGraph",
+    "build_reachability_graph",
+    "Invariant",
+    "p_invariants",
+    "t_invariants",
+    "nullspace_invariants",
+    "conserved_token_sum",
+    "BoundednessReport",
+    "LivenessReport",
+    "boundedness",
+    "is_conservative",
+    "liveness_summary",
+    "check_model_invariants",
+    "TangibleCTMC",
+    "spn_to_ctmc",
+]

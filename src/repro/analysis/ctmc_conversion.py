@@ -1,0 +1,238 @@
+"""Conversion of an exponential-only stochastic Petri net to a CTMC.
+
+For nets whose timed transitions are all exponential (plus any number
+of immediate transitions), the underlying marking process is a
+continuous-time Markov chain, and steady-state probabilities can be
+solved exactly instead of estimated by simulation.  This is the
+classical SPN→CTMC pipeline (the route TimeNET's numerical analysis
+takes), and it powers the A2 ablation: *exact CTMC vs simulation* on
+the exponential approximation of the paper's CPU model.
+
+Pipeline:
+
+1. explore the marking space (tangible = no immediates enabled,
+   vanishing = some immediate enabled);
+2. eliminate vanishing markings by following immediate firings —
+   weighted by transition weights among maximal-priority candidates —
+   until tangible markings are hit (vanishing loops are rejected);
+3. emit the tangible generator matrix ``Q`` with
+   ``Q[i, j] = Σ rate(t)·P(firing t in i resolves to j)``.
+
+Exponential rates are taken per enabled *server*: a transition with
+enabling degree ``d`` and ``servers = k`` contributes rate
+``rate · min(d, k)`` (infinite-server: ``rate · d``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import NotExponentialError, UnboundedNetError
+from ..core.marking import Marking
+from ..core.net import PetriNet
+from ..core.transitions import INFINITE_SERVERS, Transition
+from .reachability import _enabled_untimed, _fire_untimed
+
+__all__ = ["TangibleCTMC", "spn_to_ctmc"]
+
+
+@dataclass
+class TangibleCTMC:
+    """The tangible-marking CTMC of an exponential SPN.
+
+    Attributes
+    ----------
+    states:
+        Tangible marking signatures, index-aligned with ``Q``.
+    counts:
+        Per-state token-count dicts.
+    Q:
+        Generator matrix (rows sum to zero).
+    initial_index:
+        Index of the (tangibly resolved) initial state distribution —
+        stored as a probability vector because a vanishing initial
+        marking may resolve stochastically.
+    initial_distribution:
+        Probability vector over tangible states at time zero.
+    """
+
+    states: list[tuple]
+    counts: list[dict[str, int]]
+    Q: np.ndarray
+    initial_distribution: np.ndarray
+
+    @property
+    def n_states(self) -> int:
+        """Number of tangible states."""
+        return len(self.states)
+
+    def place_marginal(self, pi: np.ndarray, place: str) -> float:
+        """P(#place ≥ 1) under state distribution ``pi``."""
+        return float(
+            sum(
+                p
+                for p, c in zip(pi, self.counts)
+                if c.get(place, 0) >= 1
+            )
+        )
+
+    def expected_tokens(self, pi: np.ndarray, place: str) -> float:
+        """E[#place] under state distribution ``pi``."""
+        return float(
+            sum(p * c.get(place, 0) for p, c in zip(pi, self.counts))
+        )
+
+
+def _immediate_candidates(
+    net: PetriNet, marking: Marking
+) -> list[Transition]:
+    enabled = _enabled_untimed(net, marking)
+    return [t for t in enabled if t.is_immediate]
+
+
+def _enabled_exponentials(
+    net: PetriNet, marking: Marking
+) -> list[Transition]:
+    enabled = _enabled_untimed(net, marking)
+    timed = [t for t in enabled if t.is_timed]
+    for t in timed:
+        if not t.is_exponential:
+            raise NotExponentialError(t.name, t.distribution.kind)
+    return timed
+
+
+def _enabling_degree(marking: Marking, t: Transition) -> int:
+    if not t.inputs:
+        return 1
+    degree: int | None = None
+    for arc in t.inputs:
+        d = marking.bag(arc.place).count(arc.token_filter) // arc.multiplicity
+        degree = d if degree is None else min(degree, d)
+    return int(degree or 0)
+
+
+def _resolve_vanishing(
+    net: PetriNet,
+    marking: Marking,
+    cache: dict[tuple, dict[tuple, float]],
+    markings_by_sig: dict[tuple, Marking],
+    depth: int = 0,
+    max_depth: int = 10_000,
+) -> dict[tuple, float]:
+    """Distribution over tangible signatures reached from ``marking``."""
+    if depth > max_depth:
+        raise UnboundedNetError(max_depth)
+    sig = marking.signature()
+    if sig in cache:
+        return cache[sig]
+    immediates = _immediate_candidates(net, marking)
+    if not immediates:
+        markings_by_sig.setdefault(sig, marking)
+        result = {sig: 1.0}
+        cache[sig] = result
+        return result
+    total_weight = sum(t.weight for t in immediates)
+    result: dict[tuple, float] = {}
+    # Temporarily mark in-progress to detect vanishing cycles.
+    cache[sig] = {}
+    for t in immediates:
+        p = t.weight / total_weight
+        successor = _fire_untimed(net, marking, t)
+        succ_sig = successor.signature()
+        if succ_sig == sig:
+            raise UnboundedNetError(max_depth)  # self-looping immediate
+        sub = _resolve_vanishing(
+            net, successor, cache, markings_by_sig, depth + 1, max_depth
+        )
+        for tang_sig, q in sub.items():
+            result[tang_sig] = result.get(tang_sig, 0.0) + p * q
+    cache[sig] = result
+    return result
+
+
+def spn_to_ctmc(
+    net: PetriNet,
+    max_states: int = 50_000,
+) -> TangibleCTMC:
+    """Build the tangible CTMC of an exponential-only SPN.
+
+    Raises
+    ------
+    NotExponentialError
+        If any timed transition has a non-exponential distribution.
+    UnboundedNetError
+        If exploration exceeds ``max_states`` tangible states or a
+        vanishing loop is found.
+    """
+    vanishing_cache: dict[tuple, dict[tuple, float]] = {}
+    markings_by_sig: dict[tuple, Marking] = {}
+
+    initial = net.initial_marking()
+    init_dist = _resolve_vanishing(
+        net, initial, vanishing_cache, markings_by_sig
+    )
+
+    index: dict[tuple, int] = {}
+    order: list[tuple] = []
+    frontier: deque[tuple] = deque()
+
+    def intern(sig: tuple) -> int:
+        if sig not in index:
+            if len(order) >= max_states:
+                raise UnboundedNetError(max_states)
+            index[sig] = len(order)
+            order.append(sig)
+            frontier.append(sig)
+        return index[sig]
+
+    for sig in init_dist:
+        intern(sig)
+
+    rows: list[dict[int, float]] = []
+
+    while frontier:
+        sig = frontier.popleft()
+        marking = markings_by_sig[sig]
+        exits: dict[int, float] = {}
+        for t in _enabled_exponentials(net, marking):
+            degree = _enabling_degree(marking, t)
+            if t.servers == INFINITE_SERVERS:
+                servers = degree
+            else:
+                servers = min(degree, t.servers)
+            rate = t.distribution.rate * servers  # type: ignore[attr-defined]
+            successor = _fire_untimed(net, marking, t)
+            dist = _resolve_vanishing(
+                net, successor, vanishing_cache, markings_by_sig
+            )
+            for tang_sig, p in dist.items():
+                j = intern(tang_sig)
+                exits[j] = exits.get(j, 0.0) + rate * p
+        rows.append(exits)
+        # rows is index-aligned with order: every signature is appended
+        # to both order and the FIFO frontier exactly once, so pops
+        # happen in interning order.
+
+    n = len(order)
+    Q = np.zeros((n, n))
+    for i, exits in enumerate(rows):
+        for j, rate in exits.items():
+            if i == j:
+                continue  # self-loops cancel in a generator
+            Q[i, j] += rate
+    np.fill_diagonal(Q, 0.0)
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+
+    init_vec = np.zeros(n)
+    for sig, p in init_dist.items():
+        init_vec[index[sig]] = p
+
+    return TangibleCTMC(
+        states=order,
+        counts=[markings_by_sig[s].counts() for s in order],
+        Q=Q,
+        initial_distribution=init_vec,
+    )

@@ -1,0 +1,208 @@
+"""P- and T-invariant computation.
+
+A *P-invariant* (place invariant) is a non-negative integer vector
+``y`` with ``yᵀ·C = 0`` (C the incidence matrix): the weighted token
+sum ``yᵀ·M`` is conserved by every firing.  The paper's node models are
+covered by P-invariants — e.g. the CPU state places
+``{Stand_By, Power_Up, Idle, Active}`` always hold exactly one token —
+and our tests verify those conservation laws both structurally (here)
+and dynamically (during simulation).
+
+A *T-invariant* is ``x ≥ 0`` with ``C·x = 0``: a firing-count vector
+returning the net to its starting marking (one full duty cycle of the
+sensor node is a T-invariant).
+
+Exact integer invariants are computed with the classical
+Farkas/Fourier–Motzkin elimination algorithm, which yields a generating
+set of minimal-support non-negative invariants.  A fast floating-point
+null-space check (:func:`nullspace_invariants`) backs the property
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+
+import numpy as np
+
+from ..core.net import PetriNet
+
+__all__ = [
+    "Invariant",
+    "p_invariants",
+    "t_invariants",
+    "nullspace_invariants",
+    "conserved_token_sum",
+]
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A non-negative integer invariant with named support.
+
+    Attributes
+    ----------
+    weights:
+        Mapping element name → positive integer weight (support only).
+    kind:
+        ``"P"`` or ``"T"``.
+    """
+
+    weights: tuple[tuple[str, int], ...]
+    kind: str
+
+    @property
+    def support(self) -> frozenset[str]:
+        """Element names with non-zero weight."""
+        return frozenset(name for name, _ in self.weights)
+
+    def weight_of(self, name: str) -> int:
+        """Weight of ``name`` (0 when outside the support)."""
+        for n, w in self.weights:
+            if n == name:
+                return w
+        return 0
+
+    def evaluate(self, counts: dict[str, int]) -> int:
+        """Weighted sum over a token-count dict (P-invariants)."""
+        return sum(w * counts.get(n, 0) for n, w in self.weights)
+
+    def __str__(self) -> str:
+        terms = " + ".join(
+            (f"{w}*{n}" if w != 1 else n) for n, w in self.weights
+        )
+        return f"{self.kind}-invariant: {terms}"
+
+
+def _farkas(matrix: np.ndarray) -> np.ndarray:
+    """Generating set of minimal non-negative integer solutions of
+    ``yᵀ·A = 0`` (rows of the returned array are the invariants).
+
+    Classical Farkas algorithm: append an identity, then eliminate each
+    column of A by taking non-negative combinations of rows with
+    opposite signs.
+    """
+    n_rows, n_cols = matrix.shape
+    # Working table [A | I]
+    table = np.hstack(
+        [matrix.astype(np.int64), np.eye(n_rows, dtype=np.int64)]
+    )
+    for col in range(n_cols):
+        positive = [r for r in table if r[col] > 0]
+        negative = [r for r in table if r[col] < 0]
+        zero = [r for r in table if r[col] == 0]
+        combos: list[np.ndarray] = []
+        for rp in positive:
+            for rn in negative:
+                # Combine to cancel the column: |rn[col]|*rp + rp[col]*rn
+                new = abs(rn[col]) * rp + rp[col] * rn
+                g = np.gcd.reduce(new[new != 0]) if np.any(new != 0) else 1
+                if g > 1:
+                    new = new // g
+                combos.append(new)
+        rows = zero + combos
+        table = (
+            np.array(rows, dtype=np.int64)
+            if rows
+            else np.zeros((0, table.shape[1]), dtype=np.int64)
+        )
+        table = _drop_non_minimal(table, n_cols)
+    return table[:, n_cols:]
+
+
+def _drop_non_minimal(table: np.ndarray, n_cols: int) -> np.ndarray:
+    """Remove rows whose invariant-part support includes another row's."""
+    if len(table) <= 1:
+        return table
+    inv = table[:, n_cols:] != 0
+    keep: list[int] = []
+    for i in range(len(table)):
+        minimal = True
+        for j in range(len(table)):
+            if i == j:
+                continue
+            # j's support strictly inside i's support => i not minimal
+            if np.all(inv[j] <= inv[i]) and np.any(inv[j] != inv[i]):
+                minimal = False
+                break
+            if (
+                np.array_equal(inv[j], inv[i])
+                and j < i
+            ):
+                minimal = False  # duplicate support, keep first
+                break
+        if minimal:
+            keep.append(i)
+    return table[keep]
+
+
+def p_invariants(net: PetriNet) -> list[Invariant]:
+    """Minimal-support non-negative P-invariants of ``net``.
+
+    Colour filters are ignored (invariants concern the uncoloured
+    skeleton).
+    """
+    pnames, _tnames, C = net.incidence_matrix()
+    if C.size == 0:
+        return []
+    generators = _farkas(C)  # yT C = 0 with C as (P x T): eliminate T columns
+    out: list[Invariant] = []
+    for row in generators:
+        if not np.any(row):
+            continue
+        weights = tuple(
+            (pnames[i], int(w)) for i, w in enumerate(row) if w != 0
+        )
+        out.append(Invariant(weights, "P"))
+    return out
+
+
+def t_invariants(net: PetriNet) -> list[Invariant]:
+    """Minimal-support non-negative T-invariants of ``net``."""
+    pnames, tnames, C = net.incidence_matrix()
+    if C.size == 0:
+        return []
+    generators = _farkas(C.T)  # xT CT = 0  <=>  C x = 0
+    out: list[Invariant] = []
+    for row in generators:
+        if not np.any(row):
+            continue
+        weights = tuple(
+            (tnames[i], int(w)) for i, w in enumerate(row) if w != 0
+        )
+        out.append(Invariant(weights, "T"))
+    return out
+
+
+def nullspace_invariants(net: PetriNet, tol: float = 1e-9) -> np.ndarray:
+    """Orthonormal basis of the left null space of C (floating point).
+
+    Faster than Farkas for large nets; rows may be negative, so this is
+    a *rational* invariant basis useful for dimension checks
+    (``rank deficiency = number of independent P-invariants``), not for
+    token-conservation certificates.
+    """
+    _p, _t, C = net.incidence_matrix()
+    if C.size == 0:
+        return np.zeros((0, 0))
+    u, s, _vt = np.linalg.svd(C.astype(float).T)
+    rank = int(np.sum(s > tol))
+    return u[:, rank:].T  # rows span {y : yT C = 0}
+
+
+def conserved_token_sum(
+    net: PetriNet, places: list[str] | tuple[str, ...]
+) -> bool:
+    """True when Σ tokens over ``places`` is provably constant.
+
+    Checks that the 0/1 indicator vector of ``places`` is a P-invariant
+    (every transition consumes from the set exactly as much as it
+    produces into it).
+    """
+    pnames, _t, C = net.incidence_matrix()
+    index = {n: i for i, n in enumerate(pnames)}
+    y = np.zeros(len(pnames), dtype=np.int64)
+    for p in places:
+        y[index[p]] = 1
+    return bool(np.all(y @ C == 0))

@@ -1,0 +1,209 @@
+"""Explicit reachability-graph construction for bounded nets.
+
+TimeNET's numerical analysis pipeline starts by building the reduced
+reachability graph; we reproduce the untimed core of that pipeline:
+
+* :func:`build_reachability_graph` explores the marking space ignoring
+  time (every enabled transition is a successor edge) with a state
+  budget so unbounded nets fail loudly instead of looping.
+* The result is a :class:`ReachabilityGraph` wrapping a
+  :class:`networkx.DiGraph` whose nodes are canonical marking
+  signatures, enriched with per-node token-count dicts.
+
+Timing is deliberately ignored here: reachability is a structural
+notion.  The timed analysis path for exponential nets lives in
+:mod:`repro.analysis.ctmc_conversion`, which reuses this exploration
+with immediate-transition (vanishing-marking) elimination.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..core.errors import UnboundedNetError
+from ..core.marking import Marking
+from ..core.net import PetriNet
+from ..core.tokens import Token
+from ..core.transitions import Transition
+
+__all__ = ["ReachabilityGraph", "build_reachability_graph"]
+
+
+Signature = tuple
+
+
+@dataclass
+class ReachabilityGraph:
+    """The explored marking space of a bounded net.
+
+    Attributes
+    ----------
+    graph:
+        ``networkx.DiGraph``; node keys are marking signatures, node
+        attribute ``counts`` holds the token-count dict, edge attribute
+        ``transition`` names the firing.
+    initial:
+        Signature of the initial marking.
+    """
+
+    graph: nx.DiGraph
+    initial: Signature
+
+    @property
+    def n_states(self) -> int:
+        """Number of distinct reachable markings."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        """Number of firing edges."""
+        return self.graph.number_of_edges()
+
+    def counts_of(self, signature: Signature) -> dict[str, int]:
+        """Token counts of a state."""
+        return self.graph.nodes[signature]["counts"]
+
+    def deadlock_states(self) -> list[Signature]:
+        """States with no outgoing firing."""
+        return [n for n in self.graph.nodes if self.graph.out_degree(n) == 0]
+
+    def max_tokens(self, place: str) -> int:
+        """Bound of ``place`` over the reachable space."""
+        return max(
+            data["counts"].get(place, 0)
+            for _, data in self.graph.nodes(data=True)
+        )
+
+    def bound_vector(self) -> dict[str, int]:
+        """Per-place bounds (the k-boundedness certificate)."""
+        bounds: dict[str, int] = {}
+        for _, data in self.graph.nodes(data=True):
+            for place, count in data["counts"].items():
+                if count > bounds.get(place, 0):
+                    bounds[place] = count
+        return bounds
+
+    def is_live_transition(self, transition: str) -> bool:
+        """L1-liveness: the transition labels at least one edge."""
+        return any(
+            data.get("transition") == transition
+            for _, _, data in self.graph.edges(data=True)
+        )
+
+    def strongly_connected(self) -> bool:
+        """True when every state can reach every other (ergodic skeleton)."""
+        return nx.is_strongly_connected(self.graph)
+
+    def home_states(self) -> list[Signature]:
+        """States reachable from every reachable state."""
+        condensation = nx.condensation(self.graph)
+        # A home state lives in the unique terminal SCC (out-degree 0 in
+        # the condensation) reachable from all components.
+        terminal = [
+            n for n in condensation.nodes if condensation.out_degree(n) == 0
+        ]
+        if len(terminal) != 1:
+            return []
+        members = condensation.nodes[terminal[0]]["members"]
+        return sorted(members)
+
+
+def _fire_untimed(
+    net: PetriNet, marking: Marking, transition: Transition, now: float = 0.0
+) -> Marking:
+    """Fire ``transition`` on a copy of ``marking`` (untimed token game)."""
+    from ..core.arcs import FiringContext
+
+    new = marking.copy()
+    consumed: dict[str, list[Token]] = {}
+    for arc in transition.inputs:
+        consumed.setdefault(arc.place, []).extend(
+            new.withdraw(arc.place, arc.multiplicity, arc.token_filter)
+        )
+    for reset in transition.resets:
+        flushed = new.bag(reset.place).clear()
+        if flushed:
+            consumed.setdefault(reset.place, []).extend(flushed)
+    import numpy as np
+
+    ctx = FiringContext(
+        time=now,
+        consumed=consumed,
+        marking=new.view(),
+        rng=np.random.default_rng(0),
+        transition=transition.name,
+    )
+    for arc in transition.outputs:
+        new.deposit(arc.place, arc.make_tokens(ctx))
+    return new
+
+
+def _enabled_untimed(net: PetriNet, marking: Marking) -> list[Transition]:
+    """Transitions enabled in ``marking`` honouring immediate priority.
+
+    If any immediate transition is enabled, only the maximal-priority
+    immediates count (the vanishing-marking rule); otherwise all enabled
+    timed transitions do.
+    """
+    view = marking.view()
+
+    def enabled(t: Transition) -> bool:
+        for inh in t.inhibitors:
+            if marking.count(inh.place) >= inh.multiplicity:
+                return False
+        if not t.guard(view):
+            return False
+        for arc in t.inputs:
+            if marking.bag(arc.place).count(arc.token_filter) < arc.multiplicity:
+                return False
+        return True
+
+    immediates = [t for t in net.transitions if t.is_immediate and enabled(t)]
+    if immediates:
+        top = max(t.priority for t in immediates)
+        return [t for t in immediates if t.priority == top]
+    return [t for t in net.transitions if t.is_timed and enabled(t)]
+
+
+def build_reachability_graph(
+    net: PetriNet,
+    max_states: int = 100_000,
+    initial_marking: Marking | None = None,
+) -> ReachabilityGraph:
+    """Breadth-first exploration of the reachable marking space.
+
+    Raises
+    ------
+    UnboundedNetError
+        When more than ``max_states`` distinct markings are found.
+
+    Notes
+    -----
+    Output-arc *producers* (dynamic colour functions) are evaluated with
+    a fixed dummy RNG; nets whose colour production is genuinely random
+    have an approximate graph.  The paper's models only forward or fix
+    colours, so their graphs are exact.
+    """
+    marking0 = initial_marking if initial_marking is not None else net.initial_marking()
+    graph = nx.DiGraph()
+    initial_sig = marking0.signature()
+    graph.add_node(initial_sig, counts=marking0.counts())
+    frontier: deque[tuple[Signature, Marking]] = deque([(initial_sig, marking0)])
+    seen: set[Signature] = {initial_sig}
+    while frontier:
+        sig, marking = frontier.popleft()
+        for transition in _enabled_untimed(net, marking):
+            successor = _fire_untimed(net, marking, transition)
+            succ_sig = successor.signature()
+            if succ_sig not in seen:
+                if len(seen) >= max_states:
+                    raise UnboundedNetError(max_states)
+                seen.add(succ_sig)
+                graph.add_node(succ_sig, counts=successor.counts())
+                frontier.append((succ_sig, successor))
+            if not graph.has_edge(sig, succ_sig):
+                graph.add_edge(sig, succ_sig, transition=transition.name)
+    return ReachabilityGraph(graph=graph, initial=initial_sig)

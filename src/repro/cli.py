@@ -1,0 +1,222 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig 7 --horizon 1000
+    python -m repro.cli table 6
+    python -m repro.cli node-sweep --workload open --horizon 900
+    python -m repro.cli validate
+    python -m repro.cli lifetime --threshold 0.00178 --capacity-mah 1000
+
+Each subcommand prints the same rows the corresponding benchmark
+persists, so quick what-if runs don't require pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .energy import format_breakdown_sweep, format_energy_series, format_state_percentages
+from .energy.battery import LinearBattery, NodeLifetimeEstimator
+from .experiments import (
+    CPUComparisonConfig,
+    NodeSweepConfig,
+    ValidationConfig,
+    format_delta_table,
+    format_optimum_summary,
+    format_steady_state_table,
+    format_validation_table,
+    run_cpu_comparison,
+    run_node_energy_sweep,
+    run_simple_node_validation,
+)
+from .models import NodeParameters, WSNNodeModel
+
+_FIG_TO_PUD = {4: 0.001, 5: 0.3, 6: 10.0, 7: 0.001, 8: 0.3, 9: 10.0}
+_TABLE_TO_PUD = {4: 0.001, 5: 0.3, 6: 10.0}
+_TABLE_NUMERALS = {4: "IV", 5: "V", 6: "VI"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of Shareef & Zhu (ICPP 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available artifacts")
+
+    fig = sub.add_parser("fig", help="regenerate a figure (4-9, 14, 15)")
+    fig.add_argument("number", type=int, choices=[4, 5, 6, 7, 8, 9, 14, 15])
+    fig.add_argument("--horizon", type=float, default=None, help="simulated seconds")
+    fig.add_argument("--seed", type=int, default=2010)
+
+    table = sub.add_parser("table", help="regenerate a delta table (4-6)")
+    table.add_argument("number", type=int, choices=[4, 5, 6])
+    table.add_argument("--horizon", type=float, default=1000.0)
+    table.add_argument("--seed", type=int, default=2010)
+
+    node = sub.add_parser("node-sweep", help="Figs. 14/15 node threshold sweep")
+    node.add_argument("--workload", choices=["closed", "open"], default="closed")
+    node.add_argument("--horizon", type=float, default=900.0)
+    node.add_argument("--seed", type=int, default=2010)
+
+    sub.add_parser("validate", help="Section V IMote2 validation (Tables VIII-X)")
+
+    life = sub.add_parser("lifetime", help="battery lifetime at a threshold")
+    life.add_argument("--threshold", type=float, default=0.00178)
+    life.add_argument("--workload", choices=["closed", "open"], default="closed")
+    life.add_argument("--horizon", type=float, default=300.0)
+    life.add_argument("--capacity-mah", type=float, default=1000.0)
+    life.add_argument("--voltage", type=float, default=4.5)
+    life.add_argument("--seed", type=int, default=2010)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print(
+        "figures: 4 5 6 (state shares) 7 8 9 (energy) 14 15 (node sweeps)\n"
+        "tables:  4 5 6 (delta energy) + validate (VIII-X)\n"
+        "extras:  node-sweep, lifetime"
+    )
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    if args.number in (14, 15):
+        workload = "closed" if args.number == 14 else "open"
+        horizon = args.horizon if args.horizon is not None else 900.0
+        sweep = run_node_energy_sweep(
+            NodeSweepConfig(workload=workload, horizon=horizon, seed=args.seed)
+        )
+        print(
+            format_breakdown_sweep(
+                sweep.thresholds,
+                sweep.breakdowns,
+                title=f"Figure {args.number} ({workload} model, {horizon:.0f} s)",
+            )
+        )
+        t_opt, e_opt = sweep.optimum()
+        print(
+            format_optimum_summary(
+                workload, t_opt, e_opt,
+                sweep.savings_vs_immediate(), sweep.savings_vs_never(),
+            )
+        )
+        return 0
+    pud = _FIG_TO_PUD[args.number]
+    horizon = args.horizon if args.horizon is not None else 1000.0
+    result = run_cpu_comparison(
+        pud, CPUComparisonConfig(horizon=horizon, seed=args.seed)
+    )
+    if args.number <= 6:
+        for est in ("simulation", "markov", "petri"):
+            print(
+                format_state_percentages(
+                    result.thresholds,
+                    result.fractions[est],
+                    title=f"Figure {args.number} (PUD={pud:g}s) — {est}",
+                )
+            )
+            print()
+    else:
+        print(
+            format_energy_series(
+                result.thresholds,
+                {
+                    "Simulation": result.energy_j["simulation"],
+                    "Markov": result.energy_j["markov"],
+                    "Petri Net": result.energy_j["petri"],
+                },
+                title=f"Figure {args.number} (PUD={pud:g}s)",
+            )
+        )
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    pud = _TABLE_TO_PUD[args.number]
+    result = run_cpu_comparison(
+        pud, CPUComparisonConfig(horizon=args.horizon, seed=args.seed)
+    )
+    print(
+        format_delta_table(
+            result.delta_energy(), pud, _TABLE_NUMERALS[args.number]
+        )
+    )
+    return 0
+
+
+def _cmd_node_sweep(args: argparse.Namespace) -> int:
+    sweep = run_node_energy_sweep(
+        NodeSweepConfig(
+            workload=args.workload, horizon=args.horizon, seed=args.seed
+        )
+    )
+    print(
+        format_breakdown_sweep(
+            sweep.thresholds,
+            sweep.breakdowns,
+            title=f"Node sweep ({args.workload}, {args.horizon:.0f} s)",
+        )
+    )
+    t_opt, e_opt = sweep.optimum()
+    print(
+        format_optimum_summary(
+            args.workload, t_opt, e_opt,
+            sweep.savings_vs_immediate(), sweep.savings_vs_never(),
+        )
+    )
+    return 0
+
+
+def _cmd_validate() -> int:
+    result = run_simple_node_validation(ValidationConfig())
+    print(format_steady_state_table(result.petri.stage_probabilities))
+    print()
+    print(format_validation_table(result.table_rows()))
+    return 0
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    params = NodeParameters(power_down_threshold=args.threshold)
+    result = WSNNodeModel(params, args.workload).simulate(
+        args.horizon, seed=args.seed
+    )
+    mean_power_mw = result.total_energy_j / result.duration * 1000.0
+    estimator = NodeLifetimeEstimator(
+        LinearBattery(args.capacity_mah, args.voltage, usable_fraction=0.85)
+    )
+    days = estimator.lifetime_days(mean_power_mw)
+    print(
+        f"threshold {args.threshold:g} s ({args.workload}): "
+        f"mean power {mean_power_mw:.3f} mW -> "
+        f"{days:.1f} days on {args.capacity_mah:g} mAh @ {args.voltage:g} V"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "fig":
+        return _cmd_fig(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "node-sweep":
+        return _cmd_node_sweep(args)
+    if args.command == "validate":
+        return _cmd_validate()
+    if args.command == "lifetime":
+        return _cmd_lifetime(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

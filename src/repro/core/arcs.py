@@ -1,0 +1,214 @@
+"""Arcs: the wiring between places and transitions.
+
+Three kinds (TimeNET vocabulary):
+
+* :class:`InputArc` — place → transition.  Enabledness requires at least
+  ``multiplicity`` tokens in the place that satisfy the optional
+  ``token_filter`` (the Colored-net "local guard").  Firing removes the
+  ``multiplicity`` oldest matching tokens.
+* :class:`OutputArc` — transition → place.  Firing deposits
+  ``multiplicity`` tokens; their colours come from ``producer`` (see
+  below) or default to plain black tokens.
+* :class:`InhibitorArc` — place ⊸ transition.  Enabledness requires the
+  place to hold *fewer than* ``multiplicity`` tokens (classic inhibitor
+  semantics; ``multiplicity=1`` means "place empty").
+
+Output colour production, in priority order:
+
+1. ``producer(context)`` — a callable receiving a :class:`FiringContext`
+   (consumed tokens, marking view, current time, rng) and returning the
+   colour for each deposited token (called once per token).
+2. ``color`` — a fixed colour for all deposited tokens.
+3. If neither is given and exactly one token was consumed with a
+   non-``None`` colour and ``multiplicity == 1``, the colour is
+   *forwarded* (the common "token moves through" case of colored nets).
+4. Otherwise plain black tokens.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .errors import ArcError
+from .tokens import Token
+
+__all__ = ["InputArc", "OutputArc", "InhibitorArc", "ResetArc", "FiringContext"]
+
+
+@dataclass
+class FiringContext:
+    """Everything an output-arc producer may inspect when a transition fires.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the firing.
+    consumed:
+        Mapping ``place name -> list of tokens`` removed by the input arcs
+        of this firing.
+    marking:
+        Read-only view of the marking *after* token removal, *before*
+        deposits (exposes ``count(place)``).
+    rng:
+        The engine's random generator (for randomized colour choices).
+    transition:
+        Name of the firing transition.
+    """
+
+    time: float
+    consumed: dict[str, list[Token]]
+    marking: Any
+    rng: np.random.Generator
+    transition: str = ""
+
+    def consumed_colors(self) -> list[Any]:
+        """Colours of all consumed tokens, input-arc order preserved."""
+        out: list[Any] = []
+        for tokens in self.consumed.values():
+            out.extend(tok.color for tok in tokens)
+        return out
+
+    def first_color(self, default: Any = None) -> Any:
+        """Colour of the first consumed token, or ``default`` if none."""
+        for tokens in self.consumed.values():
+            for tok in tokens:
+                return tok.color
+        return default
+
+
+class InputArc:
+    """place → transition arc.
+
+    Parameters
+    ----------
+    place:
+        Source place name.
+    multiplicity:
+        Number of tokens required/consumed (≥ 1).
+    token_filter:
+        Optional per-token predicate (local guard): only matching tokens
+        count towards enabling and only matching tokens are consumed.
+    """
+
+    __slots__ = ("place", "multiplicity", "token_filter")
+
+    def __init__(
+        self,
+        place: str,
+        multiplicity: int = 1,
+        token_filter: Callable[[Token], bool] | None = None,
+    ) -> None:
+        if multiplicity < 1:
+            raise ArcError(
+                f"input arc from {place!r}: multiplicity must be >= 1, "
+                f"got {multiplicity}"
+            )
+        self.place = place
+        self.multiplicity = int(multiplicity)
+        self.token_filter = token_filter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flt = ", filtered" if self.token_filter is not None else ""
+        return f"InputArc({self.place!r} x{self.multiplicity}{flt})"
+
+
+class OutputArc:
+    """transition → place arc.  See module docstring for colour rules."""
+
+    __slots__ = ("place", "multiplicity", "color", "producer")
+
+    def __init__(
+        self,
+        place: str,
+        multiplicity: int = 1,
+        color: Any = None,
+        producer: Callable[[FiringContext], Any] | None = None,
+    ) -> None:
+        if multiplicity < 1:
+            raise ArcError(
+                f"output arc to {place!r}: multiplicity must be >= 1, "
+                f"got {multiplicity}"
+            )
+        if color is not None and producer is not None:
+            raise ArcError(
+                f"output arc to {place!r}: give either color or producer, not both"
+            )
+        self.place = place
+        self.multiplicity = int(multiplicity)
+        self.color = color
+        self.producer = producer
+
+    def make_tokens(self, ctx: FiringContext) -> list[Token]:
+        """Produce the tokens this arc deposits for one firing."""
+        tokens: list[Token] = []
+        for _ in range(self.multiplicity):
+            if self.producer is not None:
+                color = self.producer(ctx)
+            elif self.color is not None:
+                color = self.color
+            else:
+                color = self._forwarded_color(ctx)
+            tokens.append(Token(color, ctx.time))
+        return tokens
+
+    def _forwarded_color(self, ctx: FiringContext) -> Any:
+        """Default colour: forward a single consumed colour when unambiguous."""
+        if self.multiplicity != 1:
+            return None
+        colors = [c for c in ctx.consumed_colors() if c is not None]
+        if len(colors) == 1:
+            return colors[0]
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.color is not None:
+            extra = f", color={self.color!r}"
+        elif self.producer is not None:
+            extra = ", producer"
+        return f"OutputArc({self.place!r} x{self.multiplicity}{extra})"
+
+
+class InhibitorArc:
+    """place ⊸ transition arc: enabled only while ``#place < multiplicity``."""
+
+    __slots__ = ("place", "multiplicity")
+
+    def __init__(self, place: str, multiplicity: int = 1) -> None:
+        if multiplicity < 1:
+            raise ArcError(
+                f"inhibitor arc from {place!r}: multiplicity must be >= 1, "
+                f"got {multiplicity}"
+            )
+        self.place = place
+        self.multiplicity = int(multiplicity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InhibitorArc({self.place!r} <{self.multiplicity})"
+
+
+class ResetArc:
+    """Clears ``place`` entirely when the transition fires.
+
+    Reset arcs do not affect enabling; they model flush/failure events
+    (a node crash dropping its queue, a buffer purge on power loss).
+    The cleared tokens are reported to observers as consumed.
+
+    Note: reset arcs are not expressible in the incidence matrix, so
+    P/T-invariant analysis treats a net with reset arcs as having no
+    conservation law through the reset place (the builder's
+    ``incidence_matrix`` ignores resets; declared invariants touching a
+    reset place will fail, which is the correct conservative outcome).
+    """
+
+    __slots__ = ("place",)
+
+    def __init__(self, place: str) -> None:
+        self.place = place
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResetArc({self.place!r})"

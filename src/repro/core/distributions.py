@@ -1,0 +1,378 @@
+"""Firing-time distributions for timed transitions.
+
+The paper's nets use three timing classes (TimeNET's EDSPN vocabulary):
+
+* **Immediate** — fires in zero time, subject to priorities and weights.
+* **Deterministic** — fires after a fixed delay (``Power_Down_Threshold``,
+  ``Power_Up_Delay``, all radio/CPU service times in Tables VIII and XI).
+* **Exponential** — fires after an exponentially distributed delay
+  (job arrivals, CPU service in Fig. 3).
+
+For generality (and for ablation studies) this module also implements
+Uniform, Erlang, Weibull, Triangular, LogNormal, Hyperexponential and
+Empirical distributions.  All samplers draw from a
+:class:`numpy.random.Generator` passed in by the engine, so independent
+streams and reproducibility are controlled in one place
+(:mod:`repro.des.rng`).
+
+Every distribution exposes:
+
+* :meth:`~FiringDistribution.sample` — one firing delay;
+* :meth:`~FiringDistribution.mean` / :meth:`~FiringDistribution.variance`
+  — analytic moments (used by tests and by the CTMC conversion);
+* :attr:`~FiringDistribution.kind` — a stable string tag used by the
+  analysis layer to classify transitions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "FiringDistribution",
+    "Immediate",
+    "Deterministic",
+    "Exponential",
+    "Uniform",
+    "Erlang",
+    "Weibull",
+    "Triangular",
+    "LogNormal",
+    "Hyperexponential",
+    "Empirical",
+]
+
+
+class FiringDistribution:
+    """Abstract base class for firing-time distributions."""
+
+    #: Stable tag; subclasses override.
+    kind: str = "abstract"
+
+    #: True only for :class:`Immediate`.
+    is_immediate: bool = False
+
+    #: True only for :class:`Deterministic`.
+    is_deterministic: bool = False
+
+    #: True only for :class:`Exponential` (memoryless).
+    is_exponential: bool = False
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one firing delay (seconds)."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Analytic mean of the delay."""
+        raise NotImplementedError
+
+    def variance(self) -> float:
+        """Analytic variance of the delay."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class Immediate(FiringDistribution):
+    """Zero-delay firing.
+
+    Immediate transitions never enter the event calendar; the engine
+    fires them eagerly (highest priority first) whenever they are
+    enabled.  The class exists so every transition has a uniform
+    ``distribution`` attribute.
+    """
+
+    kind = "immediate"
+    is_immediate = True
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return 0.0
+
+    def mean(self) -> float:
+        return 0.0
+
+    def variance(self) -> float:
+        return 0.0
+
+
+class Deterministic(FiringDistribution):
+    """Fixed delay ``delay`` ≥ 0."""
+
+    kind = "deterministic"
+    is_deterministic = True
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"deterministic delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+    def variance(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"Deterministic({self.delay!r})"
+
+
+class Exponential(FiringDistribution):
+    """Exponential delay with rate ``rate`` (mean ``1/rate``)."""
+
+    kind = "exponential"
+    is_exponential = True
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"exponential rate must be > 0, got {rate}")
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        """Construct from a mean delay instead of a rate."""
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be > 0, got {mean}")
+        return cls(1.0 / mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def variance(self) -> float:
+        return 1.0 / (self.rate * self.rate)
+
+    def __repr__(self) -> str:
+        return f"Exponential(rate={self.rate!r})"
+
+
+class Uniform(FiringDistribution):
+    """Uniform delay on ``[low, high]``."""
+
+    kind = "uniform"
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low!r}, {self.high!r})"
+
+
+class Erlang(FiringDistribution):
+    """Erlang-``k`` delay: sum of ``k`` exponentials of rate ``rate``.
+
+    Useful to approximate deterministic delays within an
+    exponential-only (CTMC-solvable) net: the squared coefficient of
+    variation is ``1/k``, so large ``k`` approaches a constant.
+    """
+
+    kind = "erlang"
+
+    def __init__(self, k: int, rate: float) -> None:
+        if k < 1:
+            raise ValueError(f"Erlang shape k must be >= 1, got {k}")
+        if rate <= 0:
+            raise ValueError(f"Erlang rate must be > 0, got {rate}")
+        self.k = int(k)
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, k: int, mean: float) -> "Erlang":
+        """Erlang-``k`` with total mean ``mean``."""
+        if mean <= 0:
+            raise ValueError(f"mean must be > 0, got {mean}")
+        return cls(k, k / mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self.k, 1.0 / self.rate))
+
+    def mean(self) -> float:
+        return self.k / self.rate
+
+    def variance(self) -> float:
+        return self.k / (self.rate * self.rate)
+
+    def __repr__(self) -> str:
+        return f"Erlang(k={self.k}, rate={self.rate!r})"
+
+
+class Weibull(FiringDistribution):
+    """Weibull delay with shape ``shape`` and scale ``scale``."""
+
+    kind = "weibull"
+
+    def __init__(self, shape: float, scale: float) -> None:
+        if shape <= 0 or scale <= 0:
+            raise ValueError(
+                f"Weibull shape/scale must be > 0, got {shape}, {scale}"
+            )
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return self.scale**2 * (g2 - g1**2)
+
+    def __repr__(self) -> str:
+        return f"Weibull(shape={self.shape!r}, scale={self.scale!r})"
+
+
+class Triangular(FiringDistribution):
+    """Triangular delay on ``[low, high]`` with mode ``mode``."""
+
+    kind = "triangular"
+
+    def __init__(self, low: float, mode: float, high: float) -> None:
+        if not (0 <= low <= mode <= high):
+            raise ValueError(
+                f"need 0 <= low <= mode <= high, got {low}, {mode}, {high}"
+            )
+        self.low = float(low)
+        self.mode = float(mode)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.low == self.high:
+            return self.low
+        return float(rng.triangular(self.low, self.mode, self.high))
+
+    def mean(self) -> float:
+        return (self.low + self.mode + self.high) / 3.0
+
+    def variance(self) -> float:
+        a, c, b = self.low, self.mode, self.high
+        return (a * a + b * b + c * c - a * b - a * c - b * c) / 18.0
+
+    def __repr__(self) -> str:
+        return f"Triangular({self.low!r}, {self.mode!r}, {self.high!r})"
+
+
+class LogNormal(FiringDistribution):
+    """Log-normal delay; ``mu``/``sigma`` are the underlying normal params."""
+
+    kind = "lognormal"
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "LogNormal":
+        """Construct from the delay mean and coefficient of variation."""
+        if mean <= 0 or cv <= 0:
+            raise ValueError("mean and cv must be > 0")
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - 0.5 * sigma2
+        return cls(mu, math.sqrt(sigma2))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma**2)
+
+    def variance(self) -> float:
+        s2 = self.sigma**2
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self.mu + s2)
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mu={self.mu!r}, sigma={self.sigma!r})"
+
+
+class Hyperexponential(FiringDistribution):
+    """Mixture of exponentials: with prob ``p_i`` sample Exp(``rate_i``).
+
+    Squared coefficient of variation ≥ 1, complementing Erlang (< 1);
+    together they let tests bracket deterministic behaviour from both
+    sides.
+    """
+
+    kind = "hyperexponential"
+
+    def __init__(self, probs: Sequence[float], rates: Sequence[float]) -> None:
+        if len(probs) != len(rates) or not probs:
+            raise ValueError("probs and rates must be equal-length, non-empty")
+        if any(p < 0 for p in probs) or any(r <= 0 for r in rates):
+            raise ValueError("probs must be >= 0 and rates > 0")
+        total = float(sum(probs))
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-12):
+            raise ValueError(f"probs must sum to 1, got {total}")
+        self.probs = np.asarray(probs, dtype=float)
+        self.rates = np.asarray(rates, dtype=float)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        i = int(rng.choice(len(self.probs), p=self.probs))
+        return float(rng.exponential(1.0 / self.rates[i]))
+
+    def mean(self) -> float:
+        return float(np.sum(self.probs / self.rates))
+
+    def variance(self) -> float:
+        second = float(np.sum(2.0 * self.probs / self.rates**2))
+        return second - self.mean() ** 2
+
+    def __repr__(self) -> str:
+        return (
+            f"Hyperexponential(probs={self.probs.tolist()!r}, "
+            f"rates={self.rates.tolist()!r})"
+        )
+
+
+class Empirical(FiringDistribution):
+    """Resample uniformly from an observed sample of delays.
+
+    Used by trace-driven workloads: feed measured inter-arrival times in
+    and the transition reproduces their empirical distribution.
+    """
+
+    kind = "empirical"
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        arr = np.asarray(samples, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("samples must be a non-empty 1-D sequence")
+        if np.any(arr < 0):
+            raise ValueError("samples must be non-negative delays")
+        self.samples = arr
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.samples[int(rng.integers(self.samples.size))])
+
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    def variance(self) -> float:
+        # Population variance: the empirical distribution itself.
+        return float(np.var(self.samples))
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={self.samples.size})"

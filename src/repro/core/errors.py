@@ -1,0 +1,120 @@
+"""Exception hierarchy for the Petri-net engine.
+
+Every error raised by :mod:`repro.core` derives from :class:`PetriNetError`
+so callers can catch engine problems with a single ``except`` clause while
+still being able to discriminate structural problems (net construction)
+from runtime problems (simulation).
+"""
+
+from __future__ import annotations
+
+
+class PetriNetError(Exception):
+    """Base class for all Petri-net engine errors."""
+
+
+class NetStructureError(PetriNetError):
+    """The net is malformed (dangling arcs, duplicate names, bad wiring)."""
+
+
+class DuplicateNameError(NetStructureError):
+    """Two elements of the same kind share a name within one net."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(f"duplicate {kind} name: {name!r}")
+        self.kind = kind
+        self.name = name
+
+
+class UnknownElementError(NetStructureError):
+    """A place or transition referenced by name does not exist in the net."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(f"unknown {kind}: {name!r}")
+        self.kind = kind
+        self.name = name
+
+
+class ArcError(NetStructureError):
+    """An arc is wired incorrectly (bad multiplicity, wrong endpoints)."""
+
+
+class GuardError(PetriNetError):
+    """A guard expression raised or returned a non-boolean value."""
+
+
+class CapacityError(PetriNetError):
+    """A firing would overflow a place with a finite capacity."""
+
+    def __init__(self, place: str, capacity: int, attempted: int) -> None:
+        super().__init__(
+            f"place {place!r} capacity {capacity} exceeded "
+            f"(attempted marking {attempted})"
+        )
+        self.place = place
+        self.capacity = capacity
+        self.attempted = attempted
+
+
+class TokenSelectionError(PetriNetError):
+    """An input arc could not select enough tokens satisfying its filter."""
+
+
+class SimulationError(PetriNetError):
+    """Generic runtime failure inside the simulation engine."""
+
+
+class ImmediateLoopError(SimulationError):
+    """Immediate transitions kept firing without time advancing.
+
+    Raised when more than ``max_immediate_firings`` immediate firings occur
+    at a single simulation epoch, which almost always indicates a vanishing
+    loop in the model (two immediate transitions feeding each other).
+    """
+
+    def __init__(self, epoch: float, limit: int) -> None:
+        super().__init__(
+            f"more than {limit} immediate firings at t={epoch!r}; "
+            "the net likely contains a vanishing loop"
+        )
+        self.epoch = epoch
+        self.limit = limit
+
+
+class DeadlockError(SimulationError):
+    """No transition is enabled and the run was configured to fail on deadlock."""
+
+    def __init__(self, time: float) -> None:
+        super().__init__(f"net deadlocked at t={time!r}")
+        self.time = time
+
+
+class AnalysisError(PetriNetError):
+    """Base class for analysis-layer failures."""
+
+
+class UnboundedNetError(AnalysisError):
+    """Reachability exploration exceeded its state budget.
+
+    Either the net is genuinely unbounded or the supplied ``max_states``
+    budget is too small for the (bounded) state space.
+    """
+
+    def __init__(self, max_states: int) -> None:
+        super().__init__(
+            f"reachability exploration exceeded {max_states} states; "
+            "net may be unbounded (or raise max_states)"
+        )
+        self.max_states = max_states
+
+
+class NotExponentialError(AnalysisError):
+    """A CTMC conversion was requested for a net with non-exponential timers."""
+
+    def __init__(self, transition: str, kind: str) -> None:
+        super().__init__(
+            f"transition {transition!r} has a {kind} firing distribution; "
+            "CTMC conversion requires exponential (and immediate) transitions only"
+        )
+        self.transition = transition
+        self.kind = kind

@@ -1,0 +1,169 @@
+"""Event calendar and timer bookkeeping for timed transitions.
+
+The simulator keeps one :class:`TransitionClock` per timed transition,
+recording whether a firing is scheduled, at what time, and — for the
+``AGE`` memory policy — how much work remains after a preemption.
+
+Cancelled events are handled lazily: the heap entry stays behind but is
+recognised as stale via a monotonically increasing ``epoch`` stamp per
+clock.  This keeps cancellation O(1) and pop amortised O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["ScheduledFiring", "TransitionClock", "EventCalendar"]
+
+
+@dataclass(order=True)
+class ScheduledFiring:
+    """Heap entry: a tentative future firing of a timed transition."""
+
+    time: float
+    seq: int
+    transition: str = field(compare=False)
+    epoch: int = field(compare=False)
+
+
+class TransitionClock:
+    """Per-transition timer state (single-server semantics).
+
+    Attributes
+    ----------
+    scheduled_at:
+        Absolute firing time of the live schedule, or ``None``.
+    epoch:
+        Increments on every (re)schedule/cancel; identifies stale heap
+        entries.
+    remaining:
+        For the AGE policy: outstanding delay frozen at disable time.
+    enabled_since:
+        Time the transition last became enabled (for diagnostics and
+        enabling-time statistics).
+    """
+
+    __slots__ = ("scheduled_at", "epoch", "remaining", "enabled_since")
+
+    def __init__(self) -> None:
+        self.scheduled_at: float | None = None
+        self.epoch: int = 0
+        self.remaining: float | None = None
+        self.enabled_since: float | None = None
+
+    def invalidate(self) -> None:
+        """Drop any live schedule (heap entries become stale)."""
+        self.scheduled_at = None
+        self.epoch += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransitionClock(at={self.scheduled_at}, epoch={self.epoch}, "
+            f"remaining={self.remaining})"
+        )
+
+
+class EventCalendar:
+    """A lazy-deletion binary-heap event calendar.
+
+    Ties in firing time are broken by insertion order (``seq``), which
+    makes runs reproducible: two deterministic transitions scheduled for
+    the same instant fire in the order they were scheduled.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledFiring] = []
+        self._counter = itertools.count()
+        self._clocks: dict[str, TransitionClock] = {}
+
+    # ------------------------------------------------------------------
+    # Clock registry
+    # ------------------------------------------------------------------
+    def clock(self, transition: str) -> TransitionClock:
+        """The clock for ``transition`` (created on first access)."""
+        try:
+            return self._clocks[transition]
+        except KeyError:
+            clk = TransitionClock()
+            self._clocks[transition] = clk
+            return clk
+
+    def clocks(self) -> dict[str, TransitionClock]:
+        """All registered clocks (read-only use)."""
+        return self._clocks
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, transition: str, fire_time: float) -> None:
+        """Replace any live schedule for ``transition`` with ``fire_time``."""
+        clk = self.clock(transition)
+        clk.epoch += 1
+        clk.scheduled_at = fire_time
+        entry = ScheduledFiring(
+            fire_time, next(self._counter), transition, clk.epoch
+        )
+        heapq.heappush(self._heap, entry)
+
+    def cancel(self, transition: str) -> None:
+        """Cancel the live schedule for ``transition`` (no-op when idle)."""
+        clk = self.clock(transition)
+        clk.invalidate()
+
+    def is_scheduled(self, transition: str) -> bool:
+        """True when ``transition`` has a live schedule."""
+        return self.clock(transition).scheduled_at is not None
+
+    def scheduled_time(self, transition: str) -> float | None:
+        """Absolute firing time of the live schedule, or ``None``."""
+        return self.clock(transition).scheduled_at
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def pop_next(self) -> ScheduledFiring | None:
+        """Pop the earliest *live* event, or ``None`` when empty.
+
+        Stale entries (cancelled or superseded) are discarded on the way.
+        The popped transition's clock is marked idle (the firing is about
+        to happen).
+        """
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            clk = self._clocks.get(entry.transition)
+            if clk is None or clk.epoch != entry.epoch:
+                continue  # stale
+            clk.scheduled_at = None
+            clk.epoch += 1
+            return entry
+        return None
+
+    def peek_time(self) -> float | None:
+        """Earliest live event time without popping, or ``None``."""
+        while self._heap:
+            entry = self._heap[0]
+            clk = self._clocks.get(entry.transition)
+            if clk is None or clk.epoch != entry.epoch:
+                heapq.heappop(self._heap)
+                continue
+            return entry.time
+        return None
+
+    def live_count(self) -> int:
+        """Number of live schedules (O(n); diagnostics only)."""
+        return sum(
+            1 for clk in self._clocks.values() if clk.scheduled_at is not None
+        )
+
+    def clear(self) -> None:
+        """Drop everything (end of run)."""
+        self._heap.clear()
+        self._clocks.clear()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventCalendar(live={self.live_count()}, heap={len(self._heap)})"

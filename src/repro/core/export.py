@@ -1,0 +1,166 @@
+"""Net serialisation: structural dicts, JSON, and Graphviz DOT.
+
+TimeNET is a graphical tool; our substitute compensates with exports a
+user can render or diff:
+
+* :func:`net_to_dict` / :func:`net_to_json` — a stable structural
+  description (places, transitions, arcs, guards, distributions)
+  suitable for snapshots and model diffing.  Callables (token filters,
+  producers, function guards) serialise as their repr — the export is
+  a *description*, not a round-trippable pickle.
+* :func:`net_to_dot` — Graphviz DOT in the conventional Petri-net
+  style: circles for places (token count inside), bars for
+  transitions (filled = timed, open = immediate), dashed edges for
+  inhibitor arcs.
+
+``dot -Tpdf net.dot -o net.pdf`` renders a figure directly comparable
+to the paper's Figs. 3/10/12/13.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .distributions import (
+    Deterministic,
+    Exponential,
+    FiringDistribution,
+    Immediate,
+)
+from .guards import TRUE
+from .net import PetriNet
+
+__all__ = ["net_to_dict", "net_to_json", "net_to_dot"]
+
+
+def _distribution_to_dict(dist: FiringDistribution) -> dict[str, Any]:
+    out: dict[str, Any] = {"kind": dist.kind}
+    if isinstance(dist, Deterministic):
+        out["delay"] = dist.delay
+    elif isinstance(dist, Exponential):
+        out["rate"] = dist.rate
+    elif not isinstance(dist, Immediate):
+        # Generic distributions: record mean/variance for the reader.
+        out["mean"] = dist.mean()
+        out["variance"] = dist.variance()
+    return out
+
+
+def net_to_dict(net: PetriNet) -> dict[str, Any]:
+    """Stable structural description of ``net``."""
+    places = [
+        {
+            "name": p.name,
+            "initial_tokens": p.initial_count,
+            "initial_colors": [repr(c) for c in p.initial_colors() if c is not None],
+            "capacity": p.capacity,
+            "description": p.description,
+        }
+        for p in net.places
+    ]
+    transitions = []
+    for t in net.transitions:
+        transitions.append(
+            {
+                "name": t.name,
+                "distribution": _distribution_to_dict(t.distribution),
+                "priority": t.priority,
+                "weight": t.weight,
+                "memory": t.memory.value,
+                "servers": t.servers,
+                "guard": None if t.guard is TRUE else str(t.guard),
+                "inputs": [
+                    {
+                        "place": a.place,
+                        "multiplicity": a.multiplicity,
+                        "filtered": a.token_filter is not None,
+                    }
+                    for a in t.inputs
+                ],
+                "outputs": [
+                    {
+                        "place": a.place,
+                        "multiplicity": a.multiplicity,
+                        "color": None if a.color is None else repr(a.color),
+                        "produced": a.producer is not None,
+                    }
+                    for a in t.outputs
+                ],
+                "inhibitors": [
+                    {"place": a.place, "multiplicity": a.multiplicity}
+                    for a in t.inhibitors
+                ],
+                "resets": [a.place for a in t.resets],
+                "description": t.description,
+            }
+        )
+    return {
+        "name": net.name,
+        "places": places,
+        "transitions": transitions,
+    }
+
+
+def net_to_json(net: PetriNet, indent: int = 2) -> str:
+    """JSON rendering of :func:`net_to_dict`."""
+    return json.dumps(net_to_dict(net), indent=indent, sort_keys=False)
+
+
+def _dot_escape(s: str) -> str:
+    return s.replace('"', '\\"')
+
+
+def net_to_dot(net: PetriNet, rankdir: str = "LR") -> str:
+    """Graphviz DOT source for ``net``."""
+    if rankdir not in ("LR", "TB", "RL", "BT"):
+        raise ValueError(f"invalid rankdir {rankdir!r}")
+    lines = [
+        f'digraph "{_dot_escape(net.name)}" {{',
+        f"  rankdir={rankdir};",
+        "  node [fontsize=10];",
+    ]
+    for p in net.places:
+        label = p.name if p.initial_count == 0 else f"{p.name}\\n{p.initial_count}"
+        lines.append(
+            f'  "{_dot_escape(p.name)}" [shape=circle, label="{_dot_escape(label)}"];'
+        )
+    for t in net.transitions:
+        if t.is_immediate:
+            style = "height=0.4, width=0.08, style=filled, fillcolor=white"
+        elif t.is_deterministic:
+            style = "height=0.4, width=0.12, style=filled, fillcolor=gray70"
+        else:
+            style = "height=0.4, width=0.12, style=filled, fillcolor=black, fontcolor=white"
+        guard = "" if t.guard is TRUE else f"\\n[{t.guard}]"
+        timing = ""
+        if isinstance(t.distribution, Deterministic):
+            timing = f"\\nd={t.distribution.delay:g}"
+        elif isinstance(t.distribution, Exponential):
+            timing = f"\\nλ={t.distribution.rate:g}"
+        lines.append(
+            f'  "T:{_dot_escape(t.name)}" [shape=box, {style}, '
+            f'label="{_dot_escape(t.name + timing + guard)}"];'
+        )
+        for a in t.inputs:
+            attrs = f'label="{a.multiplicity}"' if a.multiplicity > 1 else ""
+            lines.append(
+                f'  "{_dot_escape(a.place)}" -> "T:{_dot_escape(t.name)}" [{attrs}];'
+            )
+        for a in t.outputs:
+            attrs = f'label="{a.multiplicity}"' if a.multiplicity > 1 else ""
+            lines.append(
+                f'  "T:{_dot_escape(t.name)}" -> "{_dot_escape(a.place)}" [{attrs}];'
+            )
+        for a in t.inhibitors:
+            lines.append(
+                f'  "{_dot_escape(a.place)}" -> "T:{_dot_escape(t.name)}" '
+                f'[style=dashed, arrowhead=odot, label="{a.multiplicity}"];'
+            )
+        for a in t.resets:
+            lines.append(
+                f'  "{_dot_escape(a.place)}" -> "T:{_dot_escape(t.name)}" '
+                '[style=dotted, arrowhead=diamond, label="R"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

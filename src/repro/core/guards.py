@@ -1,0 +1,309 @@
+"""Composable guard algebra for global (marking) and local (token) guards.
+
+Table XI of the paper writes global guards as marking predicates such as
+``(#Buffer == 0) && (#Idle > 0)``.  This module gives those expressions a
+first-class, composable representation::
+
+    from repro.core.guards import tokens_eq, tokens_gt
+
+    guard = tokens_eq("Buffer", 0) & tokens_gt("Idle", 0)
+
+Guards support ``&``, ``|`` and ``~`` and render back to the paper's
+syntax via ``str()``, which makes model dumps directly comparable with
+Table XI.
+
+Local guards filter individual tokens by colour (the paper's
+``dvs1 == 1.0`` style conditions); see :func:`color_eq` and friends.
+
+Guards are evaluated against a :class:`~repro.core.marking.Marking`
+through the tiny protocol ``marking.count(place_name)``, so they are
+decoupled from the engine internals and trivially testable.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Callable
+from typing import Any
+
+from .errors import GuardError
+from .tokens import Token
+
+__all__ = [
+    "Guard",
+    "MarkingPredicate",
+    "TrueGuard",
+    "FalseGuard",
+    "And",
+    "Or",
+    "Not",
+    "TokenCountGuard",
+    "FunctionGuard",
+    "TRUE",
+    "FALSE",
+    "tokens_eq",
+    "tokens_ne",
+    "tokens_gt",
+    "tokens_ge",
+    "tokens_lt",
+    "tokens_le",
+    "tokens_between",
+    "color_eq",
+    "color_in",
+    "color_pred",
+]
+
+
+class Guard:
+    """Abstract boolean predicate over a marking."""
+
+    def evaluate(self, marking: "MarkingLike") -> bool:
+        """Evaluate against ``marking``; must return a ``bool``."""
+        raise NotImplementedError
+
+    def __call__(self, marking: "MarkingLike") -> bool:
+        result = self.evaluate(marking)
+        if not isinstance(result, (bool,)):
+            raise GuardError(
+                f"guard {self!s} returned non-boolean {result!r}"
+            )
+        return result
+
+    # Composition -------------------------------------------------------
+    def __and__(self, other: "Guard") -> "Guard":
+        return And(self, other)
+
+    def __or__(self, other: "Guard") -> "Guard":
+        return Or(self, other)
+
+    def __invert__(self) -> "Guard":
+        return Not(self)
+
+    def places(self) -> frozenset[str]:
+        """Names of places this guard depends on (for change tracking)."""
+        return frozenset()
+
+
+class MarkingLike:
+    """Protocol stub: anything with ``count(place_name) -> int``."""
+
+    def count(self, place: str) -> int:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
+class TrueGuard(Guard):
+    """Always true (the default guard)."""
+
+    def evaluate(self, marking: MarkingLike) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+class FalseGuard(Guard):
+    """Always false (useful to disable a transition in ablations)."""
+
+    def evaluate(self, marking: MarkingLike) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueGuard()
+FALSE = FalseGuard()
+
+
+class And(Guard):
+    """Conjunction of two guards (short-circuiting)."""
+
+    def __init__(self, left: Guard, right: Guard) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, marking: MarkingLike) -> bool:
+        return self.left(marking) and self.right(marking)
+
+    def places(self) -> frozenset[str]:
+        return self.left.places() | self.right.places()
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
+
+class Or(Guard):
+    """Disjunction of two guards (short-circuiting)."""
+
+    def __init__(self, left: Guard, right: Guard) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, marking: MarkingLike) -> bool:
+        return self.left(marking) or self.right(marking)
+
+    def places(self) -> frozenset[str]:
+        return self.left.places() | self.right.places()
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+class Not(Guard):
+    """Negation of a guard."""
+
+    def __init__(self, inner: Guard) -> None:
+        self.inner = inner
+
+    def evaluate(self, marking: MarkingLike) -> bool:
+        return not self.inner(marking)
+
+    def places(self) -> frozenset[str]:
+        return self.inner.places()
+
+    def __str__(self) -> str:
+        return f"!({self.inner})"
+
+
+_OP_SYMBOL = {
+    operator.eq: "==",
+    operator.ne: "!=",
+    operator.gt: ">",
+    operator.ge: ">=",
+    operator.lt: "<",
+    operator.le: "<=",
+}
+
+
+class TokenCountGuard(Guard):
+    """Compare ``#place`` against a constant with a comparison operator."""
+
+    def __init__(
+        self,
+        place: str,
+        op: Callable[[int, int], bool],
+        threshold: int,
+    ) -> None:
+        self.place = place
+        self.op = op
+        self.threshold = int(threshold)
+
+    def evaluate(self, marking: MarkingLike) -> bool:
+        return bool(self.op(marking.count(self.place), self.threshold))
+
+    def places(self) -> frozenset[str]:
+        return frozenset({self.place})
+
+    def __str__(self) -> str:
+        sym = _OP_SYMBOL.get(self.op, repr(self.op))
+        return f"(#{self.place} {sym} {self.threshold})"
+
+
+class FunctionGuard(Guard):
+    """Wrap an arbitrary ``marking -> bool`` callable.
+
+    ``depends_on`` should list every place the callable reads; it is
+    used only for introspection/debugging, correctness does not depend
+    on it because the engine re-evaluates guards on every marking
+    change.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[MarkingLike], bool],
+        description: str = "<fn>",
+        depends_on: frozenset[str] = frozenset(),
+    ) -> None:
+        self.fn = fn
+        self.description = description
+        self._depends_on = frozenset(depends_on)
+
+    def evaluate(self, marking: MarkingLike) -> bool:
+        try:
+            return bool(self.fn(marking))
+        except Exception as exc:  # noqa: BLE001 - rewrap with context
+            raise GuardError(
+                f"guard {self.description!r} raised: {exc!r}"
+            ) from exc
+
+    def places(self) -> frozenset[str]:
+        return self._depends_on
+
+    def __str__(self) -> str:
+        return self.description
+
+
+# ----------------------------------------------------------------------
+# Global-guard constructors (the Table XI vocabulary)
+# ----------------------------------------------------------------------
+
+def tokens_eq(place: str, n: int) -> Guard:
+    """``#place == n``"""
+    return TokenCountGuard(place, operator.eq, n)
+
+
+def tokens_ne(place: str, n: int) -> Guard:
+    """``#place != n``"""
+    return TokenCountGuard(place, operator.ne, n)
+
+
+def tokens_gt(place: str, n: int) -> Guard:
+    """``#place > n``"""
+    return TokenCountGuard(place, operator.gt, n)
+
+
+def tokens_ge(place: str, n: int) -> Guard:
+    """``#place >= n``"""
+    return TokenCountGuard(place, operator.ge, n)
+
+
+def tokens_lt(place: str, n: int) -> Guard:
+    """``#place < n``"""
+    return TokenCountGuard(place, operator.lt, n)
+
+
+def tokens_le(place: str, n: int) -> Guard:
+    """``#place <= n``"""
+    return TokenCountGuard(place, operator.le, n)
+
+
+def tokens_between(place: str, lo: int, hi: int) -> Guard:
+    """``lo <= #place <= hi``"""
+    if lo > hi:
+        raise ValueError(f"need lo <= hi, got {lo} > {hi}")
+    return tokens_ge(place, lo) & tokens_le(place, hi)
+
+
+# ----------------------------------------------------------------------
+# Local-guard (token filter) constructors
+# ----------------------------------------------------------------------
+
+def color_eq(value: Any) -> Callable[[Token], bool]:
+    """Token filter: colour equals ``value`` (the paper's ``dvs1 == 1.0``)."""
+
+    def _filter(token: Token) -> bool:
+        return token.color == value
+
+    _filter.__name__ = f"color_eq_{value!r}"
+    return _filter
+
+
+def color_in(values: set[Any] | frozenset[Any] | tuple[Any, ...]) -> Callable[[Token], bool]:
+    """Token filter: colour is a member of ``values``."""
+    frozen = frozenset(values)
+
+    def _filter(token: Token) -> bool:
+        return token.color in frozen
+
+    _filter.__name__ = f"color_in_{sorted(map(repr, frozen))}"
+    return _filter
+
+
+def color_pred(fn: Callable[[Any], bool]) -> Callable[[Token], bool]:
+    """Token filter from a predicate over the colour value."""
+
+    def _filter(token: Token) -> bool:
+        return bool(fn(token.color))
+
+    _filter.__name__ = f"color_pred_{getattr(fn, '__name__', 'fn')}"
+    return _filter

@@ -1,0 +1,186 @@
+"""Markings: the dynamic state of a net during simulation or analysis.
+
+A :class:`Marking` maps each place name to a
+:class:`~repro.core.tokens.TokenBag`.  It implements the small protocol
+guards rely on (``count``) plus the mutation operations the token game
+needs.  :meth:`signature` produces a hashable canonical form used by the
+reachability analyzer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
+
+from .errors import CapacityError, UnknownElementError
+from .places import Place
+from .tokens import Token, TokenBag
+
+__all__ = ["Marking", "MarkingView"]
+
+
+class Marking:
+    """Mutable marking of a net.
+
+    Parameters
+    ----------
+    places:
+        The net's places; each contributes its initial tokens unless
+        ``initial`` overrides it.
+    initial:
+        Optional override mapping ``place name -> token count or tokens``.
+    """
+
+    __slots__ = ("_bags", "_capacities")
+
+    def __init__(
+        self,
+        places: Iterable[Place],
+        initial: Mapping[str, int | Iterable[Token]] | None = None,
+    ) -> None:
+        self._bags: dict[str, TokenBag] = {}
+        self._capacities: dict[str, int | None] = {}
+        overrides = dict(initial or {})
+        for place in places:
+            spec = overrides.pop(place.name, None)
+            if spec is None:
+                tokens = place.fresh_initial()
+            elif isinstance(spec, int):
+                tokens = [Token() for _ in range(spec)]
+            else:
+                tokens = [Token(t.color, t.created_at) for t in spec]
+            cap = place.capacity
+            if cap is not None and len(tokens) > cap:
+                raise CapacityError(place.name, cap, len(tokens))
+            self._bags[place.name] = TokenBag(tokens)
+            self._capacities[place.name] = cap
+        if overrides:
+            unknown = sorted(overrides)
+            raise UnknownElementError("place", unknown[0])
+
+    # ------------------------------------------------------------------
+    # Guard/stat protocol
+    # ------------------------------------------------------------------
+    def count(self, place: str) -> int:
+        """Token count of ``place`` (the ``#place`` of Table XI guards)."""
+        try:
+            return len(self._bags[place])
+        except KeyError:
+            raise UnknownElementError("place", place) from None
+
+    def counts(self) -> dict[str, int]:
+        """All token counts as a plain dict (snapshot)."""
+        return {name: len(bag) for name, bag in self._bags.items()}
+
+    def bag(self, place: str) -> TokenBag:
+        """The live token bag of ``place`` (mutations affect the marking)."""
+        try:
+            return self._bags[place]
+        except KeyError:
+            raise UnknownElementError("place", place) from None
+
+    def places(self) -> Iterable[str]:
+        """All place names."""
+        return self._bags.keys()
+
+    def total_tokens(self) -> int:
+        """Total tokens across all places (conservation checks)."""
+        return sum(len(bag) for bag in self._bags.values())
+
+    # ------------------------------------------------------------------
+    # Token game mutations
+    # ------------------------------------------------------------------
+    def deposit(self, place: str, tokens: Iterable[Token]) -> None:
+        """Add tokens to ``place``, enforcing capacity."""
+        bag = self.bag(place)
+        tokens = list(tokens)
+        cap = self._capacities.get(place)
+        if cap is not None and len(bag) + len(tokens) > cap:
+            raise CapacityError(place, cap, len(bag) + len(tokens))
+        bag.extend(tokens)
+
+    def withdraw(
+        self,
+        place: str,
+        k: int,
+        predicate: Callable[[Token], bool] | None = None,
+    ) -> list[Token]:
+        """Remove the ``k`` oldest (matching) tokens from ``place``."""
+        return self.bag(place).take(k, predicate)
+
+    def can_withdraw(
+        self,
+        place: str,
+        k: int,
+        predicate: Callable[[Token], bool] | None = None,
+    ) -> bool:
+        """True when ``place`` holds ≥ ``k`` tokens matching ``predicate``."""
+        bag = self.bag(place)
+        if predicate is None:
+            return len(bag) >= k
+        return bag.count(predicate) >= k
+
+    def has_headroom(self, place: str, k: int) -> bool:
+        """True when depositing ``k`` tokens would not overflow capacity."""
+        cap = self._capacities.get(place)
+        if cap is None:
+            return True
+        return len(self.bag(place)) + k <= cap
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def signature(self) -> tuple[tuple[str, tuple[Any, ...]], ...]:
+        """Canonical hashable form: sorted (place, sorted colour counts).
+
+        Token identity and creation times are deliberately ignored — two
+        markings with the same colour multiset per place are the same
+        state for reachability purposes.
+        """
+        items: list[tuple[str, tuple[Any, ...]]] = []
+        for name in sorted(self._bags):
+            multiset = self._bags[name].color_multiset()
+            canon = tuple(
+                sorted(multiset.items(), key=lambda kv: repr(kv[0]))
+            )
+            items.append((name, canon))
+        return tuple(items)
+
+    def copy(self) -> "Marking":
+        """Deep-enough copy: new bags, shared (immutable) tokens."""
+        clone = object.__new__(Marking)
+        clone._bags = {name: bag.copy() for name, bag in self._bags.items()}
+        clone._capacities = dict(self._capacities)
+        return clone
+
+    def view(self) -> "MarkingView":
+        """A read-only view implementing only ``count``."""
+        return MarkingView(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nonzero = {n: len(b) for n, b in self._bags.items() if len(b)}
+        return f"Marking({nonzero!r})"
+
+
+class MarkingView:
+    """Read-only facade over a marking, handed to guards and producers."""
+
+    __slots__ = ("_marking",)
+
+    def __init__(self, marking: Marking) -> None:
+        self._marking = marking
+
+    def count(self, place: str) -> int:
+        """Token count of ``place``."""
+        return self._marking.count(place)
+
+    def counts(self) -> dict[str, int]:
+        """All token counts (snapshot)."""
+        return self._marking.counts()
+
+    def colors(self, place: str) -> list[Any]:
+        """Colours in ``place`` (FIFO order)."""
+        return self._marking.bag(place).colors()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MarkingView({self._marking!r})"

@@ -1,0 +1,348 @@
+"""The :class:`PetriNet` container and fluent builder API.
+
+A net is pure structure: places, transitions, arcs, guards.  Simulation
+state (marking, clocks, statistics) lives in
+:class:`~repro.core.simulator.Simulation`, so one net can back many
+concurrent runs — the experiment harness sweeps ``Power_Down_Threshold``
+by building one net per parameter point (cheap) and simulating each.
+
+Example (the paper's Fig. 1 two-place net)::
+
+    net = PetriNet("fig1")
+    net.add_place("P0", initial_tokens=1)
+    net.add_place("P1")
+    net.add_transition("T0", Deterministic(1.0), inputs=["P0"], outputs=["P1"])
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
+
+from .arcs import FiringContext, InhibitorArc, InputArc, OutputArc, ResetArc
+from .distributions import FiringDistribution
+from .errors import (
+    ArcError,
+    DuplicateNameError,
+    NetStructureError,
+    UnknownElementError,
+)
+from .guards import TRUE, Guard
+from .marking import Marking
+from .places import Place
+from .tokens import Token
+from .transitions import MemoryPolicy, Transition
+
+__all__ = ["PetriNet"]
+
+ArcSpec = "str | tuple | InputArc | OutputArc"
+
+
+class PetriNet:
+    """A stochastic colored Petri net definition.
+
+    Parameters
+    ----------
+    name:
+        Net identifier used in reports and error messages.
+    """
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self._places: dict[str, Place] = {}
+        self._transitions: dict[str, Transition] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_place(
+        self,
+        name: str,
+        initial_tokens: int | Iterable[Token] = 0,
+        capacity: int | None = None,
+        description: str = "",
+    ) -> Place:
+        """Create and register a place; returns it."""
+        if name in self._places:
+            raise DuplicateNameError("place", name)
+        place = Place(name, initial_tokens, capacity, description)
+        self._places[name] = place
+        return place
+
+    def add_transition(
+        self,
+        name: str,
+        distribution: FiringDistribution | None = None,
+        inputs: Sequence[Any] = (),
+        outputs: Sequence[Any] = (),
+        inhibitors: Sequence[Any] = (),
+        resets: Sequence[Any] = (),
+        guard: Guard = TRUE,
+        priority: int = 1,
+        weight: float = 1.0,
+        memory: MemoryPolicy = MemoryPolicy.ENABLING,
+        servers: int = 1,
+        description: str = "",
+    ) -> Transition:
+        """Create and register a transition.
+
+        ``inputs``/``outputs``/``inhibitors`` accept flexible specs:
+
+        * a place name string (multiplicity 1);
+        * a ``(place, multiplicity)`` tuple;
+        * for inputs, a ``(place, multiplicity, token_filter)`` tuple;
+        * for outputs, a ``(place, multiplicity, color_or_producer)``
+          tuple (callables are treated as producers);
+        * a ready-made arc object.
+
+        ``resets`` accepts place names or :class:`ResetArc` objects;
+        the named places are emptied when the transition fires.
+        """
+        if name in self._transitions:
+            raise DuplicateNameError("transition", name)
+        transition = Transition(
+            name,
+            distribution,
+            guard=guard,
+            priority=priority,
+            weight=weight,
+            memory=memory,
+            servers=servers,
+            description=description,
+        )
+        for spec in inputs:
+            transition.add_input(self._coerce_input(spec))
+        for spec in outputs:
+            transition.add_output(self._coerce_output(spec))
+        for spec in inhibitors:
+            transition.add_inhibitor(self._coerce_inhibitor(spec))
+        for spec in resets:
+            transition.add_reset(self._coerce_reset(spec))
+        self._validate_arc_targets(transition)
+        self._transitions[name] = transition
+        return transition
+
+    @staticmethod
+    def _coerce_input(spec: Any) -> InputArc:
+        if isinstance(spec, InputArc):
+            return spec
+        if isinstance(spec, str):
+            return InputArc(spec)
+        if isinstance(spec, tuple):
+            if len(spec) == 2:
+                return InputArc(spec[0], spec[1])
+            if len(spec) == 3:
+                return InputArc(spec[0], spec[1], spec[2])
+        raise ArcError(f"cannot interpret input arc spec {spec!r}")
+
+    @staticmethod
+    def _coerce_output(spec: Any) -> OutputArc:
+        if isinstance(spec, OutputArc):
+            return spec
+        if isinstance(spec, str):
+            return OutputArc(spec)
+        if isinstance(spec, tuple):
+            if len(spec) == 2:
+                return OutputArc(spec[0], spec[1])
+            if len(spec) == 3:
+                place, mult, third = spec
+                if callable(third):
+                    return OutputArc(place, mult, producer=third)
+                return OutputArc(place, mult, color=third)
+        raise ArcError(f"cannot interpret output arc spec {spec!r}")
+
+    @staticmethod
+    def _coerce_inhibitor(spec: Any) -> InhibitorArc:
+        if isinstance(spec, InhibitorArc):
+            return spec
+        if isinstance(spec, str):
+            return InhibitorArc(spec)
+        if isinstance(spec, tuple) and len(spec) == 2:
+            return InhibitorArc(spec[0], spec[1])
+        raise ArcError(f"cannot interpret inhibitor arc spec {spec!r}")
+
+    @staticmethod
+    def _coerce_reset(spec: Any) -> ResetArc:
+        if isinstance(spec, ResetArc):
+            return spec
+        if isinstance(spec, str):
+            return ResetArc(spec)
+        raise ArcError(f"cannot interpret reset arc spec {spec!r}")
+
+    def _validate_arc_targets(self, transition: Transition) -> None:
+        for arc in transition.inputs:
+            if arc.place not in self._places:
+                raise UnknownElementError("place", arc.place)
+        for arc in transition.outputs:
+            if arc.place not in self._places:
+                raise UnknownElementError("place", arc.place)
+        for arc in transition.inhibitors:
+            if arc.place not in self._places:
+                raise UnknownElementError("place", arc.place)
+        for arc in transition.resets:
+            if arc.place not in self._places:
+                raise UnknownElementError("place", arc.place)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def places(self) -> tuple[Place, ...]:
+        """All places, insertion order."""
+        return tuple(self._places.values())
+
+    @property
+    def transitions(self) -> tuple[Transition, ...]:
+        """All transitions, insertion order."""
+        return tuple(self._transitions.values())
+
+    @property
+    def place_names(self) -> tuple[str, ...]:
+        """All place names, insertion order."""
+        return tuple(self._places)
+
+    @property
+    def transition_names(self) -> tuple[str, ...]:
+        """All transition names, insertion order."""
+        return tuple(self._transitions)
+
+    def place(self, name: str) -> Place:
+        """Look up a place by name."""
+        try:
+            return self._places[name]
+        except KeyError:
+            raise UnknownElementError("place", name) from None
+
+    def transition(self, name: str) -> Transition:
+        """Look up a transition by name."""
+        try:
+            return self._transitions[name]
+        except KeyError:
+            raise UnknownElementError("transition", name) from None
+
+    def has_place(self, name: str) -> bool:
+        """True when a place with ``name`` exists."""
+        return name in self._places
+
+    def has_transition(self, name: str) -> bool:
+        """True when a transition with ``name`` exists."""
+        return name in self._transitions
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def initial_marking(
+        self, overrides: Mapping[str, int | Iterable[Token]] | None = None
+    ) -> Marking:
+        """A fresh marking holding every place's initial tokens."""
+        return Marking(self.places, overrides)
+
+    def preset(self, place: str) -> tuple[Transition, ...]:
+        """Transitions that output into ``place``."""
+        self.place(place)
+        return tuple(
+            t for t in self._transitions.values() if place in t.output_places()
+        )
+
+    def postset(self, place: str) -> tuple[Transition, ...]:
+        """Transitions that consume from ``place``."""
+        self.place(place)
+        return tuple(
+            t for t in self._transitions.values() if place in t.input_places()
+        )
+
+    def dependents_of_place(self, place: str) -> tuple[Transition, ...]:
+        """Transitions whose enabling can change when ``place`` changes."""
+        self.place(place)
+        return tuple(
+            t
+            for t in self._transitions.values()
+            if place in t.dependent_places()
+        )
+
+    def incidence_matrix(self) -> tuple[list[str], list[str], "Any"]:
+        """(place names, transition names, C) with C[p, t] = out - in.
+
+        Token filters and colours are ignored — the incidence matrix
+        describes the uncoloured skeleton, which is what P/T-invariant
+        analysis operates on.
+        """
+        import numpy as np
+
+        pnames = list(self._places)
+        tnames = list(self._transitions)
+        pindex = {n: i for i, n in enumerate(pnames)}
+        C = np.zeros((len(pnames), len(tnames)), dtype=np.int64)
+        for j, t in enumerate(self._transitions.values()):
+            for arc in t.inputs:
+                C[pindex[arc.place], j] -= arc.multiplicity
+            for arc in t.outputs:
+                C[pindex[arc.place], j] += arc.multiplicity
+        return pnames, tnames, C
+
+    # ------------------------------------------------------------------
+    # Validation / description
+    # ------------------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Structural sanity checks; returns a list of warnings.
+
+        Raises :class:`NetStructureError` on hard errors (none currently
+        beyond what construction already enforces); returns warnings for
+        suspicious-but-legal structure (isolated places, source/sink
+        transitions without guards, immediate transitions with no
+        inputs).
+        """
+        warnings: list[str] = []
+        consumed: set[str] = set()
+        produced: set[str] = set()
+        for t in self._transitions.values():
+            consumed |= t.input_places()
+            produced |= t.output_places()
+            if t.is_immediate and not t.inputs and isinstance(t.guard, type(TRUE)):
+                warnings.append(
+                    f"immediate transition {t.name!r} has no inputs and no "
+                    "guard: it will fire forever at t=0"
+                )
+        for name in self._places:
+            if name not in consumed and name not in produced:
+                touched_by_guard = any(
+                    name in t.guard.places() for t in self._transitions.values()
+                )
+                if not touched_by_guard:
+                    warnings.append(f"place {name!r} is isolated")
+        if not self._transitions:
+            warnings.append("net has no transitions")
+        return warnings
+
+    def describe(self) -> str:
+        """Human-readable structural dump (used in examples and docs)."""
+        lines = [f"PetriNet {self.name!r}"]
+        lines.append(f"  places ({len(self._places)}):")
+        for p in self._places.values():
+            cap = f" cap={p.capacity}" if p.capacity is not None else ""
+            lines.append(f"    {p.name}: initial={p.initial_count}{cap}")
+        lines.append(f"  transitions ({len(self._transitions)}):")
+        for t in self._transitions.values():
+            ins = ", ".join(
+                f"{a.place}x{a.multiplicity}" for a in t.inputs
+            ) or "-"
+            outs = ", ".join(
+                f"{a.place}x{a.multiplicity}" for a in t.outputs
+            ) or "-"
+            inh = (
+                "; inhibit " + ", ".join(a.place for a in t.inhibitors)
+                if t.inhibitors
+                else ""
+            )
+            guard = f" guard {t.guard}" if t.guard is not TRUE else ""
+            lines.append(
+                f"    {t.name} [{t.distribution!r} prio={t.priority}]: "
+                f"{ins} -> {outs}{inh}{guard}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PetriNet({self.name!r}, places={len(self._places)}, "
+            f"transitions={len(self._transitions)})"
+        )

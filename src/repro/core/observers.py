@@ -1,0 +1,178 @@
+"""Observers: firing traces and state-dwell recording.
+
+Observers plug into :meth:`repro.core.simulator.Simulation.add_observer`
+and receive ``(time, transition, consumed, produced)`` for every firing.
+
+:class:`StateDwellRecorder` is the bridge to energy accounting: it maps
+the marking to a named *power state* after every firing and accumulates
+the dwell time per state — the Eq. (7)/(8) state-time ledger.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from .marking import MarkingView
+from .tokens import Token
+
+__all__ = ["FiringRecord", "FiringTrace", "StateDwellRecorder", "TokenFlowCounter"]
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """One firing, as recorded by :class:`FiringTrace`."""
+
+    time: float
+    transition: str
+    consumed: dict[str, int]
+    produced: int
+
+
+class FiringTrace:
+    """Keeps an in-memory log of firings (optionally bounded).
+
+    Parameters
+    ----------
+    max_records:
+        Oldest records are dropped beyond this bound (``None`` keeps all;
+        beware long runs).
+    transitions:
+        Only record these transitions (``None`` records everything).
+    """
+
+    def __init__(
+        self,
+        max_records: int | None = None,
+        transitions: Sequence[str] | None = None,
+    ) -> None:
+        self.max_records = max_records
+        self._filter = frozenset(transitions) if transitions is not None else None
+        self.records: list[FiringRecord] = []
+
+    def __call__(
+        self,
+        time: float,
+        transition: str,
+        consumed: dict[str, list[Token]],
+        produced: list[Token],
+    ) -> None:
+        if self._filter is not None and transition not in self._filter:
+            return
+        self.records.append(
+            FiringRecord(
+                time,
+                transition,
+                {place: len(toks) for place, toks in consumed.items()},
+                len(produced),
+            )
+        )
+        if self.max_records is not None and len(self.records) > self.max_records:
+            del self.records[0 : len(self.records) - self.max_records]
+
+    def count(self, transition: str) -> int:
+        """Number of recorded firings of ``transition``."""
+        return sum(1 for r in self.records if r.transition == transition)
+
+    def times(self, transition: str) -> list[float]:
+        """Firing times of ``transition``."""
+        return [r.time for r in self.records if r.transition == transition]
+
+    def interfiring_times(self, transition: str) -> list[float]:
+        """Gaps between consecutive firings of ``transition``."""
+        ts = self.times(transition)
+        return [b - a for a, b in zip(ts, ts[1:])]
+
+
+class StateDwellRecorder:
+    """Accumulates time per named state, where the state is derived from
+    the marking by a classifier function.
+
+    The classifier is evaluated after every firing; between firings the
+    state is constant, so dwell times are exact.  Used by the energy
+    layer: ``classifier`` maps markings to power-state names and the
+    recorded dwell ledger feeds
+    :class:`repro.energy.accounting.EnergyAccount`.
+
+    The recorder needs to see marking changes, so it is attached to a
+    simulation with :meth:`attach`.
+    """
+
+    def __init__(
+        self,
+        classifier: Callable[[MarkingView], str],
+        warmup: float = 0.0,
+    ) -> None:
+        self.classifier = classifier
+        self.warmup = float(warmup)
+        self.dwell: dict[str, float] = {}
+        self.visits: dict[str, int] = {}
+        self._last_time = 0.0
+        self._last_state: str | None = None
+        self._view: MarkingView | None = None
+
+    def attach(self, sim: "Any") -> None:
+        """Register on ``sim`` (a :class:`repro.core.simulator.Simulation`)."""
+        self._view = sim._view
+        self._last_state = self.classifier(self._view)
+        self.visits[self._last_state] = 1
+        sim.add_observer(self._on_fire)
+
+    def _on_fire(
+        self,
+        time: float,
+        transition: str,
+        consumed: dict[str, list[Token]],
+        produced: list[Token],
+    ) -> None:
+        assert self._view is not None, "attach() must be called first"
+        self._credit(time)
+        new_state = self.classifier(self._view)
+        if new_state != self._last_state:
+            self.visits[new_state] = self.visits.get(new_state, 0) + 1
+            self._last_state = new_state
+
+    def _credit(self, now: float) -> None:
+        lo = max(self._last_time, self.warmup)
+        if now > lo and self._last_state is not None:
+            self.dwell[self._last_state] = (
+                self.dwell.get(self._last_state, 0.0) + (now - lo)
+            )
+        self._last_time = max(self._last_time, now)
+
+    def finalize(self, end_time: float) -> None:
+        """Credit the final dwell interval up to ``end_time``."""
+        self._credit(end_time)
+
+    def fractions(self) -> dict[str, float]:
+        """Dwell time per state normalised to sum to 1."""
+        total = sum(self.dwell.values())
+        if total <= 0:
+            return {}
+        return {state: t / total for state, t in self.dwell.items()}
+
+    def total_time(self) -> float:
+        """Total credited (post-warm-up) time."""
+        return sum(self.dwell.values())
+
+
+class TokenFlowCounter:
+    """Counts tokens flowing into selected places (event/job counters)."""
+
+    def __init__(self, places: Sequence[str]) -> None:
+        self.counts: dict[str, int] = {p: 0 for p in places}
+
+    def __call__(
+        self,
+        time: float,
+        transition: str,
+        consumed: dict[str, list[Token]],
+        produced: list[Token],
+    ) -> None:
+        # Produced tokens do not carry their destination here; flows are
+        # counted from the consumed side of downstream transitions, so
+        # count consumption per place instead.
+        for place, tokens in consumed.items():
+            if place in self.counts:
+                self.counts[place] += len(tokens)

@@ -1,0 +1,89 @@
+"""Places: the state-holding nodes of a Petri net.
+
+A :class:`Place` is pure structure — name, initial marking, optional
+capacity.  The *current* marking lives in
+:class:`~repro.core.marking.Marking`, so a single net definition can be
+simulated many times concurrently (each run owns its marking).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from .tokens import Token, make_tokens
+
+__all__ = ["Place"]
+
+
+class Place:
+    """A place in a (colored) Petri net.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a net.  Used by guards (``#name``),
+        statistics, and energy accounting, so pick the paper's names
+        (``Stand_By``, ``CPU_Buffer``, ...) for traceability.
+    initial_tokens:
+        Number of plain tokens in the initial marking, *or* an iterable
+        of :class:`Token` (for coloured initial markings).
+    capacity:
+        Optional maximum number of tokens; a firing that would exceed it
+        raises :class:`~repro.core.errors.CapacityError`.  ``None`` means
+        unbounded (the default, matching TimeNET).
+    description:
+        Free-text annotation carried into reports.
+    """
+
+    __slots__ = ("name", "capacity", "description", "_initial")
+
+    def __init__(
+        self,
+        name: str,
+        initial_tokens: int | Iterable[Token] = 0,
+        capacity: int | None = None,
+        description: str = "",
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError(f"place name must be a non-empty string, got {name!r}")
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be >= 0 or None, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.description = description
+        if isinstance(initial_tokens, int):
+            if initial_tokens < 0:
+                raise ValueError(
+                    f"initial_tokens must be >= 0, got {initial_tokens}"
+                )
+            self._initial: tuple[Token, ...] = tuple(make_tokens(initial_tokens))
+        else:
+            self._initial = tuple(initial_tokens)
+        if capacity is not None and len(self._initial) > capacity:
+            raise ValueError(
+                f"place {name!r}: initial marking {len(self._initial)} exceeds "
+                f"capacity {capacity}"
+            )
+
+    @property
+    def initial_tokens(self) -> tuple[Token, ...]:
+        """Tokens of the initial marking (fresh copies made per run)."""
+        return self._initial
+
+    @property
+    def initial_count(self) -> int:
+        """Initial token count."""
+        return len(self._initial)
+
+    def fresh_initial(self) -> list[Token]:
+        """New token instances for a new run (never share token objects)."""
+        return [Token(tok.color, 0.0) for tok in self._initial]
+
+    def initial_colors(self) -> list[Any]:
+        """Colours of the initial marking in order."""
+        return [tok.color for tok in self._initial]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = f", capacity={self.capacity}" if self.capacity is not None else ""
+        return f"Place({self.name!r}, initial={self.initial_count}{cap})"

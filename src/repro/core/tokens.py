@@ -1,0 +1,186 @@
+"""Colored tokens and token multisets.
+
+A *token* is the unit of marking in a Petri net.  In a plain
+(uncolored) net all tokens are interchangeable; in a Colored Petri net
+each token carries a *colour* — an arbitrary hashable value that local
+guards and arc expressions may inspect.  The paper's node models (Figs.
+12–13) use token colours to encode DVS task classes (1.0, 2.0, 3.0).
+
+Tokens also remember their *creation time* so observers can measure
+token ages (queueing delays); the engine stamps this automatically.
+
+A :class:`TokenBag` is an insertion-ordered multiset of tokens.  FIFO
+ordering matters: when an input arc must select ``k`` tokens matching a
+filter, the engine takes the *oldest* matching tokens so queueing
+behaviour is deterministic given the random-number stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
+
+__all__ = ["Token", "TokenBag", "BLACK"]
+
+
+class Token:
+    """A single (possibly coloured) token.
+
+    Parameters
+    ----------
+    color:
+        Arbitrary payload.  ``None`` denotes the plain "black" token of an
+        uncoloured net.  The engine never interprets colours itself; only
+        local guards and arc output expressions do.
+    created_at:
+        Simulation time at which the token entered the net.  Stamped by
+        the simulator; defaults to 0.0 for tokens in the initial marking.
+    """
+
+    __slots__ = ("color", "created_at")
+
+    def __init__(self, color: Any = None, created_at: float = 0.0) -> None:
+        self.color = color
+        self.created_at = created_at
+
+    def with_color(self, color: Any) -> "Token":
+        """Return a copy of this token carrying ``color``."""
+        return Token(color, self.created_at)
+
+    def age(self, now: float) -> float:
+        """Token age at simulation time ``now``."""
+        return now - self.created_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.color is None:
+            return f"Token(t={self.created_at:g})"
+        return f"Token({self.color!r}, t={self.created_at:g})"
+
+
+#: The canonical uncoloured token prototype.
+BLACK = Token()
+
+
+class TokenBag:
+    """Insertion-ordered multiset of tokens held by one place.
+
+    Supports the operations the token game needs:
+
+    * :meth:`add` / :meth:`extend` — deposit tokens (append; FIFO tail).
+    * :meth:`take` — remove and return the ``k`` oldest tokens matching an
+      optional filter (FIFO head), raising ``ValueError`` when fewer than
+      ``k`` match.
+    * :meth:`count` — number of tokens matching an optional filter.
+
+    The bag is deliberately a thin wrapper over a list: markings in the
+    models of this library stay small (tens of tokens), so asymptotics
+    favour simplicity and cache friendliness over fancy structures.
+    """
+
+    __slots__ = ("_tokens",)
+
+    def __init__(self, tokens: Iterable[Token] = ()) -> None:
+        self._tokens: list[Token] = list(tokens)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self._tokens)
+
+    def __bool__(self) -> bool:
+        return bool(self._tokens)
+
+    def count(self, predicate: Callable[[Token], bool] | None = None) -> int:
+        """Number of tokens, optionally only those satisfying ``predicate``."""
+        if predicate is None:
+            return len(self._tokens)
+        return sum(1 for tok in self._tokens if predicate(tok))
+
+    def peek(self, k: int = 1) -> list[Token]:
+        """The ``k`` oldest tokens without removing them."""
+        return self._tokens[:k]
+
+    def colors(self) -> list[Any]:
+        """Colours of all tokens in FIFO order."""
+        return [tok.color for tok in self._tokens]
+
+    def color_multiset(self) -> dict[Any, int]:
+        """Colour → multiplicity mapping (order-insensitive summary)."""
+        out: dict[Any, int] = {}
+        for tok in self._tokens:
+            out[tok.color] = out.get(tok.color, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, token: Token) -> None:
+        """Deposit a single token at the FIFO tail."""
+        self._tokens.append(token)
+
+    def extend(self, tokens: Iterable[Token]) -> None:
+        """Deposit several tokens preserving their order."""
+        self._tokens.extend(tokens)
+
+    def take(
+        self,
+        k: int = 1,
+        predicate: Callable[[Token], bool] | None = None,
+    ) -> list[Token]:
+        """Remove and return the ``k`` oldest tokens matching ``predicate``.
+
+        Raises
+        ------
+        ValueError
+            If fewer than ``k`` tokens match.
+        """
+        if k < 0:
+            raise ValueError(f"cannot take a negative number of tokens: {k}")
+        if k == 0:
+            return []
+        if predicate is None:
+            if len(self._tokens) < k:
+                raise ValueError(
+                    f"need {k} tokens but only {len(self._tokens)} present"
+                )
+            taken = self._tokens[:k]
+            del self._tokens[:k]
+            return taken
+        taken: list[Token] = []
+        keep: list[Token] = []
+        for tok in self._tokens:
+            if len(taken) < k and predicate(tok):
+                taken.append(tok)
+            else:
+                keep.append(tok)
+        if len(taken) < k:
+            # Roll back: taking is all-or-nothing.
+            raise ValueError(
+                f"need {k} tokens matching filter but only {len(taken)} match"
+            )
+        self._tokens = keep
+        return taken
+
+    def clear(self) -> list[Token]:
+        """Remove and return all tokens."""
+        out = self._tokens
+        self._tokens = []
+        return out
+
+    def copy(self) -> "TokenBag":
+        """Shallow copy (tokens themselves are immutable in practice)."""
+        return TokenBag(self._tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TokenBag({self._tokens!r})"
+
+
+def make_tokens(count: int, color: Any = None, created_at: float = 0.0) -> list[Token]:
+    """Convenience constructor for ``count`` identical tokens."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [Token(color, created_at) for _ in range(count)]

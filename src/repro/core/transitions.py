@@ -1,0 +1,220 @@
+"""Transitions: the active elements of the net.
+
+Follows TimeNET's EDSPN/SCPN transition taxonomy, which the paper relies
+on (Table I lists ``Instantaneous``, ``Deterministic`` and
+``Exponential`` transitions with priorities):
+
+* **Immediate** transitions fire in zero time.  When several immediates
+  are enabled the highest ``priority`` fires first; ties are broken by a
+  weighted random choice over ``weight``.
+* **Timed** transitions sample a firing delay from their
+  :class:`~repro.core.distributions.FiringDistribution` and race.
+  Their clock behaviour under disabling is governed by the
+  :class:`MemoryPolicy`:
+
+  - ``ENABLING`` (TimeNET "race enabling", the default): the timer is
+    sampled on enabling and *cancelled* when the transition is disabled.
+    This is what the paper's `Power_Down_Threshold` timer needs — an
+    arriving job disables the timer and idling must restart from zero.
+  - ``AGE``: the remaining time is frozen on disabling and resumes on
+    re-enabling (preemptive-resume).
+  - ``RESAMPLE``: the timer is redrawn after *every* firing of *any*
+    transition (TimeNET "race resampling"); rarely wanted, provided for
+    the memory-policy ablation (bench A1).
+
+* ``servers`` controls concurrency: ``1`` (default) is single-server —
+  at most one scheduled firing even if the transition is multiply
+  enabled (a CPU serving one job at a time); ``INFINITE_SERVERS`` gives
+  one clock per enabling degree (a delay stage).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+from .arcs import InhibitorArc, InputArc, OutputArc, ResetArc
+from .distributions import FiringDistribution, Immediate
+from .errors import ArcError
+from .guards import TRUE, Guard
+
+__all__ = ["MemoryPolicy", "Transition", "INFINITE_SERVERS"]
+
+#: Sentinel for an unbounded number of servers.
+INFINITE_SERVERS: int = -1
+
+
+class MemoryPolicy(enum.Enum):
+    """Clock behaviour of a timed transition across disabling periods."""
+
+    ENABLING = "enabling"
+    AGE = "age"
+    RESAMPLE = "resample"
+
+
+class Transition:
+    """A transition of a stochastic colored Petri net.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the net.
+    distribution:
+        Firing-time distribution.  :class:`~repro.core.distributions.Immediate`
+        makes this an immediate transition (fires in zero time).
+    inputs / outputs / inhibitors:
+        Arc lists.  May also be wired afterwards through the
+        :class:`~repro.core.net.PetriNet` builder API.
+    guard:
+        Global (marking) guard; the transition is enabled only while the
+        guard holds.  Defaults to always-true.
+    priority:
+        Only meaningful for immediate transitions: higher fires first.
+        The paper's Table I uses priorities 1–4.
+    weight:
+        Tie-break weight among equal-priority immediates (> 0).
+    memory:
+        Clock policy for timed transitions (see :class:`MemoryPolicy`).
+    servers:
+        ``1`` for single-server (default), ``INFINITE_SERVERS`` for one
+        concurrent clock per enabling degree, or any positive k.
+    description:
+        Free-text annotation.
+    """
+
+    __slots__ = (
+        "name",
+        "distribution",
+        "inputs",
+        "outputs",
+        "inhibitors",
+        "resets",
+        "guard",
+        "priority",
+        "weight",
+        "memory",
+        "servers",
+        "description",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        distribution: FiringDistribution | None = None,
+        inputs: Sequence[InputArc] = (),
+        outputs: Sequence[OutputArc] = (),
+        inhibitors: Sequence[InhibitorArc] = (),
+        resets: Sequence[ResetArc] = (),
+        guard: Guard = TRUE,
+        priority: int = 1,
+        weight: float = 1.0,
+        memory: MemoryPolicy = MemoryPolicy.ENABLING,
+        servers: int = 1,
+        description: str = "",
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError(
+                f"transition name must be a non-empty string, got {name!r}"
+            )
+        if weight <= 0:
+            raise ValueError(f"transition {name!r}: weight must be > 0, got {weight}")
+        if servers != INFINITE_SERVERS and servers < 1:
+            raise ValueError(
+                f"transition {name!r}: servers must be >= 1 or INFINITE_SERVERS, "
+                f"got {servers}"
+            )
+        self.name = name
+        self.distribution: FiringDistribution = (
+            distribution if distribution is not None else Immediate()
+        )
+        self.inputs: list[InputArc] = list(inputs)
+        self.outputs: list[OutputArc] = list(outputs)
+        self.inhibitors: list[InhibitorArc] = list(inhibitors)
+        self.resets: list[ResetArc] = list(resets)
+        self.guard = guard
+        self.priority = int(priority)
+        self.weight = float(weight)
+        self.memory = memory
+        self.servers = int(servers)
+        self.description = description
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_immediate(self) -> bool:
+        """True when this transition fires in zero time."""
+        return self.distribution.is_immediate
+
+    @property
+    def is_timed(self) -> bool:
+        """True when this transition has a (possibly zero-variance) delay."""
+        return not self.distribution.is_immediate
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True for fixed-delay transitions."""
+        return self.distribution.is_deterministic
+
+    @property
+    def is_exponential(self) -> bool:
+        """True for memoryless transitions."""
+        return self.distribution.is_exponential
+
+    # ------------------------------------------------------------------
+    # Wiring helpers (used by the net builder)
+    # ------------------------------------------------------------------
+    def add_input(self, arc: InputArc) -> None:
+        """Attach an input arc; rejects duplicate (place, filter-less) wiring."""
+        if arc.token_filter is None and any(
+            a.place == arc.place and a.token_filter is None for a in self.inputs
+        ):
+            raise ArcError(
+                f"transition {self.name!r} already has an unfiltered input "
+                f"arc from {arc.place!r}; raise the multiplicity instead"
+            )
+        self.inputs.append(arc)
+
+    def add_output(self, arc: OutputArc) -> None:
+        """Attach an output arc."""
+        self.outputs.append(arc)
+
+    def add_inhibitor(self, arc: InhibitorArc) -> None:
+        """Attach an inhibitor arc; one per place."""
+        if any(a.place == arc.place for a in self.inhibitors):
+            raise ArcError(
+                f"transition {self.name!r} already has an inhibitor arc "
+                f"from {arc.place!r}"
+            )
+        self.inhibitors.append(arc)
+
+    def add_reset(self, arc: ResetArc) -> None:
+        """Attach a reset arc; one per place."""
+        if any(a.place == arc.place for a in self.resets):
+            raise ArcError(
+                f"transition {self.name!r} already has a reset arc "
+                f"for {arc.place!r}"
+            )
+        self.resets.append(arc)
+
+    def input_places(self) -> frozenset[str]:
+        """Names of all places feeding this transition."""
+        return frozenset(a.place for a in self.inputs)
+
+    def output_places(self) -> frozenset[str]:
+        """Names of all places this transition feeds."""
+        return frozenset(a.place for a in self.outputs)
+
+    def dependent_places(self) -> frozenset[str]:
+        """All places whose marking can affect this transition's enabling."""
+        return (
+            self.input_places()
+            | frozenset(a.place for a in self.inhibitors)
+            | self.guard.places()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transition({self.name!r}, {self.distribution!r}, "
+            f"prio={self.priority})"
+        )

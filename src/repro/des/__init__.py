@@ -1,0 +1,37 @@
+"""``repro.des`` — the discrete-event-simulation substrate.
+
+* :mod:`repro.des.kernel` — minimal cancellable-event scheduler;
+* :mod:`repro.des.rng` — named independent RNG streams (common random
+  numbers across sweep points);
+* :mod:`repro.des.trace` — state-dwell ledgers feeding energy accounting;
+* :mod:`repro.des.cpu` — the paper's Section IV ground-truth CPU
+  power-state simulator;
+* :mod:`repro.des.imote2` — the Section V "hardware" substitute
+  replaying the measured IMote2 duty cycle.
+"""
+
+from .cpu import CPUPowerStateSimulator, CPUSimResult, CPUStates
+from .imote2 import (
+    DEFAULT_OVERHEAD_MW,
+    IMote2HardwareSimulator,
+    IMote2RunResult,
+    IMote2States,
+)
+from .kernel import EventHandle, Scheduler
+from .rng import RngStreams
+from .trace import DwellInterval, StateDwellLedger
+
+__all__ = [
+    "Scheduler",
+    "EventHandle",
+    "RngStreams",
+    "StateDwellLedger",
+    "DwellInterval",
+    "CPUPowerStateSimulator",
+    "CPUSimResult",
+    "CPUStates",
+    "IMote2HardwareSimulator",
+    "IMote2RunResult",
+    "IMote2States",
+    "DEFAULT_OVERHEAD_MW",
+]

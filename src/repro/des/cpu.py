@@ -1,0 +1,223 @@
+"""Ground-truth CPU power-state simulator (the paper's Section IV baseline).
+
+Emulates the exact state machine both the Markov model and the Petri
+net approximate:
+
+* Jobs arrive in a Poisson stream (rate λ) into an unbounded buffer.
+* The CPU serves one job at a time with exponential service (rate μ).
+* When the buffer drains the CPU idles; after ``power_down_threshold``
+  seconds of *uninterrupted* idleness it drops to standby.
+* A job arriving in standby triggers a deterministic
+  ``power_up_delay``-second wake-up, after which service resumes.
+* A job arriving while idle resumes service instantly (cancelling the
+  pending power-down timer).
+
+This is deliberately the straightest possible event-driven encoding —
+the ground truth the other two models are judged against in Figs. 4–9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .kernel import EventHandle, Scheduler
+from .rng import RngStreams
+from .trace import StateDwellLedger
+
+__all__ = ["CPUStates", "CPUSimResult", "CPUPowerStateSimulator"]
+
+
+class CPUStates:
+    """Canonical state names shared across all three CPU models."""
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    STANDBY = "standby"
+    POWERUP = "powerup"
+
+    ALL = (ACTIVE, IDLE, STANDBY, POWERUP)
+
+
+@dataclass(frozen=True)
+class CPUSimResult:
+    """Outcome of one CPU simulation run.
+
+    Attributes
+    ----------
+    fractions:
+        Long-run fraction of time per state (Figs. 4–6 series).
+    dwell:
+        Absolute seconds per state.
+    duration:
+        Credited observation time.
+    jobs_arrived / jobs_served:
+        Workload counters.
+    wakeups:
+        Number of standby → power-up transitions (the transitional-energy
+        driver of Figs. 14–15).
+    """
+
+    fractions: dict[str, float]
+    dwell: dict[str, float]
+    duration: float
+    jobs_arrived: int
+    jobs_served: int
+    wakeups: int
+
+    def fraction(self, state: str) -> float:
+        """Fraction of time in ``state`` (0 when never visited)."""
+        return self.fractions.get(state, 0.0)
+
+
+class CPUPowerStateSimulator:
+    """Event-driven CPU with power-down threshold and power-up delay.
+
+    Parameters
+    ----------
+    arrival_rate:
+        λ, jobs/second.
+    service_rate:
+        μ, jobs/second.
+    power_down_threshold:
+        T, seconds of idleness before standby (0 = immediate).
+    power_up_delay:
+        D, seconds to wake from standby.
+    initial_state:
+        ``"standby"`` (paper's Fig. 3 starting place) or ``"idle"``.
+    streams:
+        Optional shared :class:`~repro.des.rng.RngStreams` (for common
+        random numbers across sweep points).
+    seed:
+        Convenience seed when ``streams`` is not given.
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        service_rate: float,
+        power_down_threshold: float,
+        power_up_delay: float,
+        initial_state: str = CPUStates.STANDBY,
+        streams: RngStreams | None = None,
+        seed: int | None = None,
+        warmup: float = 0.0,
+    ) -> None:
+        if arrival_rate <= 0 or service_rate <= 0:
+            raise ValueError("arrival_rate and service_rate must be > 0")
+        if power_down_threshold < 0 or power_up_delay < 0:
+            raise ValueError("threshold and delay must be >= 0")
+        if initial_state not in (CPUStates.STANDBY, CPUStates.IDLE):
+            raise ValueError(
+                f"initial_state must be standby or idle, got {initial_state!r}"
+            )
+        self.lam = float(arrival_rate)
+        self.mu = float(service_rate)
+        self.T = float(power_down_threshold)
+        self.D = float(power_up_delay)
+        self.streams = streams if streams is not None else RngStreams(seed)
+        self._arrival_rng = self.streams.get("cpu.arrivals")
+        self._service_rng = self.streams.get("cpu.service")
+        self.scheduler = Scheduler()
+        self.ledger = StateDwellLedger(initial_state, warmup=warmup)
+        self.queue = 0
+        self.jobs_arrived = 0
+        self.jobs_served = 0
+        self.wakeups = 0
+        self._powerdown_timer: EventHandle | None = None
+        self._initial_state = initial_state
+
+    # ------------------------------------------------------------------
+    # State helpers
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current power state."""
+        return self.ledger.state
+
+    def _set_state(self, new_state: str) -> None:
+        self.ledger.transition(self.scheduler.now, new_state)
+
+    def _cancel_powerdown(self) -> None:
+        if self._powerdown_timer is not None:
+            self._powerdown_timer.cancel()
+            self._powerdown_timer = None
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self) -> None:
+        self.jobs_arrived += 1
+        self.queue += 1
+        state = self.state
+        if state == CPUStates.STANDBY:
+            self.wakeups += 1
+            self._set_state(CPUStates.POWERUP)
+            self.scheduler.schedule(self.D, self._on_powerup_complete)
+        elif state == CPUStates.IDLE:
+            self._cancel_powerdown()
+            self._start_service()
+        # ACTIVE / POWERUP: the job queues; nothing else changes.
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        gap = float(self._arrival_rng.exponential(1.0 / self.lam))
+        self.scheduler.schedule(gap, self._on_arrival)
+
+    def _start_service(self) -> None:
+        self._set_state(CPUStates.ACTIVE)
+        duration = float(self._service_rng.exponential(1.0 / self.mu))
+        self.scheduler.schedule(duration, self._on_service_complete)
+
+    def _on_service_complete(self) -> None:
+        self.queue -= 1
+        self.jobs_served += 1
+        if self.queue > 0:
+            self._start_service()
+            return
+        self._set_state(CPUStates.IDLE)
+        if self.T == 0.0:
+            # Immediate power-down: zero-length idle visit.
+            self._set_state(CPUStates.STANDBY)
+        else:
+            self._powerdown_timer = self.scheduler.schedule(
+                self.T, self._on_powerdown_timeout
+            )
+
+    def _on_powerdown_timeout(self) -> None:
+        self._powerdown_timer = None
+        # The timer is cancelled on arrival, so reaching here means the
+        # CPU idled uninterrupted for T seconds.
+        self._set_state(CPUStates.STANDBY)
+
+    def _on_powerup_complete(self) -> None:
+        if self.queue > 0:
+            self._start_service()
+        else:
+            # Cannot happen with this workload (wake-ups are triggered
+            # by arrivals and jobs are never revoked) but stay safe.
+            self._set_state(CPUStates.IDLE)
+            if self.T > 0:
+                self._powerdown_timer = self.scheduler.schedule(
+                    self.T, self._on_powerdown_timeout
+                )
+            else:
+                self._set_state(CPUStates.STANDBY)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, horizon: float) -> CPUSimResult:
+        """Simulate ``horizon`` seconds and return the dwell summary."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        self._schedule_next_arrival()
+        self.scheduler.run_until(horizon)
+        self.ledger.close(horizon)
+        return CPUSimResult(
+            fractions=self.ledger.fractions(),
+            dwell=dict(self.ledger.dwell),
+            duration=self.ledger.total_time(),
+            jobs_arrived=self.jobs_arrived,
+            jobs_served=self.jobs_served,
+            wakeups=self.wakeups,
+        )

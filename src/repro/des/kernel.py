@@ -1,0 +1,139 @@
+"""A minimal discrete-event-simulation kernel.
+
+The paper validates its Petri nets against "a discrete event simulator
+that emulates the timings of state transitions of CPU" (Section IV).
+This kernel is that simulator's foundation: a time-ordered event queue
+with cancellable events and a run loop.
+
+Design notes
+------------
+* Events are callbacks with an absolute due time; ties break by
+  schedule order (deterministic replay).
+* Cancellation is O(1) via a ``cancelled`` flag (lazy deletion).
+* The kernel is deliberately tiny — process-style coroutines would be
+  overkill for the handful of state machines in this reproduction and
+  would obscure the timing semantics the comparison hinges on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+__all__ = ["EventHandle", "Scheduler"]
+
+
+class EventHandle:
+    """A scheduled event; call :meth:`cancel` to revoke it."""
+
+    __slots__ = ("time", "seq", "action", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Revoke the event (no-op if already fired or cancelled)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:g}, {state})"
+
+
+class Scheduler:
+    """Time-ordered event loop.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time; advances monotonically.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq = itertools.count()
+        self._fired = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self.now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` at absolute ``time`` (≥ now)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        handle = EventHandle(time, next(self._seq), action)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def peek(self) -> float | None:
+        """Due time of the next live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next live event; ``False`` when the queue is empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = handle.time
+            handle.action()
+            self._fired += 1
+            return True
+        return False
+
+    def run_until(self, horizon: float) -> None:
+        """Run every event due at or before ``horizon``; clock ends there.
+
+        Events scheduled beyond the horizon stay queued (a subsequent
+        ``run_until`` may consume them).
+        """
+        if horizon < self.now:
+            raise ValueError(
+                f"horizon {horizon} is before current time {self.now}"
+            )
+        while True:
+            t = self.peek()
+            if t is None or t > horizon:
+                break
+            self.step()
+        self.now = horizon
+
+    def run_events(self, n: int) -> int:
+        """Run at most ``n`` events; returns the number actually run."""
+        done = 0
+        while done < n and self.step():
+            done += 1
+        return done
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed."""
+        return self._fired
+
+    def pending(self) -> int:
+        """Live (non-cancelled) events still queued (O(n))."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Scheduler(now={self.now:g}, pending={self.pending()})"

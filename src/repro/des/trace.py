@@ -1,0 +1,126 @@
+"""State-dwell ledgers shared between the DES and the energy layer.
+
+A :class:`StateDwellLedger` records how long a component spends in each
+named power state.  The energy layer turns a ledger into Joules by
+multiplying dwell times with a power table (Eq. 7/8 of the paper); the
+experiment harness turns it into the "Percentage of time" series of
+Figs. 4–6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DwellInterval", "StateDwellLedger"]
+
+
+@dataclass(frozen=True)
+class DwellInterval:
+    """One contiguous stay in a state (kept only when history is enabled)."""
+
+    state: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the stay."""
+        return self.end - self.start
+
+
+class StateDwellLedger:
+    """Accumulates per-state dwell time for one component.
+
+    Parameters
+    ----------
+    initial_state:
+        State at time zero.
+    warmup:
+        Dwell time before this instant is discarded.
+    keep_history:
+        When true, every interval is retained (memory grows with run
+        length — for tests and debugging, not for long sweeps).
+    """
+
+    def __init__(
+        self,
+        initial_state: str,
+        warmup: float = 0.0,
+        keep_history: bool = False,
+    ) -> None:
+        self.warmup = float(warmup)
+        self.state = initial_state
+        self.dwell: dict[str, float] = {}
+        self.visits: dict[str, int] = {initial_state: 1}
+        self._since = 0.0
+        self._history: list[DwellInterval] | None = [] if keep_history else None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def transition(self, now: float, new_state: str) -> None:
+        """Move to ``new_state`` at time ``now``."""
+        if self._closed:
+            raise RuntimeError("ledger already closed")
+        if now < self._since:
+            raise ValueError(f"time went backwards: {now} < {self._since}")
+        self._credit(now)
+        if new_state != self.state:
+            self.visits[new_state] = self.visits.get(new_state, 0) + 1
+            if self._history is not None:
+                pass  # interval closed inside _credit
+            self.state = new_state
+        self._since = now
+
+    def close(self, end_time: float) -> None:
+        """Credit the final stay and freeze the ledger."""
+        if self._closed:
+            return
+        self._credit(end_time)
+        self._since = end_time
+        self._closed = True
+
+    def _credit(self, now: float) -> None:
+        lo = max(self._since, self.warmup)
+        if now > lo:
+            self.dwell[self.state] = self.dwell.get(self.state, 0.0) + (now - lo)
+            if self._history is not None:
+                self._history.append(DwellInterval(self.state, lo, now))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def total_time(self) -> float:
+        """Total credited time."""
+        return sum(self.dwell.values())
+
+    def time_in(self, state: str) -> float:
+        """Credited time in ``state``."""
+        return self.dwell.get(state, 0.0)
+
+    def fraction(self, state: str) -> float:
+        """Fraction of credited time in ``state``."""
+        total = self.total_time()
+        return self.dwell.get(state, 0.0) / total if total > 0 else 0.0
+
+    def fractions(self) -> dict[str, float]:
+        """All state fractions (sum to 1 when any time is credited)."""
+        total = self.total_time()
+        if total <= 0:
+            return {}
+        return {s: t / total for s, t in self.dwell.items()}
+
+    def visit_count(self, state: str) -> int:
+        """Number of entries into ``state`` (including the initial one)."""
+        return self.visits.get(state, 0)
+
+    def history(self) -> list[DwellInterval]:
+        """Recorded intervals (empty unless ``keep_history``)."""
+        return list(self._history or [])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StateDwellLedger(state={self.state!r}, "
+            f"total={self.total_time():g})"
+        )

@@ -1,0 +1,65 @@
+"""``repro.energy`` — power tables and energy accounting.
+
+* :mod:`repro.energy.power` — the paper's Table III (PXA271 CPU,
+  CC2420 radio) and Table VII (measured IMote2) as
+  :class:`PowerStateTable` objects;
+* :mod:`repro.energy.accounting` — Eqs. (6)–(8): dwell times /
+  state probabilities → Joules, per component and per node;
+* :mod:`repro.energy.breakdown` — the eight stacked categories of
+  Figs. 14–15;
+* :mod:`repro.energy.report` — paper-style plain-text rendering.
+"""
+
+from .accounting import ComponentEnergy, EnergyAccount, NodeEnergyAccount
+from .battery import (
+    IMOTE2_3xAAA,
+    LinearBattery,
+    NodeLifetimeEstimator,
+    PeukertBattery,
+)
+from .breakdown import (
+    BREAKDOWN_CATEGORIES,
+    CATEGORY_LABELS,
+    EnergyBreakdown,
+    categorize,
+)
+from .power import (
+    CC2420_RADIO_POWER_MW,
+    IMOTE2_MEASURED_POWER_MW,
+    PXA271_CPU_POWER_MW,
+    PowerStateTable,
+    cpu_power_table,
+    imote2_power_table,
+    radio_power_table,
+)
+from .report import (
+    format_breakdown_sweep,
+    format_energy_series,
+    format_state_percentages,
+    format_table,
+)
+
+__all__ = [
+    "LinearBattery",
+    "PeukertBattery",
+    "NodeLifetimeEstimator",
+    "IMOTE2_3xAAA",
+    "PowerStateTable",
+    "PXA271_CPU_POWER_MW",
+    "CC2420_RADIO_POWER_MW",
+    "IMOTE2_MEASURED_POWER_MW",
+    "cpu_power_table",
+    "radio_power_table",
+    "imote2_power_table",
+    "EnergyAccount",
+    "NodeEnergyAccount",
+    "ComponentEnergy",
+    "EnergyBreakdown",
+    "BREAKDOWN_CATEGORIES",
+    "CATEGORY_LABELS",
+    "categorize",
+    "format_table",
+    "format_state_percentages",
+    "format_energy_series",
+    "format_breakdown_sweep",
+]

@@ -1,0 +1,173 @@
+"""Battery and node-lifetime models.
+
+The paper's motivation is battery lifetime ("there is a pressing need
+to have the sensor nodes operate for as long as possible"), and its
+related work (Jung et al. [12]) evaluates node lifetimes directly.
+This module closes that loop: given a node's mean power draw (from any
+of the models) and a battery, estimate the lifetime.
+
+Two discharge models:
+
+* :class:`LinearBattery` — ideal coulomb counting: lifetime =
+  capacity / current.  Adequate at the µA–mA draws of sensor nodes.
+* :class:`PeukertBattery` — Peukert's law correction
+  ``t = H (C / (I H))^k`` for draws above the rated current, where
+  ``k`` is the Peukert exponent (≈ 1.0–1.3 for lithium cells).
+
+A :class:`NodeLifetimeEstimator` combines a battery with a
+:class:`~repro.models.wsn_node.WSNNodeResult` (or any mean power) and
+converts the Figs. 14/15 energy sweeps into the quantity a deployment
+actually cares about: days of operation per threshold setting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "LinearBattery",
+    "PeukertBattery",
+    "NodeLifetimeEstimator",
+    "IMOTE2_3xAAA",
+]
+
+_SECONDS_PER_HOUR = 3600.0
+_SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class LinearBattery:
+    """Ideal battery: constant usable charge regardless of draw.
+
+    Parameters
+    ----------
+    capacity_mah:
+        Rated capacity in milliamp-hours.
+    voltage_v:
+        Nominal terminal voltage (energy = capacity × voltage).
+    usable_fraction:
+        Fraction of rated capacity actually deliverable before the
+        node's brown-out voltage (typically 0.8–0.9).
+    """
+
+    capacity_mah: float
+    voltage_v: float
+    usable_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0 or self.voltage_v <= 0:
+            raise ValueError("capacity and voltage must be > 0")
+        if not 0 < self.usable_fraction <= 1:
+            raise ValueError("usable_fraction must be in (0, 1]")
+
+    def usable_energy_j(self) -> float:
+        """Deliverable energy in Joules."""
+        return (
+            self.capacity_mah
+            * self.usable_fraction
+            * self.voltage_v
+            * _SECONDS_PER_HOUR
+            / 1000.0
+        )
+
+    def lifetime_s(self, mean_power_mw: float) -> float:
+        """Seconds of operation at a constant ``mean_power_mw`` draw."""
+        if mean_power_mw <= 0:
+            return math.inf
+        return self.usable_energy_j() / (mean_power_mw / 1000.0)
+
+
+@dataclass(frozen=True)
+class PeukertBattery:
+    """Peukert-corrected battery: capacity shrinks at high draw.
+
+    Parameters
+    ----------
+    capacity_mah:
+        Rated capacity at the rated discharge time ``rated_hours``.
+    voltage_v:
+        Nominal voltage.
+    peukert_exponent:
+        k ≥ 1; 1.0 reduces to the linear model.
+    rated_hours:
+        Hour rating of the capacity figure (H in Peukert's law;
+        typically 20 h for primary cells).
+    """
+
+    capacity_mah: float
+    voltage_v: float
+    peukert_exponent: float = 1.1
+    rated_hours: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0 or self.voltage_v <= 0:
+            raise ValueError("capacity and voltage must be > 0")
+        if self.peukert_exponent < 1.0:
+            raise ValueError("peukert_exponent must be >= 1")
+        if self.rated_hours <= 0:
+            raise ValueError("rated_hours must be > 0")
+
+    def lifetime_s(self, mean_power_mw: float) -> float:
+        """Peukert's law lifetime at a constant power draw.
+
+        ``t = H · (C / (I·H))^k`` with I in the same amp units as C/H.
+        """
+        if mean_power_mw <= 0:
+            return math.inf
+        current_ma = mean_power_mw / self.voltage_v
+        rated_current_ma = self.capacity_mah / self.rated_hours
+        hours = self.rated_hours * (rated_current_ma / current_ma) ** (
+            self.peukert_exponent
+        )
+        return hours * _SECONDS_PER_HOUR
+
+    def usable_energy_j(self, mean_power_mw: float) -> float:
+        """Energy actually delivered at this draw (draw-dependent)."""
+        return self.lifetime_s(mean_power_mw) * mean_power_mw / 1000.0
+
+
+#: Three AAA cells (the IMote2's standard supply): ~1000 mAh at 4.5 V.
+IMOTE2_3xAAA = LinearBattery(capacity_mah=1000.0, voltage_v=4.5, usable_fraction=0.85)
+
+
+class NodeLifetimeEstimator:
+    """Turns node energy results into deployment lifetimes.
+
+    Parameters
+    ----------
+    battery:
+        A :class:`LinearBattery` or :class:`PeukertBattery`.
+    """
+
+    def __init__(self, battery: LinearBattery | PeukertBattery) -> None:
+        self.battery = battery
+
+    def lifetime_s(self, mean_power_mw: float) -> float:
+        """Seconds of operation at a constant mean draw."""
+        return self.battery.lifetime_s(mean_power_mw)
+
+    def lifetime_days(self, mean_power_mw: float) -> float:
+        """Days of operation at a constant mean draw."""
+        return self.lifetime_s(mean_power_mw) / _SECONDS_PER_DAY
+
+    def lifetime_from_energy(self, energy_j: float, duration_s: float) -> float:
+        """Days of operation given energy over an observation window."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        mean_power_mw = energy_j / duration_s * 1000.0
+        return self.lifetime_days(mean_power_mw)
+
+    def lifetime_table_days(
+        self,
+        thresholds: list[float] | tuple[float, ...],
+        energies_j: list[float],
+        duration_s: float,
+    ) -> list[tuple[float, float]]:
+        """(threshold, lifetime days) rows from a Figs. 14/15 sweep."""
+        if len(thresholds) != len(energies_j):
+            raise ValueError("thresholds and energies must be equal length")
+        return [
+            (t, self.lifetime_from_energy(e, duration_s))
+            for t, e in zip(thresholds, energies_j)
+        ]

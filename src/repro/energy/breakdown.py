@@ -1,0 +1,131 @@
+"""The Fig. 14/15 energy-component breakdown.
+
+Figures 14 and 15 stack eight energy series per
+``Power_Down_Threshold`` point:
+
+1. Radio Wake Up Transitional Energy
+2. CPU Wake Up Transitional Energy
+3. CPU Active Energy
+4. CPU Idle Energy
+5. CPU Sleep Energy
+6. Radio Active Energy
+7. Radio Idle Energy
+8. Radio Sleep Energy
+
+This module fixes that category vocabulary, maps (component, state)
+pairs onto it, and renders sweep results as the stacked rows the
+figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BREAKDOWN_CATEGORIES", "EnergyBreakdown", "categorize"]
+
+
+#: Canonical category order, top-of-stack first (matches the legends).
+BREAKDOWN_CATEGORIES: tuple[str, ...] = (
+    "radio_wakeup",
+    "cpu_wakeup",
+    "cpu_active",
+    "cpu_idle",
+    "cpu_sleep",
+    "radio_active",
+    "radio_idle",
+    "radio_sleep",
+)
+
+#: Human-readable labels exactly as the figure legends print them.
+CATEGORY_LABELS: dict[str, str] = {
+    "radio_wakeup": "Radio Wake Up Transitional Energy",
+    "cpu_wakeup": "CPU Wake Up Transitional Energy",
+    "cpu_active": "CPU Active Energy",
+    "cpu_idle": "CPU Idle Energy",
+    "cpu_sleep": "CPU Sleep Energy",
+    "radio_active": "Radio Active Energy",
+    "radio_idle": "Radio Idle Energy",
+    "radio_sleep": "Radio Sleep Energy",
+}
+
+_STATE_TO_SUFFIX = {
+    "powerup": "wakeup",
+    "active": "active",
+    "idle": "idle",
+    "standby": "sleep",
+}
+
+
+def categorize(component: str, state: str) -> str:
+    """Map a (component, power-state) pair to its figure category.
+
+    ``component`` is ``"cpu"`` or ``"radio"``; ``state`` is one of the
+    Table III states (``standby``/``idle``/``powerup``/``active``).
+    """
+    comp = component.lower()
+    if comp not in ("cpu", "radio"):
+        raise ValueError(f"unknown component {component!r}")
+    suffix = _STATE_TO_SUFFIX.get(state.lower())
+    if suffix is None:
+        raise ValueError(f"unknown power state {state!r}")
+    return f"{comp}_{suffix}"
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy (J) per figure category for one sweep point."""
+
+    energy_j: dict[str, float]
+
+    def __post_init__(self) -> None:
+        unknown = set(self.energy_j) - set(BREAKDOWN_CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown categories: {sorted(unknown)}")
+        for cat in BREAKDOWN_CATEGORIES:
+            self.energy_j.setdefault(cat, 0.0)
+
+    @classmethod
+    def from_component_states(
+        cls, nested: dict[str, dict[str, float]]
+    ) -> "EnergyBreakdown":
+        """Build from ``{component: {state: Joules}}``."""
+        out: dict[str, float] = {}
+        for component, per_state in nested.items():
+            for state, joules in per_state.items():
+                cat = categorize(component, state)
+                out[cat] = out.get(cat, 0.0) + joules
+        return cls(out)
+
+    def total_j(self) -> float:
+        """Total node energy across categories."""
+        return sum(self.energy_j.values())
+
+    def get(self, category: str) -> float:
+        """Energy of one category (KeyError on typos)."""
+        return self.energy_j[category]
+
+    def transitional_j(self) -> float:
+        """Wake-up (transitional) energy: CPU + radio."""
+        return self.energy_j["cpu_wakeup"] + self.energy_j["radio_wakeup"]
+
+    def cpu_j(self) -> float:
+        """All CPU categories."""
+        return sum(
+            v for k, v in self.energy_j.items() if k.startswith("cpu_")
+        )
+
+    def radio_j(self) -> float:
+        """All radio categories."""
+        return sum(
+            v for k, v in self.energy_j.items() if k.startswith("radio_")
+        )
+
+    def as_row(self) -> tuple[float, ...]:
+        """Values in canonical category order (for table rendering)."""
+        return tuple(self.energy_j[c] for c in BREAKDOWN_CATEGORIES)
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{c}={self.energy_j[c]:.4g}J" for c in BREAKDOWN_CATEGORIES
+        )
+        return f"EnergyBreakdown(total={self.total_j():.4g}J; {parts})"

@@ -1,0 +1,164 @@
+"""Power-state tables: the paper's Table III and Table VII verbatim.
+
+Two parameter sets drive every experiment:
+
+* **Table III** — PXA271 CPU and CC2420 radio power rates (mW), taken
+  by the paper from Jung et al. [12]; used by the Section IV CPU
+  comparison and the Section VI/VII node models.
+* **Table VII** — the authors' own measured IMote2 state powers (mW)
+  for the Section V validation (note the counter-intuitive fact the
+  paper highlights: transmission draws *less* than idle because the
+  idle radio is actively listening).
+
+:class:`PowerStateTable` is the shared abstraction: named states with
+power rates in mW, unit conversion helpers, and energy evaluation given
+either dwell times or state probabilities + duration (Eqs. 6–8).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+__all__ = [
+    "PowerStateTable",
+    "PXA271_CPU_POWER_MW",
+    "CC2420_RADIO_POWER_MW",
+    "IMOTE2_MEASURED_POWER_MW",
+    "cpu_power_table",
+    "radio_power_table",
+    "imote2_power_table",
+]
+
+
+#: Table III, CPU rows (mW): Intel PXA271 processor.
+PXA271_CPU_POWER_MW: dict[str, float] = {
+    "standby": 17.0,
+    "idle": 88.0,
+    "powerup": 192.976,
+    "active": 193.0,
+}
+
+#: Table III, radio rows (mW): CC2420-class radio.
+CC2420_RADIO_POWER_MW: dict[str, float] = {
+    "standby": 1.44e-4,
+    "idle": 0.712,
+    "powerup": 0.034175,
+    "active": 78.0,
+}
+
+#: Table VII (mW): measured IMote2 state powers.
+IMOTE2_MEASURED_POWER_MW: dict[str, float] = {
+    "wait": 1.216,          # paper calls this state Idle
+    "receiving": 1.213,
+    "computation": 1.253,
+    "transmitting": 1.028,
+}
+
+
+@dataclass(frozen=True)
+class PowerStateTable:
+    """Named power states with rates in milliwatts.
+
+    Parameters
+    ----------
+    name:
+        Table identifier for reports.
+    rates_mw:
+        State → power (mW).
+    """
+
+    name: str
+    rates_mw: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        for state, rate in self.rates_mw.items():
+            if rate < 0:
+                raise ValueError(
+                    f"power rate for state {state!r} must be >= 0, got {rate}"
+                )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> tuple[str, ...]:
+        """All state names."""
+        return tuple(self.rates_mw)
+
+    def rate_mw(self, state: str) -> float:
+        """Power of ``state`` in mW (KeyError on unknown state)."""
+        return float(self.rates_mw[state])
+
+    def rate_w(self, state: str) -> float:
+        """Power of ``state`` in W."""
+        return self.rate_mw(state) / 1000.0
+
+    def has_state(self, state: str) -> bool:
+        """True when the table defines ``state``."""
+        return state in self.rates_mw
+
+    # ------------------------------------------------------------------
+    # Energy evaluation (Eqs. 6–8)
+    # ------------------------------------------------------------------
+    def energy_from_dwell_j(self, dwell_s: Mapping[str, float]) -> float:
+        """Σ P(state)·t(state): energy in Joules from dwell seconds.
+
+        States absent from the table raise ``KeyError`` — silently
+        zero-powered states hide model/table mismatches.
+        """
+        total_mj = 0.0
+        for state, t in dwell_s.items():
+            if t < 0:
+                raise ValueError(f"negative dwell for {state!r}: {t}")
+            total_mj += self.rate_mw(state) * t
+        return total_mj / 1000.0
+
+    def energy_from_probabilities_j(
+        self, probabilities: Mapping[str, float], duration_s: float
+    ) -> float:
+        """Eq. (7)/(8): (Σ P(state)·p(state)) × Time, in Joules."""
+        if duration_s < 0:
+            raise ValueError(f"duration must be >= 0, got {duration_s}")
+        mean_mw = 0.0
+        for state, p in probabilities.items():
+            if not -1e-9 <= p <= 1.0 + 1e-9:
+                raise ValueError(
+                    f"probability of {state!r} out of [0, 1]: {p}"
+                )
+            mean_mw += self.rate_mw(state) * p
+        return mean_mw * duration_s / 1000.0
+
+    def mean_power_mw(self, probabilities: Mapping[str, float]) -> float:
+        """State-probability-weighted mean power in mW."""
+        return sum(
+            self.rate_mw(state) * p for state, p in probabilities.items()
+        )
+
+    def scaled(self, factor: float, name: str | None = None) -> "PowerStateTable":
+        """A copy with every rate multiplied by ``factor`` (what-ifs)."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return PowerStateTable(
+            name or f"{self.name}*{factor:g}",
+            {s: r * factor for s, r in self.rates_mw.items()},
+        )
+
+    def __str__(self) -> str:
+        rows = ", ".join(f"{s}={r:g}mW" for s, r in self.rates_mw.items())
+        return f"PowerStateTable({self.name}: {rows})"
+
+
+def cpu_power_table() -> PowerStateTable:
+    """Table III CPU rows as a :class:`PowerStateTable`."""
+    return PowerStateTable("PXA271-CPU", dict(PXA271_CPU_POWER_MW))
+
+
+def radio_power_table() -> PowerStateTable:
+    """Table III radio rows as a :class:`PowerStateTable`."""
+    return PowerStateTable("CC2420-Radio", dict(CC2420_RADIO_POWER_MW))
+
+
+def imote2_power_table() -> PowerStateTable:
+    """Table VII measured IMote2 powers as a :class:`PowerStateTable`."""
+    return PowerStateTable("IMote2-measured", dict(IMOTE2_MEASURED_POWER_MW))

@@ -1,0 +1,97 @@
+"""Plain-text rendering of energy results (paper-style tables and series).
+
+The benchmark harness prints rows with these helpers so that every
+regenerated table and figure is directly comparable to the paper's.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from .breakdown import BREAKDOWN_CATEGORIES, CATEGORY_LABELS, EnergyBreakdown
+
+__all__ = [
+    "format_table",
+    "format_state_percentages",
+    "format_energy_series",
+    "format_breakdown_sweep",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned plain-text table."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}g}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_state_percentages(
+    thresholds: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str,
+) -> str:
+    """Figs. 4–6 style: % of time per state across a threshold sweep.
+
+    ``series`` maps state name → list of fractions (0..1) aligned with
+    ``thresholds``.
+    """
+    headers = ["PDT (s)"] + [f"{name} %" for name in series]
+    rows = []
+    for i, t in enumerate(thresholds):
+        rows.append(
+            [t] + [100.0 * series[name][i] for name in series]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def format_energy_series(
+    thresholds: Sequence[float],
+    estimates: Mapping[str, Sequence[float]],
+    title: str,
+) -> str:
+    """Figs. 7–9 style: energy (J) per estimator across a threshold sweep."""
+    headers = ["PDT (s)"] + [f"{name} (J)" for name in estimates]
+    rows = []
+    for i, t in enumerate(thresholds):
+        rows.append([t] + [estimates[name][i] for name in estimates])
+    return format_table(headers, rows, title=title)
+
+
+def format_breakdown_sweep(
+    thresholds: Sequence[float],
+    breakdowns: Sequence[EnergyBreakdown],
+    title: str,
+) -> str:
+    """Figs. 14–15 style: stacked component energies per threshold."""
+    if len(thresholds) != len(breakdowns):
+        raise ValueError("thresholds and breakdowns must be equal length")
+    headers = ["PDT (s)"] + [
+        CATEGORY_LABELS[c].replace(" Energy", "") for c in BREAKDOWN_CATEGORIES
+    ] + ["Total (J)"]
+    rows = []
+    for t, b in zip(thresholds, breakdowns):
+        rows.append([t, *b.as_row(), b.total_j()])
+    return format_table(headers, rows, title=title, precision=5)

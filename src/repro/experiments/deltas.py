@@ -1,0 +1,71 @@
+"""Δ-energy statistics: the paper's Tables IV–VI metric set.
+
+Each table row compares two estimators' energy series across the
+``Power_Down_Threshold`` sweep with four aggregate statistics of the
+absolute pointwise differences: Average, Variance, Standard Deviation
+and RMSE.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeltaStats", "delta_stats", "delta_table"]
+
+
+@dataclass(frozen=True)
+class DeltaStats:
+    """Aggregate statistics of |a − b| across a sweep."""
+
+    avg: float
+    variance: float
+    std_dev: float
+    rmse: float
+    n: int
+
+    def as_row(self) -> tuple[float, float, float, float]:
+        """(Avg, Variance, StdDev, RMSE) in the tables' row order."""
+        return (self.avg, self.variance, self.std_dev, self.rmse)
+
+
+def delta_stats(a: Sequence[float], b: Sequence[float]) -> DeltaStats:
+    """Statistics of the absolute pointwise differences |a − b|.
+
+    Matches the paper's usage: "the average difference between the
+    Markov model energy estimates compared to the simulator".
+    Variance/StdDev are population statistics of the |Δ| series; RMSE
+    is over the signed differences (equal to the RMS of |Δ|).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ValueError(
+            f"need equal-length non-empty 1-D series, got {a.shape} vs {b.shape}"
+        )
+    diff = np.abs(a - b)
+    return DeltaStats(
+        avg=float(diff.mean()),
+        variance=float(diff.var()),
+        std_dev=float(diff.std()),
+        rmse=float(np.sqrt(np.mean((a - b) ** 2))),
+        n=int(a.size),
+    )
+
+
+def delta_table(
+    sim: Sequence[float],
+    markov: Sequence[float],
+    petri: Sequence[float],
+) -> dict[str, DeltaStats]:
+    """The three columns of Tables IV–VI.
+
+    Returns ``{"sim_markov": ..., "sim_petri": ..., "markov_petri": ...}``.
+    """
+    return {
+        "sim_markov": delta_stats(sim, markov),
+        "sim_petri": delta_stats(sim, petri),
+        "markov_petri": delta_stats(markov, petri),
+    }

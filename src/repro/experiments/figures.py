@@ -1,0 +1,153 @@
+"""Figs. 4–9 / Tables IV–VI driver: the three-way CPU comparison.
+
+For a fixed ``Power_Up_Delay`` D ∈ {0.001, 0.3, 10} s, sweep the
+``Power_Down_Threshold`` over [0.001, 1] s and, at every point, ask all
+three estimators for state-time fractions and total energy:
+
+* the discrete-event simulator (ground truth, solid line),
+* the Markov supplementary-variable model (squares),
+* the Petri net (circles).
+
+Workload (Table II): arrival rate 1 job/s, *mean service time 0.1 s*
+(the table prints "Service Rate .1 per second", which would be an
+unstable ρ = 10 queue; every figure's ≈10 % Active share confirms the
+mean-service-time reading — see DESIGN.md).  Energies use the PXA271
+powers of Table III over the 1000 s horizon.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..des.cpu import CPUPowerStateSimulator, CPUStates
+from ..energy.power import PowerStateTable, cpu_power_table
+from ..models.cpu_markov import CPUMarkovModel
+from ..models.cpu_petri import CPUPetriModel
+from .deltas import DeltaStats, delta_table
+from .sweep import FIG4_TO_9_THRESHOLDS
+
+__all__ = [
+    "CPUComparisonConfig",
+    "CPUComparisonResult",
+    "run_cpu_comparison",
+    "PAPER_POWER_UP_DELAYS",
+]
+
+#: The three scenarios of Figs. 4–9.
+PAPER_POWER_UP_DELAYS: tuple[float, ...] = (0.001, 0.3, 10.0)
+
+ESTIMATORS = ("simulation", "markov", "petri")
+
+
+@dataclass(frozen=True)
+class CPUComparisonConfig:
+    """Workload and run-length configuration (Table II defaults)."""
+
+    arrival_rate: float = 1.0
+    service_rate: float = 10.0  # mean service time 0.1 s
+    horizon: float = 1000.0
+    warmup: float = 0.0
+    seed: int = 2010
+    thresholds: tuple[float, ...] = FIG4_TO_9_THRESHOLDS
+
+    def __post_init__(self) -> None:
+        if self.horizon <= self.warmup:
+            raise ValueError("horizon must exceed warmup")
+
+
+@dataclass
+class CPUComparisonResult:
+    """All series for one ``Power_Up_Delay`` scenario.
+
+    ``fractions[estimator][state]`` and ``energy_j[estimator]`` are
+    lists aligned with ``thresholds``.
+    """
+
+    power_up_delay: float
+    thresholds: tuple[float, ...]
+    fractions: dict[str, dict[str, list[float]]]
+    energy_j: dict[str, list[float]]
+    config: CPUComparisonConfig = field(default_factory=CPUComparisonConfig)
+
+    def delta_energy(self) -> dict[str, DeltaStats]:
+        """The Tables IV–VI statistics for this scenario."""
+        return delta_table(
+            self.energy_j["simulation"],
+            self.energy_j["markov"],
+            self.energy_j["petri"],
+        )
+
+    def state_series(self, estimator: str, state: str) -> list[float]:
+        """One fraction curve (e.g. the Fig. 4 'Idle' line)."""
+        return self.fractions[estimator][state]
+
+    def mean_abs_fraction_error(self, estimator: str) -> float:
+        """Mean |fraction − simulation fraction| across states and points."""
+        total = 0.0
+        count = 0
+        for state in CPUStates.ALL:
+            sim = self.fractions["simulation"][state]
+            est = self.fractions[estimator][state]
+            for s, e in zip(sim, est):
+                total += abs(s - e)
+                count += 1
+        return total / count if count else 0.0
+
+
+def run_cpu_comparison(
+    power_up_delay: float,
+    config: CPUComparisonConfig | None = None,
+    power_table: PowerStateTable | None = None,
+) -> CPUComparisonResult:
+    """Run the full three-way sweep for one ``Power_Up_Delay``.
+
+    The DES and the Petri net share the seed per threshold point
+    (common random numbers), mirroring how the paper plots both against
+    the same workload realisations.
+    """
+    cfg = config if config is not None else CPUComparisonConfig()
+    table = power_table if power_table is not None else cpu_power_table()
+    duration = cfg.horizon - cfg.warmup
+
+    fractions: dict[str, dict[str, list[float]]] = {
+        est: {state: [] for state in CPUStates.ALL} for est in ESTIMATORS
+    }
+    energy: dict[str, list[float]] = {est: [] for est in ESTIMATORS}
+
+    for i, threshold in enumerate(cfg.thresholds):
+        point_seed = cfg.seed + i
+
+        des = CPUPowerStateSimulator(
+            cfg.arrival_rate,
+            cfg.service_rate,
+            threshold,
+            power_up_delay,
+            seed=point_seed,
+            warmup=cfg.warmup,
+        ).run(cfg.horizon)
+        markov = CPUMarkovModel(
+            cfg.arrival_rate, cfg.service_rate, threshold, power_up_delay
+        ).simulate(cfg.horizon, warmup=cfg.warmup)
+        petri = CPUPetriModel(
+            cfg.arrival_rate, cfg.service_rate, threshold, power_up_delay
+        ).simulate(cfg.horizon, seed=point_seed, warmup=cfg.warmup)
+
+        for est, result in (
+            ("simulation", des),
+            ("markov", markov),
+            ("petri", petri),
+        ):
+            for state in CPUStates.ALL:
+                fractions[est][state].append(result.fraction(state))
+            energy[est].append(
+                table.energy_from_probabilities_j(result.fractions, duration)
+            )
+
+    return CPUComparisonResult(
+        power_up_delay=power_up_delay,
+        thresholds=tuple(cfg.thresholds),
+        fractions=fractions,
+        energy_j=energy,
+        config=cfg,
+    )

@@ -1,0 +1,119 @@
+"""Figs. 14/15 driver: node-energy sweeps over ``Power_Down_Threshold``.
+
+For each grid point the full node model (closed or open workload) is
+simulated for 15 minutes and the eight-component energy breakdown is
+recorded; the driver then locates the optimum threshold and computes
+the paper's two savings ratios (vs power-down-immediately and vs
+never-power-down).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..energy.breakdown import EnergyBreakdown
+from ..models.wsn_node import NodeParameters, WSNNodeModel, WSNNodeResult
+from .sweep import FIG14_15_THRESHOLDS
+
+__all__ = [
+    "NodeSweepConfig",
+    "NodeSweepResult",
+    "run_node_energy_sweep",
+]
+
+#: The paper's evaluation horizon: "a time interval of 15 minutes".
+PAPER_NODE_HORIZON_S = 900.0
+
+
+@dataclass(frozen=True)
+class NodeSweepConfig:
+    """Sweep configuration (paper defaults)."""
+
+    workload: str = "closed"
+    horizon: float = PAPER_NODE_HORIZON_S
+    seed: int = 2010
+    thresholds: tuple[float, ...] = FIG14_15_THRESHOLDS
+    params: NodeParameters = NodeParameters()
+
+    def __post_init__(self) -> None:
+        if self.workload not in ("closed", "open"):
+            raise ValueError(
+                f"workload must be 'closed' or 'open', got {self.workload!r}"
+            )
+        if self.horizon <= 0:
+            raise ValueError("horizon must be > 0")
+
+
+@dataclass
+class NodeSweepResult:
+    """The full Fig. 14/15 data set for one workload kind."""
+
+    workload: str
+    thresholds: tuple[float, ...]
+    results: list[WSNNodeResult]
+
+    @property
+    def breakdowns(self) -> list[EnergyBreakdown]:
+        """Per-point component breakdowns (the stacked series)."""
+        return [r.breakdown for r in self.results]
+
+    @property
+    def total_energy_j(self) -> list[float]:
+        """Per-point total node energy."""
+        return [r.total_energy_j for r in self.results]
+
+    def optimum(self) -> tuple[float, float]:
+        """(threshold, energy) of the minimum-energy grid point."""
+        energies = self.total_energy_j
+        i = min(range(len(energies)), key=energies.__getitem__)
+        return self.thresholds[i], energies[i]
+
+    def immediate_powerdown_energy(self) -> float:
+        """Energy at the smallest threshold (power down immediately)."""
+        i = min(range(len(self.thresholds)), key=lambda j: self.thresholds[j])
+        return self.total_energy_j[i]
+
+    def never_powerdown_energy(self) -> float:
+        """Energy at the largest threshold (CPU effectively always on)."""
+        i = max(range(len(self.thresholds)), key=lambda j: self.thresholds[j])
+        return self.total_energy_j[i]
+
+    def savings_vs_immediate(self) -> float:
+        """Fractional saving of the optimum vs immediate power-down."""
+        base = self.immediate_powerdown_energy()
+        _, opt = self.optimum()
+        return (base - opt) / base if base > 0 else 0.0
+
+    def savings_vs_never(self) -> float:
+        """Fractional saving of the optimum vs never powering down."""
+        base = self.never_powerdown_energy()
+        _, opt = self.optimum()
+        return (base - opt) / base if base > 0 else 0.0
+
+    def series(self, category: str) -> list[float]:
+        """One stacked component series across the sweep."""
+        return [b.get(category) for b in self.breakdowns]
+
+
+def run_node_energy_sweep(
+    config: NodeSweepConfig | None = None,
+) -> NodeSweepResult:
+    """Simulate the node at every threshold grid point.
+
+    The same seed is used per point (common random numbers), so the
+    energy curve differences across thresholds reflect the threshold,
+    not workload noise.
+    """
+    cfg = config if config is not None else NodeSweepConfig()
+    results: list[WSNNodeResult] = []
+    for threshold in cfg.thresholds:
+        model = WSNNodeModel(
+            cfg.params.with_threshold(threshold), cfg.workload
+        )
+        results.append(model.simulate(cfg.horizon, seed=cfg.seed))
+    return NodeSweepResult(
+        workload=cfg.workload,
+        thresholds=tuple(cfg.thresholds),
+        results=results,
+    )

@@ -1,0 +1,107 @@
+"""Parameter sweeps and grids.
+
+The two threshold grids the paper uses:
+
+* Figs. 4–9 sweep ``Power_Down_Threshold`` linearly over [0.001, 1] s;
+* Figs. 14–15 use a hand-picked 23-point grid that clusters around the
+  interesting crossovers (1 ns … 100 s, dense near 0.00177 s) — we
+  reproduce that grid verbatim so the regenerated series has the same
+  x-axis as the figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "FIG4_TO_9_THRESHOLDS",
+    "FIG14_15_THRESHOLDS",
+    "SweepPoint",
+    "run_sweep",
+    "linear_thresholds",
+]
+
+#: Figs. 4–9 x-axis: 0.001 then 0.1..1.0 in 0.1 steps (11 points).
+FIG4_TO_9_THRESHOLDS: tuple[float, ...] = (
+    0.001,
+    0.1,
+    0.2,
+    0.3,
+    0.4,
+    0.5,
+    0.6,
+    0.7,
+    0.8,
+    0.9,
+    1.0,
+)
+
+#: Figs. 14–15 x-axis, copied from the figures' tick labels (23 points).
+FIG14_15_THRESHOLDS: tuple[float, ...] = (
+    1.00e-09,
+    9.00e-07,
+    1.00e-06,
+    1.10e-06,
+    1.90e-06,
+    9.00e-06,
+    0.0017,
+    0.00176,
+    0.00177,
+    0.00178,
+    0.0019,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    0.9,
+    1.0,
+    1.00177,
+    1.002,
+    1.1,
+    5.0,
+    10.0,
+)
+
+T = TypeVar("T")
+
+
+def linear_thresholds(
+    low: float = 0.001, high: float = 1.0, n: int = 11
+) -> tuple[float, ...]:
+    """Evenly spaced thresholds including both endpoints."""
+    if low <= 0 or high <= low or n < 2:
+        raise ValueError("need 0 < low < high and n >= 2")
+    return tuple(float(x) for x in np.linspace(low, high, n))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated sweep point."""
+
+    threshold: float
+    value: Any
+
+
+def run_sweep(
+    thresholds: Sequence[float],
+    evaluate: Callable[[float], T],
+) -> list[SweepPoint]:
+    """Evaluate ``evaluate(threshold)`` over the grid, preserving order.
+
+    Exceptions propagate with the offending threshold attached so a
+    single bad grid point is diagnosable.
+    """
+    out: list[SweepPoint] = []
+    for t in thresholds:
+        try:
+            out.append(SweepPoint(float(t), evaluate(float(t))))
+        except Exception as exc:
+            raise RuntimeError(
+                f"sweep evaluation failed at threshold {t!r}: {exc}"
+            ) from exc
+    return out

@@ -1,0 +1,101 @@
+"""Paper-style table rendering for the regenerated experiments.
+
+Keeps the benchmark output visually parallel to the paper so
+EXPERIMENTS.md can be filled by copy-paste.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..energy.report import format_table
+from .deltas import DeltaStats
+
+__all__ = [
+    "format_delta_table",
+    "format_validation_table",
+    "format_steady_state_table",
+    "format_optimum_summary",
+]
+
+_DELTA_COLUMNS = (
+    ("sim_markov", "Δ Sim-Markov"),
+    ("sim_petri", "Δ Sim-Petri net"),
+    ("markov_petri", "Δ Markov-Petri net"),
+)
+
+_DELTA_ROWS = (
+    ("avg", "Avg."),
+    ("variance", "Variance"),
+    ("std_dev", "STD DEV"),
+    ("rmse", "RMSE"),
+)
+
+
+def format_delta_table(
+    deltas: Mapping[str, DeltaStats],
+    power_up_delay: float,
+    table_number: str,
+) -> str:
+    """Render a Tables IV–VI style Δ-energy table."""
+    headers = ["Power Down"] + [label for _, label in _DELTA_COLUMNS]
+    rows = []
+    for attr, row_label in _DELTA_ROWS:
+        rows.append(
+            [row_label]
+            + [getattr(deltas[key], attr) for key, _ in _DELTA_COLUMNS]
+        )
+    title = (
+        f"Table {table_number}: Δ ENERGY (JOULES) ESTIMATES "
+        f"(Power_Up_Delay = {power_up_delay:g} s)"
+    )
+    return format_table(headers, rows, title=title)
+
+
+def format_validation_table(
+    rows: Sequence[tuple[str, float, float]]
+) -> str:
+    """Render the Table X side-by-side (ours vs paper)."""
+    return format_table(
+        ["Quantity", "Measured (ours)", "Paper"],
+        rows,
+        title="Table X: RESULTS OF ACTUAL SYSTEM AND PETRI NET",
+        precision=6,
+    )
+
+
+def format_steady_state_table(
+    probabilities: Mapping[str, float],
+    paper_values: Mapping[str, float] | None = None,
+) -> str:
+    """Render a Table IX style steady-state probability table."""
+    headers = ["State/Place", "Probability (%)"]
+    rows: list[list[object]] = []
+    if paper_values is not None:
+        headers.append("Paper (%)")
+        for state, p in probabilities.items():
+            rows.append([state, 100.0 * p, paper_values.get(state, float("nan"))])
+    else:
+        for state, p in probabilities.items():
+            rows.append([state, 100.0 * p])
+    return format_table(
+        headers,
+        rows,
+        title="Table IX: STEADY STATE PROBABILITIES FOR A SIMPLE SYSTEM",
+    )
+
+
+def format_optimum_summary(
+    workload: str,
+    optimum_threshold: float,
+    optimum_energy_j: float,
+    savings_vs_immediate: float,
+    savings_vs_never: float,
+) -> str:
+    """One-paragraph summary matching the paper's Section VII prose."""
+    return (
+        f"[{workload} workload] optimum Power_Down_Threshold = "
+        f"{optimum_threshold:g} s with {optimum_energy_j:.1f} J; "
+        f"{100 * savings_vs_immediate:.0f}% less than immediate power-down, "
+        f"{100 * savings_vs_never:.0f}% less than never powering down"
+    )

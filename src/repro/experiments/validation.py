@@ -1,0 +1,118 @@
+"""Section V validation experiment (Tables VIII–X).
+
+Protocol, mirroring the paper:
+
+1. "Measure" the node: run the IMote2 hardware simulator
+   (:class:`repro.des.imote2.IMote2HardwareSimulator`) for 100 random
+   events, recording execution time, mean power and energy — the
+   Table X "actual" column.
+2. Predict with the model: simulate the Fig. 10 Petri net to steady
+   state, evaluate Eq. (8) mean power, and multiply by the *measured*
+   execution time (the paper computes Petri-net energy over the same
+   266.5 s window the hardware ran).
+3. Compare: the percent difference is the headline ≈3 % of Table X.
+
+The paper's printed run ("100 events took 266.5 seconds") is shorter
+than 100 × the model's own ≈5.04 s mean cycle; the discrepancy is in
+the paper's numbers, not ours — the validation metric (percent
+difference of mean powers) is independent of run length, so we report
+our duration alongside the paper's.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..des.imote2 import IMote2HardwareSimulator, IMote2RunResult
+from ..models.simple_node import SimpleNodeModel, SimpleNodeResult
+
+__all__ = ["ValidationConfig", "ValidationResult", "run_simple_node_validation"]
+
+#: Paper values for side-by-side reporting (Table X).
+PAPER_TABLE_X = {
+    "execution_time_s": 266.5,
+    "mean_power_mw": 1.261,
+    "imote2_energy_j": 0.336137,
+    "petri_energy_j": 0.326519,
+    "percent_difference": 2.95,
+}
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Run configuration for the Section V experiment."""
+
+    n_events: int = 100
+    petri_horizon: float = 20_000.0
+    petri_warmup: float = 100.0
+    seed: int = 2010
+
+
+@dataclass
+class ValidationResult:
+    """Our regenerated Table X."""
+
+    hardware: IMote2RunResult
+    petri: SimpleNodeResult
+    petri_energy_j: float
+
+    @property
+    def hardware_energy_j(self) -> float:
+        """Measured ("actual") energy over the hardware run."""
+        return self.hardware.energy_j
+
+    @property
+    def percent_difference(self) -> float:
+        """|actual − predicted| / actual × 100 — the Table X headline."""
+        actual = self.hardware_energy_j
+        if actual == 0:
+            return 0.0
+        return abs(actual - self.petri_energy_j) / actual * 100.0
+
+    def table_rows(self) -> list[tuple[str, float, float]]:
+        """(label, ours, paper) rows for side-by-side reporting."""
+        return [
+            (
+                "Execution time (s)",
+                self.hardware.duration_s,
+                PAPER_TABLE_X["execution_time_s"],
+            ),
+            (
+                "Average power (mW)",
+                self.hardware.mean_power_mw,
+                PAPER_TABLE_X["mean_power_mw"],
+            ),
+            (
+                "IMote2 energy (J)",
+                self.hardware_energy_j,
+                PAPER_TABLE_X["imote2_energy_j"],
+            ),
+            (
+                "Petri net energy (J)",
+                self.petri_energy_j,
+                PAPER_TABLE_X["petri_energy_j"],
+            ),
+            (
+                "Percent difference",
+                self.percent_difference,
+                PAPER_TABLE_X["percent_difference"],
+            ),
+        ]
+
+
+def run_simple_node_validation(
+    config: ValidationConfig | None = None,
+) -> ValidationResult:
+    """Execute the full Section V protocol."""
+    cfg = config if config is not None else ValidationConfig()
+    hardware = IMote2HardwareSimulator(seed=cfg.seed).run_events(cfg.n_events)
+    model = SimpleNodeModel()
+    petri = model.simulate(
+        cfg.petri_horizon, seed=cfg.seed, warmup=cfg.petri_warmup
+    )
+    # The paper evaluates the Petri-net energy over the *measured*
+    # execution window (0.326519 J = model mean power x 266.5 s).
+    petri_energy_j = petri.energy_over(hardware.duration_s)
+    return ValidationResult(
+        hardware=hardware, petri=petri, petri_energy_j=petri_energy_j
+    )

@@ -1,0 +1,95 @@
+"""Birth–death chains.
+
+The paper's Fig. 2 is a birth–death process over CPU job counts with
+extra deterministic excursions (idle→standby→power-up).  The pure
+birth–death core (no deterministic transitions) is analytically
+solvable and anchors our cross-validation tests: the Petri-net engine,
+the DES and these formulas must all agree on M/M/1-type workloads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .ctmc import CTMC
+
+__all__ = ["BirthDeathChain", "mm1_steady_state"]
+
+
+class BirthDeathChain:
+    """A finite birth–death chain on states 0..K.
+
+    Parameters
+    ----------
+    birth_rates:
+        ``birth_rates[i]`` = rate i → i+1, length K.
+    death_rates:
+        ``death_rates[i]`` = rate i+1 → i, length K.
+    """
+
+    def __init__(
+        self, birth_rates: Sequence[float], death_rates: Sequence[float]
+    ) -> None:
+        if len(birth_rates) != len(death_rates):
+            raise ValueError(
+                "birth_rates and death_rates must have equal length"
+            )
+        if any(b < 0 for b in birth_rates) or any(d <= 0 for d in death_rates):
+            raise ValueError("need birth rates >= 0 and death rates > 0")
+        self.birth = np.asarray(birth_rates, dtype=float)
+        self.death = np.asarray(death_rates, dtype=float)
+        self.K = len(birth_rates)
+
+    def steady_state(self) -> np.ndarray:
+        """Stationary distribution via the product-form detailed balance."""
+        n = self.K + 1
+        log_pi = np.zeros(n)
+        for i in range(self.K):
+            if self.birth[i] == 0:
+                log_pi[i + 1 :] = -np.inf
+                break
+            log_pi[i + 1] = log_pi[i] + np.log(self.birth[i]) - np.log(self.death[i])
+        log_pi -= log_pi[np.isfinite(log_pi)].max()
+        pi = np.where(np.isfinite(log_pi), np.exp(log_pi), 0.0)
+        return pi / pi.sum()
+
+    def to_ctmc(self) -> CTMC:
+        """The equivalent dense CTMC (for cross-checks)."""
+        n = self.K + 1
+        Q = np.zeros((n, n))
+        for i in range(self.K):
+            Q[i, i + 1] = self.birth[i]
+            Q[i + 1, i] = self.death[i]
+        np.fill_diagonal(Q, 0.0)
+        np.fill_diagonal(Q, -Q.sum(axis=1))
+        return CTMC(Q, labels=list(range(n)))
+
+    def mean_population(self) -> float:
+        """E[state] under the stationary distribution."""
+        pi = self.steady_state()
+        return float(np.dot(np.arange(self.K + 1), pi))
+
+    @classmethod
+    def mm1k(cls, lam: float, mu: float, K: int) -> "BirthDeathChain":
+        """The M/M/1/K queue as a birth–death chain."""
+        if lam <= 0 or mu <= 0 or K < 1:
+            raise ValueError("need lam > 0, mu > 0, K >= 1")
+        return cls([lam] * K, [mu] * K)
+
+
+def mm1_steady_state(lam: float, mu: float, n_max: int) -> np.ndarray:
+    """Truncated M/M/1 stationary distribution π_n = (1-ρ)ρⁿ.
+
+    Requires ρ = λ/μ < 1; returned vector covers n = 0..n_max and is
+    renormalised over the truncation.
+    """
+    if lam <= 0 or mu <= 0:
+        raise ValueError("need lam > 0 and mu > 0")
+    rho = lam / mu
+    if rho >= 1:
+        raise ValueError(f"unstable queue: rho = {rho} >= 1")
+    n = np.arange(n_max + 1)
+    pi = (1 - rho) * rho**n
+    return pi / pi.sum()

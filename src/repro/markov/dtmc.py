@@ -1,0 +1,126 @@
+"""Discrete-time Markov chains.
+
+Companion to :mod:`repro.markov.ctmc`; used for embedded jump chains
+and for the DTMC view of slotted sensor protocols in the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DTMC"]
+
+
+class DTMC:
+    """A finite discrete-time Markov chain.
+
+    Parameters
+    ----------
+    P:
+        Row-stochastic transition matrix.
+    labels:
+        Optional state labels, index-aligned.
+    """
+
+    def __init__(
+        self, P: np.ndarray, labels: list | None = None, atol: float = 1e-9
+    ) -> None:
+        P = np.asarray(P, dtype=float)
+        if P.ndim != 2 or P.shape[0] != P.shape[1]:
+            raise ValueError(f"P must be square, got shape {P.shape}")
+        if np.any(P < -atol):
+            raise ValueError("transition probabilities must be >= 0")
+        if np.any(np.abs(P.sum(axis=1) - 1.0) > atol):
+            raise ValueError("transition matrix rows must sum to 1")
+        self.P = P
+        self.n = P.shape[0]
+        self.labels = list(labels) if labels is not None else list(range(self.n))
+        if len(self.labels) != self.n:
+            raise ValueError("labels length mismatch")
+        self._index = {lab: i for i, lab in enumerate(self.labels)}
+
+    def index_of(self, label) -> int:
+        """State index of ``label``."""
+        return self._index[label]
+
+    # ------------------------------------------------------------------
+    # Stationary behaviour
+    # ------------------------------------------------------------------
+    def stationary(self) -> np.ndarray:
+        """Stationary distribution π = πP (linear solve, eig fallback)."""
+        A = (self.P.T - np.eye(self.n)).copy()
+        A[-1, :] = 1.0
+        b = np.zeros(self.n)
+        b[-1] = 1.0
+        try:
+            pi = np.linalg.solve(A, b)
+        except np.linalg.LinAlgError:
+            w, v = np.linalg.eig(self.P.T)
+            i = int(np.argmin(np.abs(w - 1.0)))
+            pi = np.real(v[:, i])
+        pi = np.clip(pi, 0.0, None)
+        s = pi.sum()
+        if s <= 0:
+            raise ValueError("could not normalise stationary distribution")
+        return pi / s
+
+    def step(self, p: np.ndarray, k: int = 1) -> np.ndarray:
+        """Distribution after ``k`` steps from ``p``."""
+        p = np.asarray(p, dtype=float)
+        out = p.copy()
+        for _ in range(k):
+            out = out @ self.P
+        return out
+
+    # ------------------------------------------------------------------
+    # Absorption analysis
+    # ------------------------------------------------------------------
+    def absorbing_states(self, atol: float = 1e-12) -> list[int]:
+        """Indices with P[i, i] = 1."""
+        return [
+            i for i in range(self.n) if abs(self.P[i, i] - 1.0) <= atol
+        ]
+
+    def absorption_times(self) -> np.ndarray:
+        """Expected steps to absorption from each transient state.
+
+        Returns the fundamental-matrix solution ``t = (I - T)^-1 1``
+        aligned with the full state vector (absorbing entries are 0).
+        Raises ``ValueError`` if the chain has no absorbing states.
+        """
+        absorbing = set(self.absorbing_states())
+        if not absorbing:
+            raise ValueError("chain has no absorbing states")
+        transient = [i for i in range(self.n) if i not in absorbing]
+        if not transient:
+            return np.zeros(self.n)
+        T = self.P[np.ix_(transient, transient)]
+        t = np.linalg.solve(np.eye(len(transient)) - T, np.ones(len(transient)))
+        out = np.zeros(self.n)
+        for pos, i in enumerate(transient):
+            out[i] = t[pos]
+        return out
+
+    def absorption_probabilities(self) -> np.ndarray:
+        """B[i, j] = P(absorbed in absorbing state j | start transient i).
+
+        Returned over the full index grid: rows = all states (absorbing
+        rows are unit vectors onto themselves), columns = absorbing
+        states in index order.
+        """
+        absorbing = self.absorbing_states()
+        if not absorbing:
+            raise ValueError("chain has no absorbing states")
+        transient = [i for i in range(self.n) if i not in set(absorbing)]
+        R = self.P[np.ix_(transient, absorbing)]
+        T = self.P[np.ix_(transient, transient)]
+        B_t = np.linalg.solve(np.eye(len(transient)) - T, R)
+        B = np.zeros((self.n, len(absorbing)))
+        for pos, i in enumerate(transient):
+            B[i, :] = B_t[pos, :]
+        for col, j in enumerate(absorbing):
+            B[j, col] = 1.0
+        return B
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DTMC(n={self.n})"

@@ -1,0 +1,97 @@
+"""Reference queueing formulas.
+
+Closed-form results used as oracles in the cross-validation tests: the
+Petri-net engine and the DES must reproduce them on matched workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "MM1Metrics",
+    "mm1_metrics",
+    "mg1_mean_queue_length",
+    "md1_mean_queue_length",
+    "erlang_b",
+    "erlang_c",
+]
+
+
+@dataclass(frozen=True)
+class MM1Metrics:
+    """Steady-state metrics of the M/M/1 queue."""
+
+    rho: float
+    utilization: float
+    mean_number_in_system: float
+    mean_number_in_queue: float
+    mean_time_in_system: float
+    mean_waiting_time: float
+    p_empty: float
+
+
+def mm1_metrics(lam: float, mu: float) -> MM1Metrics:
+    """All standard M/M/1 steady-state metrics (requires ρ < 1)."""
+    if lam <= 0 or mu <= 0:
+        raise ValueError("need lam > 0 and mu > 0")
+    rho = lam / mu
+    if rho >= 1:
+        raise ValueError(f"unstable queue: rho = {rho} >= 1")
+    L = rho / (1 - rho)
+    Lq = rho * rho / (1 - rho)
+    return MM1Metrics(
+        rho=rho,
+        utilization=rho,
+        mean_number_in_system=L,
+        mean_number_in_queue=Lq,
+        mean_time_in_system=L / lam,
+        mean_waiting_time=Lq / lam,
+        p_empty=1 - rho,
+    )
+
+
+def mg1_mean_queue_length(lam: float, mean_s: float, var_s: float) -> float:
+    """Pollaczek–Khinchine mean number in system for M/G/1.
+
+    ``mean_s``/``var_s`` are the service-time mean and variance.
+    """
+    if lam <= 0 or mean_s <= 0 or var_s < 0:
+        raise ValueError("need lam > 0, mean_s > 0, var_s >= 0")
+    rho = lam * mean_s
+    if rho >= 1:
+        raise ValueError(f"unstable queue: rho = {rho} >= 1")
+    cs2 = var_s / (mean_s * mean_s)
+    lq = rho * rho * (1 + cs2) / (2 * (1 - rho))
+    return rho + lq
+
+
+def md1_mean_queue_length(lam: float, d: float) -> float:
+    """M/D/1 mean number in system (P-K with zero service variance)."""
+    return mg1_mean_queue_length(lam, d, 0.0)
+
+
+def erlang_b(offered_load: float, servers: int) -> float:
+    """Erlang-B blocking probability for M/M/c/c.
+
+    Computed with the numerically stable recurrence
+    ``B(0) = 1; B(k) = a·B(k-1) / (k + a·B(k-1))``.
+    """
+    if offered_load < 0 or servers < 0:
+        raise ValueError("need offered_load >= 0 and servers >= 0")
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    return b
+
+
+def erlang_c(offered_load: float, servers: int) -> float:
+    """Erlang-C waiting probability for M/M/c (requires a < c)."""
+    if servers <= 0:
+        raise ValueError("need servers >= 1")
+    a = offered_load
+    if a >= servers:
+        raise ValueError(f"unstable system: load {a} >= servers {servers}")
+    b = erlang_b(a, servers)
+    return servers * b / (servers - a * (1 - b))

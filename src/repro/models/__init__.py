@@ -1,0 +1,73 @@
+"""``repro.models`` — the paper's four models on top of the substrates.
+
+* :mod:`repro.models.cpu_petri` — Fig. 3 EDSPN CPU model (Table I);
+* :mod:`repro.models.cpu_markov` — the closed-form Markov CPU estimator
+  with the shared comparison interface;
+* :mod:`repro.models.simple_node` — Fig. 10 simple IMote2 duty cycle
+  (Tables VII–IX validation);
+* :mod:`repro.models.wsn_node` — Figs. 12/13 full node SCPN with CPU +
+  radio + DVS and closed/open workload generators (Tables III, XI, XII);
+* :mod:`repro.models.dvs` / :mod:`repro.models.workload` — shared
+  building blocks.
+"""
+
+from .cpu_markov import CPUMarkovModel
+from .cpu_petri import CPUPetriModel, build_cpu_petri_net
+from .dvs import (
+    DEFAULT_DVS_CLASSES,
+    DVS_CLASS_1,
+    DVS_CLASS_2,
+    DVS_CLASS_3,
+    DVS_MODE_SWITCH_DELAY_S,
+    DVSClass,
+)
+from .network import (
+    LineTopology,
+    NetworkResult,
+    NetworkTopology,
+    NodeSummary,
+    SensorNetworkModel,
+    StarTopology,
+)
+from .simple_node import SimpleNodeModel, SimpleNodeParameters, SimpleNodeResult
+from .workload import (
+    ClosedWorkload,
+    OpenWorkload,
+    TraceWorkload,
+    WorkloadGenerator,
+)
+from .wsn_node import (
+    NodeParameters,
+    WSNNodeModel,
+    WSNNodeResult,
+    build_wsn_node_net,
+)
+
+__all__ = [
+    "CPUPetriModel",
+    "build_cpu_petri_net",
+    "CPUMarkovModel",
+    "SimpleNodeModel",
+    "SimpleNodeParameters",
+    "SimpleNodeResult",
+    "WSNNodeModel",
+    "WSNNodeResult",
+    "NodeParameters",
+    "build_wsn_node_net",
+    "DVSClass",
+    "DVS_CLASS_1",
+    "DVS_CLASS_2",
+    "DVS_CLASS_3",
+    "DEFAULT_DVS_CLASSES",
+    "DVS_MODE_SWITCH_DELAY_S",
+    "WorkloadGenerator",
+    "OpenWorkload",
+    "ClosedWorkload",
+    "TraceWorkload",
+    "SensorNetworkModel",
+    "NetworkTopology",
+    "LineTopology",
+    "StarTopology",
+    "NetworkResult",
+    "NodeSummary",
+]

@@ -1,0 +1,177 @@
+"""The Fig. 3 CPU Petri-net model (EDSPN, Table I parameters).
+
+An open workload generator feeds jobs into ``CPU_Buffer``; the CPU
+cycles through four power states held by explicit places:
+
+* ``Stand_By`` (initial) — low-power sleep.
+* ``Power_Up`` — deterministic wake-up (``Power_Up_Delay``).
+* ``Idle`` — on, buffer empty.
+* ``Active`` — serving a job (exponential ``Service_Rate``).
+
+Transitions (paper's Table I):
+
+==============  ============== ======== ==========================
+name            distribution    priority semantics
+==============  ============== ======== ==========================
+Arrival_Rate    Exponential(λ)  —       open workload generator
+T1              immediate       4        Stand_By → Power_Up on job
+Power_Up_Delay  Deterministic   —       Power_Up → Idle after D
+T2              immediate       1        Idle → Active on job
+Service_Rate    Exponential(μ)  —       Active (+job) → Idle
+PDT             Deterministic   —       Idle → Stand_By after T idle
+==============  ============== ======== ==========================
+
+The ``Power_Down_Threshold`` transition runs under *enabling memory*
+with global guard ``#CPU_Buffer == 0``: a job arriving while idle
+disables the guard and cancels the timer, exactly the reset-on-arrival
+behaviour the Markov model needs supplementary variables to express.
+
+Steady-state probabilities are the occupancies of the four state
+places; a zero-duration ``Idle`` visit between back-to-back services
+costs no time, so ``Active``/``Idle`` splits are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.structural import check_model_invariants
+from ..core.distributions import Deterministic, Exponential
+from ..core.guards import tokens_eq, tokens_gt
+from ..core.net import PetriNet
+from ..core.simulator import Simulation, SimulationResult
+from ..des.cpu import CPUSimResult, CPUStates
+
+__all__ = ["CPUPetriModel", "build_cpu_petri_net"]
+
+#: Place names of the four power states, in the paper's order.
+STATE_PLACES = {
+    CPUStates.STANDBY: "Stand_By",
+    CPUStates.POWERUP: "Power_Up",
+    CPUStates.IDLE: "Idle",
+    CPUStates.ACTIVE: "Active",
+}
+
+
+def build_cpu_petri_net(
+    arrival_rate: float,
+    service_rate: float,
+    power_down_threshold: float,
+    power_up_delay: float,
+) -> PetriNet:
+    """Construct the Fig. 3 net with the given timing parameters."""
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("arrival_rate and service_rate must be > 0")
+    if power_down_threshold < 0 or power_up_delay < 0:
+        raise ValueError("threshold and delay must be >= 0")
+    net = PetriNet("fig3-cpu")
+    net.add_place("P0", initial_tokens=1, description="workload self-loop")
+    net.add_place("CPU_Buffer", description="pending jobs")
+    net.add_place("Stand_By", initial_tokens=1, description="CPU sleeping")
+    net.add_place("Power_Up", description="CPU waking up")
+    net.add_place("Idle", description="CPU on, no jobs")
+    net.add_place("Active", description="CPU serving")
+
+    net.add_transition(
+        "Arrival_Rate",
+        Exponential(arrival_rate),
+        inputs=["P0"],
+        outputs=["P0", "CPU_Buffer"],
+        description="open workload generator",
+    )
+    net.add_transition(
+        "T1",
+        inputs=["Stand_By"],
+        outputs=["Power_Up"],
+        guard=tokens_gt("CPU_Buffer", 0),
+        priority=4,
+        description="wake on job arrival",
+    )
+    net.add_transition(
+        "Power_Up_Delay",
+        Deterministic(power_up_delay),
+        inputs=["Power_Up"],
+        outputs=["Idle"],
+        description="deterministic wake-up",
+    )
+    net.add_transition(
+        "T2",
+        inputs=["Idle"],
+        outputs=["Active"],
+        guard=tokens_gt("CPU_Buffer", 0),
+        priority=1,
+        description="start service when on and jobs pending",
+    )
+    net.add_transition(
+        "Service_Rate",
+        Exponential(service_rate),
+        inputs=["Active", "CPU_Buffer"],
+        outputs=["Idle"],
+        description="exponential service of one job",
+    )
+    net.add_transition(
+        "Power_Down_Threshold",
+        Deterministic(power_down_threshold),
+        inputs=["Idle"],
+        outputs=["Stand_By"],
+        guard=tokens_eq("CPU_Buffer", 0),
+        description="sleep after T of uninterrupted idleness",
+    )
+    # The CPU state token is conserved across the four state places.
+    check_model_invariants(
+        net,
+        [("cpu-state-token", ["Stand_By", "Power_Up", "Idle", "Active"])],
+    )
+    return net
+
+
+@dataclass
+class CPUPetriModel:
+    """Parameterised Fig. 3 model with a simulate-and-summarise API.
+
+    Parameters mirror :class:`~repro.des.cpu.CPUPowerStateSimulator` so
+    the comparison harness can treat the three estimators uniformly.
+    """
+
+    arrival_rate: float
+    service_rate: float
+    power_down_threshold: float
+    power_up_delay: float
+
+    def build(self) -> PetriNet:
+        """A fresh net with this parameterisation."""
+        return build_cpu_petri_net(
+            self.arrival_rate,
+            self.service_rate,
+            self.power_down_threshold,
+            self.power_up_delay,
+        )
+
+    def simulate(
+        self,
+        horizon: float,
+        seed: int | None = None,
+        warmup: float = 0.0,
+    ) -> CPUSimResult:
+        """Run the net and summarise state-time fractions.
+
+        Returns the same :class:`~repro.des.cpu.CPUSimResult` shape the
+        DES produces, so downstream energy code is estimator-agnostic.
+        """
+        net = self.build()
+        sim = Simulation(net, seed=seed, warmup=warmup)
+        result: SimulationResult = sim.run(horizon)
+        fractions = {
+            state: result.occupancy(place)
+            for state, place in STATE_PLACES.items()
+        }
+        duration = result.end_time - warmup
+        dwell = {s: f * duration for s, f in fractions.items()}
+        return CPUSimResult(
+            fractions=fractions,
+            dwell=dwell,
+            duration=duration,
+            jobs_arrived=result.stats.firing_count("Arrival_Rate"),
+            jobs_served=result.stats.firing_count("Service_Rate"),
+            wakeups=result.stats.firing_count("T1"),
+        )

@@ -1,0 +1,86 @@
+"""Dynamic Voltage Scaling task classes (Table XI's ``DVS_1/2/3``).
+
+The paper's node models carry a DVS class as token colour; the class
+selects which of the three ``DVS_k`` transitions executes the job
+("tokens of different values result in different execution speeds
+simulating the change in the operating parameters").  Class delays are
+Table XI's:
+
+=====  ==========  =============================
+class  delay (s)   role in the node duty cycle
+=====  ==========  =============================
+1      0.03        post-transmit housekeeping
+2      0.01        received-packet error check
+3      0.081578    main event computation
+=====  ==========  =============================
+
+Every job additionally pays the ``DVS_Delay`` mode-switch overhead
+(0.05 s) before execution — the paper's "practical variable voltage
+system where the processor stops executing while changing operating
+parameters".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DVSClass",
+    "DVS_CLASS_1",
+    "DVS_CLASS_2",
+    "DVS_CLASS_3",
+    "DEFAULT_DVS_CLASSES",
+    "DVS_MODE_SWITCH_DELAY_S",
+]
+
+#: Table XI ``DVS_Delay``: mode-switch overhead paid before every job (s).
+DVS_MODE_SWITCH_DELAY_S: float = 0.05
+
+
+@dataclass(frozen=True)
+class DVSClass:
+    """One DVS execution class.
+
+    Attributes
+    ----------
+    class_id:
+        The token colour value (the paper uses 1.0/2.0/3.0; we use the
+        integer ids 1/2/3).
+    execute_delay_s:
+        Deterministic execution time at this voltage/frequency setting.
+    description:
+        Role of the class in the node duty cycle.
+    """
+
+    class_id: int
+    execute_delay_s: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.execute_delay_s < 0:
+            raise ValueError(
+                f"execute_delay_s must be >= 0, got {self.execute_delay_s}"
+            )
+
+    @property
+    def transition_name(self) -> str:
+        """Name of the ``DVS_k`` transition executing this class."""
+        return f"DVS_{self.class_id}"
+
+    def total_service_time(
+        self, mode_switch_delay: float = DVS_MODE_SWITCH_DELAY_S
+    ) -> float:
+        """Mode switch + execution (the job's full CPU occupancy)."""
+        return mode_switch_delay + self.execute_delay_s
+
+
+DVS_CLASS_1 = DVSClass(1, 0.03, "post-transmit housekeeping")
+DVS_CLASS_2 = DVSClass(2, 0.01, "received-packet error check")
+DVS_CLASS_3 = DVSClass(3, 0.081578, "main event computation")
+
+#: The Table XI classes keyed by id.
+DEFAULT_DVS_CLASSES: dict[int, DVSClass] = {
+    1: DVS_CLASS_1,
+    2: DVS_CLASS_2,
+    3: DVS_CLASS_3,
+}

@@ -1,0 +1,153 @@
+"""Unit tests for SPN → CTMC conversion with vanishing elimination."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import spn_to_ctmc
+from repro.core import (
+    Deterministic,
+    Exponential,
+    NotExponentialError,
+    PetriNet,
+    UnboundedNetError,
+    tokens_gt,
+)
+from repro.markov import CTMC, BirthDeathChain
+
+
+def mm1k_net(lam=1.0, mu=2.0, K=5):
+    net = PetriNet("mm1k")
+    net.add_place("src", initial_tokens=1)
+    net.add_place("q")
+    net.add_place("slots", initial_tokens=K)
+    net.add_transition("arrive", Exponential(lam), inputs=["src", "slots"], outputs=["src", "q"])
+    net.add_transition("serve", Exponential(mu), inputs=["q"], outputs=["slots"])
+    return net
+
+
+class TestConversion:
+    def test_mm1k_states(self):
+        ctmc = spn_to_ctmc(mm1k_net(K=5))
+        assert ctmc.n_states == 6  # 0..5 jobs
+
+    def test_generator_rows_sum_to_zero(self):
+        ctmc = spn_to_ctmc(mm1k_net())
+        assert np.allclose(ctmc.Q.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_steady_state_matches_birth_death(self):
+        lam, mu, K = 1.0, 2.0, 8
+        ctmc = spn_to_ctmc(mm1k_net(lam, mu, K))
+        pi = CTMC(ctmc.Q).steady_state()
+        expected = BirthDeathChain.mm1k(lam, mu, K).mean_population()
+        assert ctmc.expected_tokens(pi, "q") == pytest.approx(expected, rel=1e-9)
+
+    def test_place_marginal(self):
+        lam, mu, K = 1.0, 2.0, 8
+        ctmc = spn_to_ctmc(mm1k_net(lam, mu, K))
+        pi = CTMC(ctmc.Q).steady_state()
+        bd = BirthDeathChain.mm1k(lam, mu, K).steady_state()
+        assert ctmc.place_marginal(pi, "q") == pytest.approx(1 - bd[0], rel=1e-9)
+
+    def test_deterministic_transition_rejected(self):
+        net = mm1k_net()
+        net.add_place("x", initial_tokens=1)
+        net.add_place("y")
+        net.add_transition("det", Deterministic(1.0), inputs=["x"], outputs=["y"])
+        with pytest.raises(NotExponentialError):
+            spn_to_ctmc(net)
+
+    def test_unbounded_rejected(self):
+        net = PetriNet()
+        net.add_place("src", initial_tokens=1)
+        net.add_place("q")
+        net.add_transition("gen", Exponential(1.0), inputs=["src"], outputs=["src", "q"])
+        with pytest.raises(UnboundedNetError):
+            spn_to_ctmc(net, max_states=20)
+
+
+class TestVanishingElimination:
+    def test_immediate_chain_collapsed(self):
+        # src -> (exp) -> V -> (imm) -> T: V never appears as a CTMC state.
+        net = PetriNet()
+        net.add_place("A", initial_tokens=1)
+        net.add_place("V")
+        net.add_place("B")
+        net.add_transition("slow", Exponential(1.0), inputs=["A"], outputs=["V"])
+        net.add_transition("imm", inputs=["V"], outputs=["B"])
+        net.add_transition("back", Exponential(2.0), inputs=["B"], outputs=["A"])
+        ctmc = spn_to_ctmc(net)
+        assert ctmc.n_states == 2
+        for counts in ctmc.counts:
+            assert counts["V"] == 0
+
+    def test_weighted_immediate_split(self):
+        # After the exponential, an immediate conflict splits 3:1.
+        net = PetriNet()
+        net.add_place("A", initial_tokens=1)
+        net.add_place("V")
+        net.add_place("X")
+        net.add_place("Y")
+        net.add_transition("go", Exponential(1.0), inputs=["A"], outputs=["V"])
+        net.add_transition("to_x", inputs=["V"], outputs=["X"], weight=3.0)
+        net.add_transition("to_y", inputs=["V"], outputs=["Y"], weight=1.0)
+        net.add_transition("back_x", Exponential(1.0), inputs=["X"], outputs=["A"])
+        net.add_transition("back_y", Exponential(1.0), inputs=["Y"], outputs=["A"])
+        ctmc = spn_to_ctmc(net)
+        pi = CTMC(ctmc.Q).steady_state()
+        px = ctmc.place_marginal(pi, "X")
+        py = ctmc.place_marginal(pi, "Y")
+        assert px / py == pytest.approx(3.0, rel=1e-9)
+
+    def test_priority_respected_in_vanishing(self):
+        net = PetriNet()
+        net.add_place("A", initial_tokens=1)
+        net.add_place("V")
+        net.add_place("HI")
+        net.add_place("LO")
+        net.add_transition("go", Exponential(1.0), inputs=["A"], outputs=["V"])
+        net.add_transition("hi", inputs=["V"], outputs=["HI"], priority=5)
+        net.add_transition("lo", inputs=["V"], outputs=["LO"], priority=1)
+        net.add_transition("back", Exponential(1.0), inputs=["HI"], outputs=["A"])
+        ctmc = spn_to_ctmc(net)
+        # LO is never reached.
+        assert all(c["LO"] == 0 for c in ctmc.counts)
+
+    def test_vanishing_initial_marking(self):
+        net = PetriNet()
+        net.add_place("V", initial_tokens=1)
+        net.add_place("A")
+        net.add_place("B")
+        net.add_transition("imm", inputs=["V"], outputs=["A"])
+        net.add_transition("flow", Exponential(1.0), inputs=["A"], outputs=["B"])
+        net.add_transition("back", Exponential(1.0), inputs=["B"], outputs=["A"])
+        ctmc = spn_to_ctmc(net)
+        # initial distribution concentrated on the tangible resolution
+        i = int(np.argmax(ctmc.initial_distribution))
+        assert ctmc.counts[i]["A"] == 1
+        assert ctmc.initial_distribution.sum() == pytest.approx(1.0)
+
+
+class TestRateSemantics:
+    def test_multi_server_rate_scaling(self):
+        # Two tokens, infinite-server exponential: exit rate doubles.
+        from repro.core.transitions import INFINITE_SERVERS
+        net = PetriNet()
+        net.add_place("q", initial_tokens=2)
+        net.add_place("done")
+        net.add_transition(
+            "serve", Exponential(1.0), inputs=["q"], outputs=["done"],
+            servers=INFINITE_SERVERS,
+        )
+        ctmc = spn_to_ctmc(net)
+        # state with 2 tokens must have total exit rate 2.0
+        idx2 = next(i for i, c in enumerate(ctmc.counts) if c["q"] == 2)
+        assert -ctmc.Q[idx2, idx2] == pytest.approx(2.0)
+
+    def test_single_server_rate_flat(self):
+        net = PetriNet()
+        net.add_place("q", initial_tokens=2)
+        net.add_place("done")
+        net.add_transition("serve", Exponential(1.0), inputs=["q"], outputs=["done"])
+        ctmc = spn_to_ctmc(net)
+        idx2 = next(i for i, c in enumerate(ctmc.counts) if c["q"] == 2)
+        assert -ctmc.Q[idx2, idx2] == pytest.approx(1.0)

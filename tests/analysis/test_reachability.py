@@ -1,0 +1,101 @@
+"""Unit tests for reachability-graph construction."""
+
+import pytest
+
+from repro.analysis import build_reachability_graph
+from repro.core import (
+    Deterministic,
+    Exponential,
+    PetriNet,
+    UnboundedNetError,
+    tokens_gt,
+)
+
+
+def ring_net(tokens=1):
+    net = PetriNet("ring")
+    for i in range(3):
+        net.add_place(f"P{i}", initial_tokens=tokens if i == 0 else 0)
+    for i in range(3):
+        net.add_transition(
+            f"t{i}", Deterministic(1.0), inputs=[f"P{i}"], outputs=[f"P{(i+1)%3}"]
+        )
+    return net
+
+
+class TestReachability:
+    def test_ring_state_count(self):
+        rg = build_reachability_graph(ring_net())
+        assert rg.n_states == 3
+        assert rg.n_edges == 3
+        assert rg.strongly_connected()
+
+    def test_two_token_ring(self):
+        rg = build_reachability_graph(ring_net(tokens=2))
+        # distribute 2 tokens over 3 places: C(4,2) = 6 states
+        assert rg.n_states == 6
+
+    def test_bounds(self):
+        rg = build_reachability_graph(ring_net(tokens=2))
+        assert rg.max_tokens("P0") == 2
+        assert rg.bound_vector() == {"P0": 2, "P1": 2, "P2": 2}
+
+    def test_deadlock_detection(self):
+        net = PetriNet()
+        net.add_place("A", initial_tokens=1)
+        net.add_place("B")
+        net.add_transition("t", Deterministic(1.0), inputs=["A"], outputs=["B"])
+        rg = build_reachability_graph(net)
+        assert len(rg.deadlock_states()) == 1
+        assert not rg.strongly_connected()
+
+    def test_unbounded_net_raises(self):
+        net = PetriNet()
+        net.add_place("src", initial_tokens=1)
+        net.add_place("q")
+        net.add_transition(
+            "gen", Exponential(1.0), inputs=["src"], outputs=["src", "q"]
+        )
+        with pytest.raises(UnboundedNetError):
+            build_reachability_graph(net, max_states=50)
+
+    def test_immediate_priority_restricts_successors(self):
+        # When an immediate is enabled, timed transitions do not appear
+        # as successors (vanishing-marking rule).
+        net = PetriNet()
+        net.add_place("A", initial_tokens=1)
+        net.add_place("B")
+        net.add_place("C")
+        net.add_transition("imm", inputs=["A"], outputs=["B"])
+        net.add_transition("timed", Deterministic(1.0), inputs=["A"], outputs=["C"])
+        rg = build_reachability_graph(net)
+        labels = {
+            d["transition"] for _, _, d in rg.graph.edges(data=True)
+        }
+        assert labels == {"imm"}
+
+    def test_guard_respected(self):
+        net = PetriNet()
+        net.add_place("A", initial_tokens=1)
+        net.add_place("B")
+        net.add_place("G")
+        net.add_transition(
+            "t", Deterministic(1.0), inputs=["A"], outputs=["B"],
+            guard=tokens_gt("G", 0),
+        )
+        rg = build_reachability_graph(net)
+        assert rg.n_states == 1  # guard never satisfiable
+
+    def test_home_states_of_ergodic_ring(self):
+        rg = build_reachability_graph(ring_net())
+        assert len(rg.home_states()) == 3
+
+    def test_counts_of(self):
+        rg = build_reachability_graph(ring_net())
+        counts = rg.counts_of(rg.initial)
+        assert counts["P0"] == 1
+
+    def test_liveness_via_graph(self):
+        rg = build_reachability_graph(ring_net())
+        assert rg.is_live_transition("t0")
+        assert not rg.is_live_transition("nonexistent")

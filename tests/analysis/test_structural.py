@@ -1,0 +1,90 @@
+"""Unit tests for structural property checks."""
+
+import pytest
+
+from repro.analysis import (
+    boundedness,
+    check_model_invariants,
+    is_conservative,
+    liveness_summary,
+)
+from repro.core import Deterministic, Exponential, PetriNet
+
+
+def ring_net():
+    net = PetriNet("ring")
+    for i in range(3):
+        net.add_place(f"P{i}", initial_tokens=1 if i == 0 else 0)
+    for i in range(3):
+        net.add_transition(
+            f"t{i}", Deterministic(1.0), inputs=[f"P{i}"], outputs=[f"P{(i+1)%3}"]
+        )
+    return net
+
+
+class TestBoundedness:
+    def test_safe_ring(self):
+        report = boundedness(ring_net())
+        assert report.k == 1
+        assert report.is_safe
+        assert report.n_states == 3
+
+    def test_multi_token(self):
+        net = PetriNet()
+        net.add_place("A", initial_tokens=3)
+        net.add_place("B")
+        net.add_transition("t", Deterministic(1.0), inputs=["A"], outputs=["B"])
+        report = boundedness(net)
+        assert report.k == 3
+        assert not report.is_safe
+        assert report.bounds["B"] == 3
+
+    def test_report_str(self):
+        assert "bounded" in str(boundedness(ring_net()))
+
+
+class TestConservative:
+    def test_ring_conservative(self):
+        assert is_conservative(ring_net())
+
+    def test_sink_not_conservative(self):
+        net = PetriNet()
+        net.add_place("A", initial_tokens=1)
+        net.add_place("B")
+        net.add_transition("t", Exponential(1.0), inputs=["A"], outputs=["A", "B"])
+        net.add_transition("drop", Exponential(1.0), inputs=["B"])
+        assert not is_conservative(net)
+
+
+class TestLiveness:
+    def test_ring_live(self):
+        report = liveness_summary(ring_net())
+        assert report.live == {"t0", "t1", "t2"}
+        assert not report.dead
+        assert report.deadlock_free
+
+    def test_dead_transition_found(self):
+        net = ring_net()
+        net.add_place("never")
+        net.add_place("sink")
+        net.add_transition("dead", Deterministic(1.0), inputs=["never"], outputs=["sink"])
+        report = liveness_summary(net)
+        assert "dead" in report.dead
+
+    def test_deadlock_counted(self):
+        net = PetriNet()
+        net.add_place("A", initial_tokens=1)
+        net.add_place("B")
+        net.add_transition("t", Deterministic(1.0), inputs=["A"], outputs=["B"])
+        report = liveness_summary(net)
+        assert report.deadlock_markings == 1
+        assert not report.deadlock_free
+
+
+class TestDeclaredInvariants:
+    def test_valid_declaration_passes(self):
+        check_model_invariants(ring_net(), [("ring", ["P0", "P1", "P2"])])
+
+    def test_violation_raises_with_label(self):
+        with pytest.raises(ValueError, match="partial-ring"):
+            check_model_invariants(ring_net(), [("partial-ring", ["P0", "P1"])])

@@ -1,0 +1,105 @@
+"""Unit tests for arcs and firing contexts."""
+
+import numpy as np
+import pytest
+
+from repro.core.arcs import FiringContext, InhibitorArc, InputArc, OutputArc
+from repro.core.errors import ArcError
+from repro.core.tokens import Token
+
+
+def make_ctx(consumed=None, time=1.0):
+    return FiringContext(
+        time=time,
+        consumed=consumed or {},
+        marking=None,
+        rng=np.random.default_rng(0),
+        transition="t",
+    )
+
+
+class TestInputArc:
+    def test_defaults(self):
+        arc = InputArc("P")
+        assert arc.multiplicity == 1
+        assert arc.token_filter is None
+
+    def test_invalid_multiplicity(self):
+        with pytest.raises(ArcError):
+            InputArc("P", 0)
+
+
+class TestInhibitorArc:
+    def test_defaults(self):
+        arc = InhibitorArc("P")
+        assert arc.multiplicity == 1
+
+    def test_invalid_multiplicity(self):
+        with pytest.raises(ArcError):
+            InhibitorArc("P", 0)
+
+
+class TestOutputArc:
+    def test_plain_tokens(self):
+        arc = OutputArc("P", 2)
+        toks = arc.make_tokens(make_ctx())
+        assert len(toks) == 2
+        assert all(t.color is None for t in toks)
+        assert all(t.created_at == 1.0 for t in toks)
+
+    def test_fixed_color(self):
+        arc = OutputArc("P", color=3)
+        toks = arc.make_tokens(make_ctx())
+        assert toks[0].color == 3
+
+    def test_producer_called_per_token(self):
+        calls = []
+
+        def producer(ctx):
+            calls.append(ctx.time)
+            return len(calls)
+
+        arc = OutputArc("P", 3, producer=producer)
+        toks = arc.make_tokens(make_ctx())
+        assert [t.color for t in toks] == [1, 2, 3]
+
+    def test_color_and_producer_mutually_exclusive(self):
+        with pytest.raises(ArcError):
+            OutputArc("P", color=1, producer=lambda ctx: 2)
+
+    def test_forwarding_single_colored_token(self):
+        ctx = make_ctx({"A": [Token(7)]})
+        arc = OutputArc("P")
+        assert arc.make_tokens(ctx)[0].color == 7
+
+    def test_no_forwarding_with_two_colored_tokens(self):
+        ctx = make_ctx({"A": [Token(7)], "B": [Token(8)]})
+        arc = OutputArc("P")
+        assert arc.make_tokens(ctx)[0].color is None
+
+    def test_no_forwarding_for_multiplicity_over_one(self):
+        ctx = make_ctx({"A": [Token(7)]})
+        arc = OutputArc("P", 2)
+        assert all(t.color is None for t in arc.make_tokens(ctx))
+
+    def test_colorless_consumed_not_forwarded(self):
+        ctx = make_ctx({"A": [Token(None)]})
+        arc = OutputArc("P")
+        assert arc.make_tokens(ctx)[0].color is None
+
+    def test_invalid_multiplicity(self):
+        with pytest.raises(ArcError):
+            OutputArc("P", 0)
+
+
+class TestFiringContext:
+    def test_consumed_colors(self):
+        ctx = make_ctx({"A": [Token(1), Token(2)], "B": [Token(3)]})
+        assert sorted(ctx.consumed_colors()) == [1, 2, 3]
+
+    def test_first_color(self):
+        ctx = make_ctx({"A": [Token(5)]})
+        assert ctx.first_color() == 5
+
+    def test_first_color_default(self):
+        assert make_ctx().first_color("dflt") == "dflt"

@@ -1,0 +1,84 @@
+"""Tests for precision-driven simulation."""
+
+import pytest
+
+from repro.core import Exponential, PetriNet, simulate_to_precision
+
+
+def mm1_net(lam=1.0, mu=2.0):
+    net = PetriNet("mm1")
+    net.add_place("src", initial_tokens=1)
+    net.add_place("q")
+    net.add_transition("arrive", Exponential(lam), inputs=["src"], outputs=["src", "q"])
+    net.add_transition("serve", Exponential(mu), inputs=["q"])
+    return net
+
+
+def queue_signal(view):
+    return float(view.count("q"))
+
+
+class TestSimulateToPrecision:
+    def test_reaches_loose_target_quickly(self):
+        pr = simulate_to_precision(
+            mm1_net(),
+            queue_signal,
+            rel_half_width=0.25,
+            initial_horizon=2000.0,
+            max_horizon=64_000.0,
+            seed=3,
+        )
+        assert pr.achieved
+        assert pr.interval.relative_half_width() <= 0.25
+        # M/M/1 at rho=0.5: L = 1.0
+        assert pr.estimate == pytest.approx(1.0, abs=0.35)
+
+    def test_tighter_target_needs_longer_horizon(self):
+        loose = simulate_to_precision(
+            mm1_net(), queue_signal,
+            rel_half_width=0.5, initial_horizon=1000.0,
+            max_horizon=256_000.0, seed=5,
+        )
+        tight = simulate_to_precision(
+            mm1_net(), queue_signal,
+            rel_half_width=0.05, initial_horizon=1000.0,
+            max_horizon=256_000.0, seed=5,
+        )
+        assert tight.horizon >= loose.horizon
+        assert tight.attempts >= loose.attempts
+
+    def test_gives_up_at_max_horizon(self):
+        pr = simulate_to_precision(
+            mm1_net(), queue_signal,
+            rel_half_width=0.001,  # unreasonably tight
+            initial_horizon=500.0,
+            max_horizon=2000.0,
+            seed=7,
+        )
+        assert not pr.achieved
+        assert pr.horizon == 2000.0
+        # still returns a usable interval
+        assert pr.interval.mean > 0
+
+    def test_estimate_improves_with_precision(self):
+        tight = simulate_to_precision(
+            mm1_net(), queue_signal,
+            rel_half_width=0.05,
+            initial_horizon=4000.0,
+            max_horizon=512_000.0,
+            seed=11,
+        )
+        assert tight.achieved
+        assert tight.estimate == pytest.approx(1.0, abs=0.12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_to_precision(mm1_net(), queue_signal, rel_half_width=0.0)
+        with pytest.raises(ValueError):
+            simulate_to_precision(
+                mm1_net(), queue_signal, initial_horizon=100.0, max_horizon=50.0
+            )
+        with pytest.raises(ValueError):
+            simulate_to_precision(
+                mm1_net(), queue_signal, warmup_fraction=1.0
+            )

@@ -1,0 +1,209 @@
+"""Unit + statistical tests for firing-time distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import (
+    Deterministic,
+    Empirical,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    Immediate,
+    LogNormal,
+    Triangular,
+    Uniform,
+    Weibull,
+)
+
+RNG = np.random.default_rng(123)
+
+
+def sample_mean_var(dist, n=60_000):
+    rng = np.random.default_rng(99)
+    xs = np.array([dist.sample(rng) for _ in range(n)])
+    return xs.mean(), xs.var()
+
+
+class TestImmediate:
+    def test_zero_everything(self):
+        d = Immediate()
+        assert d.sample(RNG) == 0.0
+        assert d.mean() == 0.0
+        assert d.variance() == 0.0
+        assert d.is_immediate
+        assert not d.is_deterministic
+
+
+class TestDeterministic:
+    def test_constant_sample(self):
+        d = Deterministic(2.5)
+        assert d.sample(RNG) == 2.5
+        assert d.mean() == 2.5
+        assert d.variance() == 0.0
+        assert d.is_deterministic
+
+    def test_zero_delay_allowed(self):
+        assert Deterministic(0.0).sample(RNG) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Deterministic(-0.1)
+
+
+class TestExponential:
+    def test_moments(self):
+        d = Exponential(4.0)
+        assert d.mean() == pytest.approx(0.25)
+        assert d.variance() == pytest.approx(0.0625)
+        assert d.is_exponential
+
+    def test_from_mean(self):
+        d = Exponential.from_mean(0.5)
+        assert d.rate == pytest.approx(2.0)
+
+    def test_sampling_matches_moments(self):
+        d = Exponential(2.0)
+        m, v = sample_mean_var(d)
+        assert m == pytest.approx(0.5, rel=0.03)
+        assert v == pytest.approx(0.25, rel=0.08)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            Exponential.from_mean(-1.0)
+
+
+class TestUniform:
+    def test_moments(self):
+        d = Uniform(1.0, 3.0)
+        assert d.mean() == pytest.approx(2.0)
+        assert d.variance() == pytest.approx(4.0 / 12.0)
+
+    def test_samples_in_range(self):
+        d = Uniform(1.0, 3.0)
+        xs = [d.sample(RNG) for _ in range(200)]
+        assert all(1.0 <= x <= 3.0 for x in xs)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 1.0)
+
+
+class TestErlang:
+    def test_moments(self):
+        d = Erlang(4, 2.0)
+        assert d.mean() == pytest.approx(2.0)
+        assert d.variance() == pytest.approx(1.0)
+
+    def test_from_mean(self):
+        d = Erlang.from_mean(10, 0.5)
+        assert d.mean() == pytest.approx(0.5)
+
+    def test_large_k_approaches_constant(self):
+        d = Erlang.from_mean(400, 1.0)
+        m, v = sample_mean_var(d, n=20_000)
+        assert m == pytest.approx(1.0, rel=0.01)
+        assert v < 0.01  # cv^2 = 1/400
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Erlang(0, 1.0)
+        with pytest.raises(ValueError):
+            Erlang(2, -1.0)
+
+
+class TestWeibull:
+    def test_shape1_is_exponential(self):
+        d = Weibull(1.0, 2.0)
+        assert d.mean() == pytest.approx(2.0)
+        assert d.variance() == pytest.approx(4.0)
+
+    def test_sampling(self):
+        d = Weibull(2.0, 1.0)
+        m, _ = sample_mean_var(d, n=30_000)
+        assert m == pytest.approx(d.mean(), rel=0.03)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Weibull(0, 1)
+
+
+class TestTriangular:
+    def test_moments(self):
+        d = Triangular(0.0, 1.0, 2.0)
+        assert d.mean() == pytest.approx(1.0)
+        assert d.variance() == pytest.approx((0 + 4 + 1 - 0 - 0 - 2) / 18.0)
+
+    def test_degenerate(self):
+        d = Triangular(1.0, 1.0, 1.0)
+        assert d.sample(RNG) == 1.0
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            Triangular(2.0, 1.0, 3.0)
+
+
+class TestLogNormal:
+    def test_from_mean_cv(self):
+        d = LogNormal.from_mean_cv(2.0, 0.5)
+        assert d.mean() == pytest.approx(2.0)
+        cv = np.sqrt(d.variance()) / d.mean()
+        assert cv == pytest.approx(0.5)
+
+    def test_sampling(self):
+        d = LogNormal.from_mean_cv(1.0, 0.3)
+        m, _ = sample_mean_var(d, n=40_000)
+        assert m == pytest.approx(1.0, rel=0.03)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0, -1.0)
+
+
+class TestHyperexponential:
+    def test_moments(self):
+        d = Hyperexponential([0.5, 0.5], [1.0, 2.0])
+        assert d.mean() == pytest.approx(0.5 / 1.0 + 0.5 / 2.0)
+        # second moment: sum 2 p / r^2
+        second = 2 * 0.5 / 1.0 + 2 * 0.5 / 4.0
+        assert d.variance() == pytest.approx(second - d.mean() ** 2)
+
+    def test_cv_at_least_one(self):
+        d = Hyperexponential([0.9, 0.1], [10.0, 0.1])
+        cv2 = d.variance() / d.mean() ** 2
+        assert cv2 >= 1.0
+
+    def test_sampling(self):
+        d = Hyperexponential([0.3, 0.7], [1.0, 5.0])
+        m, _ = sample_mean_var(d, n=60_000)
+        assert m == pytest.approx(d.mean(), rel=0.05)
+
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([0.5, 0.4], [1.0, 2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([1.0], [1.0, 2.0])
+
+
+class TestEmpirical:
+    def test_resamples_only_observed_values(self):
+        d = Empirical([1.0, 2.0, 3.0])
+        xs = {d.sample(RNG) for _ in range(100)}
+        assert xs <= {1.0, 2.0, 3.0}
+
+    def test_moments(self):
+        d = Empirical([1.0, 2.0, 3.0])
+        assert d.mean() == pytest.approx(2.0)
+        assert d.variance() == pytest.approx(2.0 / 3.0)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+        with pytest.raises(ValueError):
+            Empirical([1.0, -2.0])

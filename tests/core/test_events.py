@@ -1,0 +1,105 @@
+"""Unit tests for the event calendar and transition clocks."""
+
+import pytest
+
+from repro.core.events import EventCalendar
+
+
+class TestScheduling:
+    def test_schedule_and_pop(self):
+        cal = EventCalendar()
+        cal.schedule("a", 2.0)
+        cal.schedule("b", 1.0)
+        first = cal.pop_next()
+        assert first.transition == "b"
+        assert first.time == 1.0
+        second = cal.pop_next()
+        assert second.transition == "a"
+        assert cal.pop_next() is None
+
+    def test_ties_break_by_insertion_order(self):
+        cal = EventCalendar()
+        cal.schedule("a", 1.0)
+        cal.schedule("b", 1.0)
+        assert cal.pop_next().transition == "a"
+        assert cal.pop_next().transition == "b"
+
+    def test_reschedule_supersedes(self):
+        cal = EventCalendar()
+        cal.schedule("a", 5.0)
+        cal.schedule("a", 1.0)  # replaces
+        assert cal.pop_next().time == 1.0
+        assert cal.pop_next() is None
+
+    def test_cancel(self):
+        cal = EventCalendar()
+        cal.schedule("a", 1.0)
+        cal.cancel("a")
+        assert cal.pop_next() is None
+        assert not cal.is_scheduled("a")
+
+    def test_cancel_unscheduled_is_noop(self):
+        cal = EventCalendar()
+        cal.cancel("ghost")
+        assert cal.pop_next() is None
+
+    def test_is_scheduled_and_time(self):
+        cal = EventCalendar()
+        assert not cal.is_scheduled("a")
+        cal.schedule("a", 3.0)
+        assert cal.is_scheduled("a")
+        assert cal.scheduled_time("a") == 3.0
+
+    def test_pop_clears_schedule(self):
+        cal = EventCalendar()
+        cal.schedule("a", 1.0)
+        cal.pop_next()
+        assert not cal.is_scheduled("a")
+
+
+class TestPeek:
+    def test_peek_skips_stale(self):
+        cal = EventCalendar()
+        cal.schedule("a", 1.0)
+        cal.schedule("b", 2.0)
+        cal.cancel("a")
+        assert cal.peek_time() == 2.0
+
+    def test_peek_empty(self):
+        assert EventCalendar().peek_time() is None
+
+    def test_peek_does_not_pop(self):
+        cal = EventCalendar()
+        cal.schedule("a", 1.0)
+        assert cal.peek_time() == 1.0
+        assert cal.pop_next().transition == "a"
+
+
+class TestClocks:
+    def test_age_memory_remaining_storage(self):
+        cal = EventCalendar()
+        clk = cal.clock("t")
+        clk.remaining = 0.7
+        assert cal.clock("t").remaining == 0.7
+
+    def test_live_count(self):
+        cal = EventCalendar()
+        cal.schedule("a", 1.0)
+        cal.schedule("b", 2.0)
+        cal.cancel("a")
+        assert cal.live_count() == 1
+
+    def test_clear(self):
+        cal = EventCalendar()
+        cal.schedule("a", 1.0)
+        cal.clear()
+        assert cal.pop_next() is None
+        assert len(cal) == 0
+
+    def test_many_reschedules_stay_consistent(self):
+        cal = EventCalendar()
+        for i in range(100):
+            cal.schedule("t", float(100 - i))
+        entry = cal.pop_next()
+        assert entry.time == 1.0
+        assert cal.pop_next() is None

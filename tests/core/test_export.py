@@ -1,0 +1,105 @@
+"""Unit tests for net export (dict/JSON/DOT)."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Deterministic,
+    Exponential,
+    PetriNet,
+    net_to_dict,
+    net_to_dot,
+    net_to_json,
+    tokens_eq,
+)
+from repro.models import build_cpu_petri_net
+
+
+def sample_net():
+    net = PetriNet("sample")
+    net.add_place("A", initial_tokens=2, capacity=5)
+    net.add_place("B")
+    net.add_place("Inh", initial_tokens=1)
+    net.add_transition(
+        "move",
+        Deterministic(1.5),
+        inputs=[("A", 2)],
+        outputs=[("B", 1, 7)],
+        inhibitors=["Inh"],
+        guard=tokens_eq("B", 0),
+        priority=2,
+        weight=3.0,
+    )
+    net.add_transition("gen", Exponential(0.5), inputs=["Inh"], outputs=["Inh", "A"])
+    return net
+
+
+class TestNetToDict:
+    def test_structure(self):
+        d = net_to_dict(sample_net())
+        assert d["name"] == "sample"
+        assert {p["name"] for p in d["places"]} == {"A", "B", "Inh"}
+        move = next(t for t in d["transitions"] if t["name"] == "move")
+        assert move["distribution"] == {"kind": "deterministic", "delay": 1.5}
+        assert move["guard"] == "(#B == 0)"
+        assert move["inputs"][0]["multiplicity"] == 2
+        assert move["outputs"][0]["color"] == "7"
+        assert move["inhibitors"][0]["place"] == "Inh"
+        assert move["priority"] == 2
+        assert move["weight"] == 3.0
+
+    def test_exponential_records_rate(self):
+        d = net_to_dict(sample_net())
+        gen = next(t for t in d["transitions"] if t["name"] == "gen")
+        assert gen["distribution"] == {"kind": "exponential", "rate": 0.5}
+
+    def test_capacity_and_initial(self):
+        d = net_to_dict(sample_net())
+        a = next(p for p in d["places"] if p["name"] == "A")
+        assert a["initial_tokens"] == 2
+        assert a["capacity"] == 5
+
+    def test_trivial_guard_is_none(self):
+        d = net_to_dict(sample_net())
+        gen = next(t for t in d["transitions"] if t["name"] == "gen")
+        assert gen["guard"] is None
+
+
+class TestNetToJson:
+    def test_round_trip_parses(self):
+        text = net_to_json(sample_net())
+        parsed = json.loads(text)
+        assert parsed["name"] == "sample"
+
+    def test_paper_model_serialises(self):
+        net = build_cpu_petri_net(1.0, 10.0, 0.1, 0.3)
+        parsed = json.loads(net_to_json(net))
+        names = {t["name"] for t in parsed["transitions"]}
+        assert "Power_Down_Threshold" in names
+
+
+class TestNetToDot:
+    def test_contains_all_elements(self):
+        dot = net_to_dot(sample_net())
+        assert dot.startswith('digraph "sample"')
+        for name in ("A", "B", "Inh", "T:move", "T:gen"):
+            assert f'"{name}"' in dot
+
+    def test_inhibitor_styled(self):
+        dot = net_to_dot(sample_net())
+        assert "arrowhead=odot" in dot
+        assert "style=dashed" in dot
+
+    def test_timing_annotations(self):
+        dot = net_to_dot(sample_net())
+        assert "d=1.5" in dot
+        assert "λ=0.5" in dot
+
+    def test_invalid_rankdir(self):
+        with pytest.raises(ValueError):
+            net_to_dot(sample_net(), rankdir="XX")
+
+    def test_multiplicity_labels(self):
+        dot = net_to_dot(sample_net())
+        assert 'label="2"' in dot

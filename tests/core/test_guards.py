@@ -1,0 +1,149 @@
+"""Unit tests for the guard algebra."""
+
+import pytest
+
+from repro.core.guards import (
+    FALSE,
+    TRUE,
+    FunctionGuard,
+    color_eq,
+    color_in,
+    color_pred,
+    tokens_between,
+    tokens_eq,
+    tokens_ge,
+    tokens_gt,
+    tokens_le,
+    tokens_lt,
+    tokens_ne,
+)
+from repro.core.errors import GuardError
+from repro.core.tokens import Token
+
+
+class FakeMarking:
+    """Minimal marking protocol for guard evaluation."""
+
+    def __init__(self, counts):
+        self._counts = counts
+
+    def count(self, place):
+        return self._counts.get(place, 0)
+
+
+class TestConstants:
+    def test_true_false(self):
+        m = FakeMarking({})
+        assert TRUE(m) is True
+        assert FALSE(m) is False
+
+    def test_str(self):
+        assert str(TRUE) == "true"
+        assert str(FALSE) == "false"
+
+
+class TestTokenCountGuards:
+    @pytest.mark.parametrize(
+        "factory,count,expected",
+        [
+            (lambda: tokens_eq("P", 2), 2, True),
+            (lambda: tokens_eq("P", 2), 3, False),
+            (lambda: tokens_ne("P", 2), 3, True),
+            (lambda: tokens_gt("P", 0), 1, True),
+            (lambda: tokens_gt("P", 0), 0, False),
+            (lambda: tokens_ge("P", 2), 2, True),
+            (lambda: tokens_lt("P", 2), 1, True),
+            (lambda: tokens_le("P", 2), 2, True),
+            (lambda: tokens_le("P", 2), 3, False),
+        ],
+    )
+    def test_comparisons(self, factory, count, expected):
+        guard = factory()
+        assert guard(FakeMarking({"P": count})) is expected
+
+    def test_renders_paper_syntax(self):
+        assert str(tokens_eq("Buffer", 0)) == "(#Buffer == 0)"
+        assert str(tokens_gt("Idle", 0)) == "(#Idle > 0)"
+
+    def test_places_tracked(self):
+        assert tokens_eq("Buffer", 0).places() == frozenset({"Buffer"})
+
+    def test_between(self):
+        g = tokens_between("P", 1, 3)
+        assert g(FakeMarking({"P": 2}))
+        assert not g(FakeMarking({"P": 0}))
+        assert not g(FakeMarking({"P": 4}))
+
+    def test_between_invalid(self):
+        with pytest.raises(ValueError):
+            tokens_between("P", 3, 1)
+
+
+class TestComposition:
+    def test_and(self):
+        g = tokens_eq("A", 0) & tokens_gt("B", 0)
+        assert g(FakeMarking({"A": 0, "B": 1}))
+        assert not g(FakeMarking({"A": 1, "B": 1}))
+        assert not g(FakeMarking({"A": 0, "B": 0}))
+
+    def test_or(self):
+        g = tokens_gt("A", 0) | tokens_gt("B", 0)
+        assert g(FakeMarking({"A": 1}))
+        assert g(FakeMarking({"B": 1}))
+        assert not g(FakeMarking({}))
+
+    def test_not(self):
+        g = ~tokens_gt("A", 0)
+        assert g(FakeMarking({}))
+        assert not g(FakeMarking({"A": 1}))
+
+    def test_table_xi_style_rendering(self):
+        g = tokens_eq("Buffer", 0) & tokens_gt("Idle", 0)
+        assert str(g) == "((#Buffer == 0) && (#Idle > 0))"
+
+    def test_composite_places_union(self):
+        g = tokens_eq("A", 0) & (tokens_gt("B", 0) | ~tokens_lt("C", 5))
+        assert g.places() == frozenset({"A", "B", "C"})
+
+    def test_de_morgan_equivalence(self):
+        lhs = ~(tokens_gt("A", 0) & tokens_gt("B", 0))
+        rhs = ~tokens_gt("A", 0) | ~tokens_gt("B", 0)
+        for a in range(3):
+            for b in range(3):
+                m = FakeMarking({"A": a, "B": b})
+                assert lhs(m) == rhs(m)
+
+
+class TestFunctionGuard:
+    def test_wraps_callable(self):
+        g = FunctionGuard(lambda m: m.count("P") % 2 == 0, "even-P")
+        assert g(FakeMarking({"P": 2}))
+        assert not g(FakeMarking({"P": 3}))
+        assert str(g) == "even-P"
+
+    def test_raising_callable_wrapped(self):
+        def bad(m):
+            raise RuntimeError("boom")
+
+        g = FunctionGuard(bad, "bad")
+        with pytest.raises(GuardError):
+            g(FakeMarking({}))
+
+
+class TestLocalGuards:
+    def test_color_eq(self):
+        f = color_eq(2)
+        assert f(Token(2))
+        assert not f(Token(3))
+        assert not f(Token(None))
+
+    def test_color_in(self):
+        f = color_in({1, 3})
+        assert f(Token(1))
+        assert f(Token(3))
+        assert not f(Token(2))
+
+    def test_color_pred(self):
+        f = color_pred(lambda c: isinstance(c, int) and c > 1)
+        assert f(Token(5))
+        assert not f(Token(0))

@@ -1,0 +1,128 @@
+"""Unit tests for markings and marking views."""
+
+import pytest
+
+from repro.core import CapacityError, UnknownElementError
+from repro.core.marking import Marking
+from repro.core.places import Place
+from repro.core.tokens import Token
+
+
+def make_marking(**initial):
+    places = [Place(name, tokens) for name, tokens in initial.items()]
+    return Marking(places)
+
+
+class TestConstruction:
+    def test_initial_counts(self):
+        m = make_marking(A=2, B=0)
+        assert m.count("A") == 2
+        assert m.count("B") == 0
+        assert m.counts() == {"A": 2, "B": 0}
+
+    def test_initial_override_int(self):
+        places = [Place("A", 1)]
+        m = Marking(places, initial={"A": 5})
+        assert m.count("A") == 5
+
+    def test_initial_override_tokens(self):
+        places = [Place("A")]
+        m = Marking(places, initial={"A": [Token(7), Token(8)]})
+        assert m.bag("A").colors() == [7, 8]
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(UnknownElementError):
+            Marking([Place("A")], initial={"B": 1})
+
+    def test_capacity_enforced_at_init(self):
+        with pytest.raises(CapacityError):
+            Marking([Place("A", 0, capacity=1)], initial={"A": 2})
+
+    def test_colored_initial_marking(self):
+        place = Place("A", [Token(1), Token(2)])
+        m = Marking([place])
+        assert m.bag("A").colors() == [1, 2]
+
+
+class TestMutation:
+    def test_deposit_and_withdraw(self):
+        m = make_marking(A=0)
+        m.deposit("A", [Token(1), Token(2)])
+        assert m.count("A") == 2
+        taken = m.withdraw("A", 1)
+        assert taken[0].color == 1
+        assert m.count("A") == 1
+
+    def test_withdraw_with_predicate(self):
+        m = make_marking(A=0)
+        m.deposit("A", [Token(1), Token(2)])
+        taken = m.withdraw("A", 1, lambda t: t.color == 2)
+        assert taken[0].color == 2
+
+    def test_can_withdraw(self):
+        m = make_marking(A=2)
+        assert m.can_withdraw("A", 2)
+        assert not m.can_withdraw("A", 3)
+
+    def test_capacity_on_deposit(self):
+        m = Marking([Place("A", 0, capacity=2)])
+        m.deposit("A", [Token(), Token()])
+        with pytest.raises(CapacityError):
+            m.deposit("A", [Token()])
+
+    def test_headroom(self):
+        m = Marking([Place("A", 1, capacity=2)])
+        assert m.has_headroom("A", 1)
+        assert not m.has_headroom("A", 2)
+        m2 = make_marking(B=0)
+        assert m2.has_headroom("B", 10**6)
+
+    def test_unknown_place(self):
+        m = make_marking(A=0)
+        with pytest.raises(UnknownElementError):
+            m.count("Z")
+
+    def test_total_tokens(self):
+        m = make_marking(A=2, B=3)
+        assert m.total_tokens() == 5
+
+
+class TestSnapshots:
+    def test_signature_ignores_token_identity(self):
+        m1 = make_marking(A=0)
+        m1.deposit("A", [Token(1), Token(2)])
+        m2 = make_marking(A=0)
+        m2.deposit("A", [Token(2), Token(1)])  # different order
+        assert m1.signature() == m2.signature()
+
+    def test_signature_distinguishes_colors(self):
+        m1 = make_marking(A=0)
+        m1.deposit("A", [Token(1)])
+        m2 = make_marking(A=0)
+        m2.deposit("A", [Token(2)])
+        assert m1.signature() != m2.signature()
+
+    def test_signature_is_hashable(self):
+        m = make_marking(A=1, B=2)
+        assert hash(m.signature()) == hash(m.signature())
+
+    def test_copy_independent(self):
+        m = make_marking(A=1)
+        clone = m.copy()
+        clone.deposit("A", [Token()])
+        assert m.count("A") == 1
+        assert clone.count("A") == 2
+
+    def test_view_is_read_only_protocol(self):
+        m = make_marking(A=2)
+        view = m.view()
+        assert view.count("A") == 2
+        assert view.counts() == {"A": 2}
+        assert not hasattr(view, "deposit")
+
+    def test_view_sees_mutations(self):
+        m = make_marking(A=0)
+        view = m.view()
+        m.deposit("A", [Token(9)])
+        assert view.count("A") == 1
+        assert view.colors("A") == [9]

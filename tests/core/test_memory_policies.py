@@ -1,0 +1,111 @@
+"""Focused tests for the three timed-transition memory policies."""
+
+import pytest
+
+from repro.core import (
+    Deterministic,
+    Exponential,
+    MemoryPolicy,
+    PetriNet,
+    simulate,
+    tokens_eq,
+)
+
+
+def interfering_net(policy: MemoryPolicy):
+    """A Det(1.0) transition under ``policy`` racing a 0.4 s ticker.
+
+    The ticker's firings perturb the marking every 0.4 s without ever
+    disabling the deterministic transition.
+    """
+    net = PetriNet("race")
+    net.add_place("A", initial_tokens=1)
+    net.add_place("B")
+    net.add_place("C", initial_tokens=1)
+    net.add_place("ticks")
+    net.add_transition(
+        "slow", Deterministic(1.0), inputs=["A"], outputs=["B"], memory=policy
+    )
+    net.add_transition(
+        "tick", Deterministic(0.4), inputs=["C"], outputs=["C", "ticks"]
+    )
+    return net
+
+
+class TestResamplePolicy:
+    def test_resample_starves_under_interference(self):
+        # Race resampling redraws the clock after every firing of any
+        # transition; a 0.4 s ticker therefore perpetually resets the
+        # 1.0 s deterministic timer and it never fires.
+        result = simulate(interfering_net(MemoryPolicy.RESAMPLE), horizon=10.0)
+        assert result.final_marking_counts["B"] == 0
+        # 0.4 s ticks over 10 s; float accumulation may push the final
+        # tick just past the horizon.
+        assert result.final_marking_counts["ticks"] in (24, 25)
+
+    def test_enabling_policy_immune_to_interference(self):
+        # Enabling memory only resets on disabling, and the ticker never
+        # disables the slow transition: it fires on schedule at t = 1.
+        result = simulate(interfering_net(MemoryPolicy.ENABLING), horizon=10.0)
+        assert result.final_marking_counts["B"] == 1
+        assert result.occupancy("B") == pytest.approx(0.9)
+
+    def test_age_policy_immune_to_interference(self):
+        result = simulate(interfering_net(MemoryPolicy.AGE), horizon=10.0)
+        assert result.final_marking_counts["B"] == 1
+
+    def test_resample_exponential_is_statistically_invisible(self):
+        # Resampling an exponential clock changes nothing (memoryless):
+        # the firing-time distribution is identical either way.
+        def mean_firings(policy, seed):
+            net = PetriNet()
+            net.add_place("A", initial_tokens=1)
+            net.add_place("count")
+            net.add_place("C", initial_tokens=1)
+            net.add_transition(
+                "exp", Exponential(1.0), inputs=["A"], outputs=["A", "count"],
+                memory=policy,
+            )
+            net.add_transition(
+                "tick", Deterministic(0.3), inputs=["C"], outputs=["C"]
+            )
+            r = simulate(net, horizon=4000.0, seed=seed)
+            return r.final_marking_counts["count"] / 4000.0
+
+        enabling = sum(mean_firings(MemoryPolicy.ENABLING, s) for s in range(5)) / 5
+        resample = sum(mean_firings(MemoryPolicy.RESAMPLE, s) for s in range(5)) / 5
+        assert enabling == pytest.approx(1.0, abs=0.05)
+        assert resample == pytest.approx(1.0, abs=0.05)
+
+
+class TestAgePolicyDetail:
+    def test_age_accumulates_across_multiple_preemptions(self):
+        # PDT-style guard preempted twice; the 1.5 s of work is spread
+        # over three enabled windows under age memory.
+        net = PetriNet()
+        net.add_place("Idle", initial_tokens=1)
+        net.add_place("Sleep")
+        net.add_place("Job")
+        net.add_place("Gen", initial_tokens=1)
+        net.add_place("burst_count")
+        # Jobs arrive at t=1 and t=3 (deterministic 1s gap, 2 jobs);
+        # each takes 1 s to serve.
+        net.add_transition(
+            "arrive", Deterministic(1.0), inputs=["Gen"],
+            outputs=[("Job", 1), "burst_count"],
+            guard=tokens_eq("burst_count", 0),
+        )
+        net.add_transition(
+            "arrive2", Deterministic(2.0), inputs=["burst_count"],
+            outputs=["Job"],
+        )
+        net.add_transition("serve", Deterministic(1.0), inputs=["Job"])
+        net.add_transition(
+            "pdt", Deterministic(2.5), inputs=["Idle"], outputs=["Sleep"],
+            guard=tokens_eq("Job", 0), memory=MemoryPolicy.AGE,
+        )
+        result = simulate(net, horizon=20.0)
+        # Timeline: enabled [0,1) (1.0 consumed), job until 2; enabled
+        # [2,3) (1.0 more), job until 4; enabled from 4, fires at 4.5.
+        assert result.final_marking_counts["Sleep"] == 1
+        assert result.occupancy("Sleep") == pytest.approx((20 - 4.5) / 20)

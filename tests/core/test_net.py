@@ -1,0 +1,171 @@
+"""Unit tests for PetriNet construction, lookup, and derived structure."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Deterministic,
+    DuplicateNameError,
+    Exponential,
+    InhibitorArc,
+    InputArc,
+    OutputArc,
+    PetriNet,
+    UnknownElementError,
+    tokens_gt,
+)
+from repro.core.errors import ArcError
+
+
+def simple_net():
+    net = PetriNet("t")
+    net.add_place("A", initial_tokens=1)
+    net.add_place("B")
+    net.add_transition("move", Deterministic(1.0), inputs=["A"], outputs=["B"])
+    return net
+
+
+class TestConstruction:
+    def test_add_place_and_lookup(self):
+        net = PetriNet()
+        p = net.add_place("P", initial_tokens=3)
+        assert net.place("P") is p
+        assert net.has_place("P")
+        assert p.initial_count == 3
+
+    def test_duplicate_place_rejected(self):
+        net = PetriNet()
+        net.add_place("P")
+        with pytest.raises(DuplicateNameError):
+            net.add_place("P")
+
+    def test_duplicate_transition_rejected(self):
+        net = simple_net()
+        with pytest.raises(DuplicateNameError):
+            net.add_transition("move")
+
+    def test_unknown_place_lookup(self):
+        with pytest.raises(UnknownElementError):
+            PetriNet().place("missing")
+
+    def test_unknown_transition_lookup(self):
+        with pytest.raises(UnknownElementError):
+            PetriNet().transition("missing")
+
+    def test_arc_to_unknown_place_rejected(self):
+        net = PetriNet()
+        net.add_place("A")
+        with pytest.raises(UnknownElementError):
+            net.add_transition("t", inputs=["A"], outputs=["nope"])
+
+
+class TestArcSpecs:
+    def test_string_spec(self):
+        net = simple_net()
+        t = net.transition("move")
+        assert t.inputs[0].place == "A"
+        assert t.inputs[0].multiplicity == 1
+
+    def test_tuple_multiplicity(self):
+        net = PetriNet()
+        net.add_place("A", initial_tokens=5)
+        net.add_place("B")
+        t = net.add_transition("t", inputs=[("A", 3)], outputs=[("B", 2)])
+        assert t.inputs[0].multiplicity == 3
+        assert t.outputs[0].multiplicity == 2
+
+    def test_input_filter_spec(self):
+        net = PetriNet()
+        net.add_place("A")
+        flt = lambda tok: tok.color == 1  # noqa: E731
+        t = net.add_transition("t", inputs=[("A", 1, flt)], outputs=[])
+        assert t.inputs[0].token_filter is flt
+
+    def test_output_color_spec(self):
+        net = PetriNet()
+        net.add_place("B")
+        t = net.add_transition("t", outputs=[("B", 1, 42)], guard=tokens_gt("B", 0))
+        assert t.outputs[0].color == 42
+
+    def test_output_producer_spec(self):
+        net = PetriNet()
+        net.add_place("B")
+        prod = lambda ctx: 7  # noqa: E731
+        t = net.add_transition("t", outputs=[("B", 1, prod)], guard=tokens_gt("B", 0))
+        assert t.outputs[0].producer is prod
+
+    def test_arc_objects_pass_through(self):
+        net = PetriNet()
+        net.add_place("A", initial_tokens=1)
+        net.add_place("B")
+        net.add_place("C")
+        t = net.add_transition(
+            "t",
+            inputs=[InputArc("A", 1)],
+            outputs=[OutputArc("B")],
+            inhibitors=[InhibitorArc("C", 2)],
+        )
+        assert t.inhibitors[0].multiplicity == 2
+
+    def test_bad_spec_rejected(self):
+        net = PetriNet()
+        net.add_place("A")
+        with pytest.raises(ArcError):
+            net.add_transition("t", inputs=[123])
+
+
+class TestDerivedStructure:
+    def test_preset_postset(self):
+        net = simple_net()
+        assert [t.name for t in net.postset("A")] == ["move"]
+        assert [t.name for t in net.preset("B")] == ["move"]
+        assert net.preset("A") == ()
+
+    def test_dependents_include_guard_places(self):
+        net = PetriNet()
+        net.add_place("A", initial_tokens=1)
+        net.add_place("B")
+        net.add_place("G")
+        net.add_transition(
+            "t", Deterministic(1), inputs=["A"], outputs=["B"],
+            guard=tokens_gt("G", 0),
+        )
+        deps = net.dependents_of_place("G")
+        assert [t.name for t in deps] == ["t"]
+
+    def test_incidence_matrix(self):
+        net = PetriNet()
+        net.add_place("A", initial_tokens=2)
+        net.add_place("B")
+        net.add_transition("t", Deterministic(1), inputs=[("A", 2)], outputs=[("B", 3)])
+        pnames, tnames, C = net.incidence_matrix()
+        i_a, i_b = pnames.index("A"), pnames.index("B")
+        assert C[i_a, 0] == -2
+        assert C[i_b, 0] == 3
+
+    def test_incidence_self_loop_cancels(self):
+        net = PetriNet()
+        net.add_place("A", initial_tokens=1)
+        net.add_place("B")
+        net.add_transition("t", Exponential(1), inputs=["A"], outputs=["A", "B"])
+        _, _, C = net.incidence_matrix()
+        assert C[0, 0] == 0  # A: -1 + 1
+        assert C[1, 0] == 1
+
+    def test_initial_marking_and_overrides(self):
+        net = simple_net()
+        m = net.initial_marking()
+        assert m.count("A") == 1
+        assert m.count("B") == 0
+        m2 = net.initial_marking({"B": 4})
+        assert m2.count("B") == 4
+
+    def test_describe_contains_elements(self):
+        text = simple_net().describe()
+        assert "A" in text and "move" in text
+
+    def test_validate_flags_isolated_place(self):
+        net = simple_net()
+        net.add_place("lonely")
+        warnings = net.validate()
+        assert any("lonely" in w for w in warnings)

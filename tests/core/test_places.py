@@ -1,0 +1,44 @@
+"""Unit tests for places."""
+
+import pytest
+
+from repro.core.places import Place
+from repro.core.tokens import Token
+
+
+class TestPlace:
+    def test_basic(self):
+        p = Place("P", 2)
+        assert p.name == "P"
+        assert p.initial_count == 2
+        assert p.capacity is None
+
+    def test_colored_initial_marking(self):
+        p = Place("P", [Token(1), Token(2)])
+        assert p.initial_colors() == [1, 2]
+
+    def test_fresh_initial_returns_new_instances(self):
+        p = Place("P", [Token("x")])
+        a = p.fresh_initial()
+        b = p.fresh_initial()
+        assert a[0] is not b[0]
+        assert a[0].color == "x"
+        assert a[0].created_at == 0.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Place("P", 3, capacity=2)
+        with pytest.raises(ValueError):
+            Place("P", capacity=-1)
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            Place("P", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Place("")
+
+    def test_description_carried(self):
+        p = Place("P", description="buffer")
+        assert p.description == "buffer"

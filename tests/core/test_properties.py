@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These encode the invariants the engine's correctness rests on:
+multiset algebra laws, token conservation under the token game,
+time-weighted statistics consistency, calendar ordering, and
+distribution sampler moments.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Deterministic,
+    Exponential,
+    PetriNet,
+    Simulation,
+    simulate,
+)
+from repro.core.events import EventCalendar
+from repro.core.statistics import TimeWeightedAccumulator
+from repro.core.tokens import Token, TokenBag
+
+colors = st.one_of(st.none(), st.integers(-5, 5), st.sampled_from("abc"))
+token_lists = st.lists(
+    st.builds(Token, colors, st.floats(0, 100, allow_nan=False)), max_size=30
+)
+
+
+class TestTokenBagProperties:
+    @given(token_lists)
+    def test_len_equals_count(self, tokens):
+        bag = TokenBag(tokens)
+        assert len(bag) == bag.count()
+
+    @given(token_lists, st.integers(0, 30))
+    def test_take_then_count(self, tokens, k):
+        bag = TokenBag(tokens)
+        n = len(bag)
+        if k <= n:
+            taken = bag.take(k)
+            assert len(taken) == k
+            assert len(bag) == n - k
+        else:
+            with pytest.raises(ValueError):
+                bag.take(k)
+            assert len(bag) == n  # rollback
+
+    @given(token_lists)
+    def test_take_all_preserves_multiset(self, tokens):
+        bag = TokenBag(tokens)
+        before = bag.color_multiset()
+        taken = bag.take(len(tokens))
+        after: dict = {}
+        for t in taken:
+            after[t.color] = after.get(t.color, 0) + 1
+        assert before == after
+
+    @given(token_lists, st.integers(-5, 5))
+    def test_filtered_take_only_matching(self, tokens, target):
+        bag = TokenBag(tokens)
+        pred = lambda t: t.color == target  # noqa: E731
+        matching = bag.count(pred)
+        if matching:
+            taken = bag.take(matching, pred)
+            assert all(t.color == target for t in taken)
+            assert bag.count(pred) == 0
+
+    @given(token_lists)
+    def test_fifo_order_preserved(self, tokens):
+        bag = TokenBag(tokens)
+        out = []
+        while bag:
+            out.extend(bag.take(1))
+        assert [t.color for t in out] == [t.color for t in tokens]
+
+
+class TestCalendarProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcde"), st.floats(0, 100, allow_nan=False)),
+            max_size=40,
+        )
+    )
+    def test_pop_order_monotone(self, schedule):
+        cal = EventCalendar()
+        for name, t in schedule:
+            cal.schedule(name, t)
+        last = -1.0
+        popped = set()
+        while True:
+            entry = cal.pop_next()
+            if entry is None:
+                break
+            assert entry.time >= last
+            last = entry.time
+            assert entry.transition not in popped  # one live entry per key
+            popped.add(entry.transition)
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=20))
+    def test_reschedule_keeps_only_last(self, times):
+        cal = EventCalendar()
+        for t in times:
+            cal.schedule("x", t)
+        entry = cal.pop_next()
+        assert entry.time == times[-1]
+        assert cal.pop_next() is None
+
+
+class TestAccumulatorProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.01, 10, allow_nan=False),
+                st.floats(0, 5, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_time_average_bounded_by_extremes(self, steps):
+        acc = TimeWeightedAccumulator()
+        t = 0.0
+        values = [0.0]
+        for dt, v in steps:
+            t += dt
+            acc.update(t, v)
+            values.append(v)
+        acc.finalize(t + 1.0)
+        avg = acc.time_average()
+        assert min(values) - 1e-9 <= avg <= max(values) + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.01, 10, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_indicator_average_equals_nonzero_fraction(self, steps):
+        acc = TimeWeightedAccumulator()
+        t = 0.0
+        for dt, flag in steps:
+            t += dt
+            acc.update(t, 1.0 if flag else 0.0)
+        acc.finalize(t + 0.5)
+        assert acc.time_average() == pytest.approx(acc.fraction_nonzero())
+
+
+class TestTokenConservationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(1, 5),
+        st.integers(0, 10**6),
+        st.floats(0.1, 3.0, allow_nan=False),
+    )
+    def test_closed_ring_conserves_tokens(self, n_tokens, seed, delay):
+        """A ring of deterministic transitions conserves total tokens."""
+        net = PetriNet("ring")
+        n_places = 4
+        for i in range(n_places):
+            net.add_place(f"P{i}", initial_tokens=n_tokens if i == 0 else 0)
+        for i in range(n_places):
+            net.add_transition(
+                f"t{i}",
+                Deterministic(delay),
+                inputs=[f"P{i}"],
+                outputs=[f"P{(i + 1) % n_places}"],
+            )
+        result = simulate(net, horizon=50.0, seed=seed)
+        assert sum(result.final_marking_counts.values()) == n_tokens
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6), st.floats(0.2, 2.0), st.floats(2.5, 8.0))
+    def test_open_system_flow_balance(self, seed, lam, mu):
+        """Arrivals = served + still queued at every instant."""
+        net = PetriNet("flow")
+        net.add_place("src", initial_tokens=1)
+        net.add_place("q")
+        net.add_place("done")
+        net.add_transition("arrive", Exponential(lam), inputs=["src"], outputs=["src", "q"])
+        net.add_transition("serve", Exponential(mu), inputs=["q"], outputs=["done"])
+        result = simulate(net, horizon=200.0, seed=seed)
+        arrived = result.stats.firing_count("arrive")
+        served = result.stats.firing_count("serve")
+        assert arrived == served + result.final_marking_counts["q"]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_occupancies_are_probabilities(self, seed):
+        net = PetriNet()
+        net.add_place("src", initial_tokens=1)
+        net.add_place("q")
+        net.add_transition("a", Exponential(1.0), inputs=["src"], outputs=["src", "q"])
+        net.add_transition("s", Exponential(2.0), inputs=["q"])
+        result = simulate(net, horizon=100.0, seed=seed)
+        for place in ("src", "q"):
+            assert 0.0 <= result.occupancy(place) <= 1.0
+
+
+class TestDistributionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.1, 20.0, allow_nan=False))
+    def test_exponential_samples_nonnegative(self, rate):
+        d = Exponential(rate)
+        rng = np.random.default_rng(0)
+        assert all(d.sample(rng) >= 0 for _ in range(50))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.0, 100.0, allow_nan=False))
+    def test_deterministic_sample_equals_mean(self, delay):
+        d = Deterministic(delay)
+        rng = np.random.default_rng(0)
+        assert d.sample(rng) == d.mean() == delay

@@ -1,0 +1,186 @@
+"""Unit tests for time-weighted statistics and batch means."""
+
+import numpy as np
+import pytest
+
+from repro.core.statistics import (
+    BatchMeans,
+    PredicateStatistic,
+    StatisticsCollector,
+    TimeWeightedAccumulator,
+    TransitionCounter,
+)
+
+
+class TestTimeWeightedAccumulator:
+    def test_constant_signal(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(0.0, 2.0)
+        acc.finalize(10.0)
+        assert acc.time_average() == pytest.approx(2.0)
+        assert acc.fraction_nonzero() == pytest.approx(1.0)
+
+    def test_piecewise_signal(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(0.0, 0.0)
+        acc.update(4.0, 2.0)   # 0 for [0,4)
+        acc.finalize(10.0)     # 2 for [4,10)
+        assert acc.time_average() == pytest.approx(12.0 / 10.0)
+        assert acc.fraction_nonzero() == pytest.approx(0.6)
+
+    def test_warmup_discards_transient(self):
+        acc = TimeWeightedAccumulator(warmup=5.0)
+        acc.update(0.0, 100.0)
+        acc.update(5.0, 1.0)
+        acc.finalize(10.0)
+        assert acc.time_average() == pytest.approx(1.0)
+
+    def test_warmup_straddling_interval(self):
+        acc = TimeWeightedAccumulator(warmup=5.0)
+        acc.update(0.0, 2.0)
+        acc.finalize(10.0)  # value 2 over [0,10) but only [5,10) counts
+        assert acc.time_average() == pytest.approx(2.0)
+        assert acc.observed_time == pytest.approx(5.0)
+
+    def test_time_backwards_rejected(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            acc.update(4.0, 1.0)
+
+    def test_maximum_tracked(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(0.0, 1.0)
+        acc.update(1.0, 5.0)
+        acc.update(2.0, 0.0)
+        assert acc.maximum() == 5.0
+
+    def test_empty_observation(self):
+        acc = TimeWeightedAccumulator()
+        assert acc.time_average() == 0.0
+        assert acc.fraction_nonzero() == 0.0
+
+
+class TestPredicateStatistic:
+    def test_probability(self):
+        class M:
+            def __init__(self):
+                self.flag = False
+
+        m = M()
+        stat = PredicateStatistic("flag", lambda mm: mm.flag)
+        stat.update(0.0, m)
+        m.flag = True
+        stat.update(4.0, m)
+        m.flag = False
+        stat.update(8.0, m)
+        stat.acc.finalize(10.0)
+        assert stat.probability() == pytest.approx(0.4)
+
+
+class TestTransitionCounter:
+    def test_count_and_throughput(self):
+        c = TransitionCounter()
+        for t in (1.0, 2.0, 3.0):
+            c.record(t)
+        assert c.count == 3
+        assert c.throughput(10.0) == pytest.approx(0.3)
+
+    def test_warmup_excludes_early_firings(self):
+        c = TransitionCounter(warmup=5.0)
+        c.record(1.0)
+        c.record(6.0)
+        assert c.count == 1
+        assert c.throughput(10.0) == pytest.approx(1 / 5.0)
+
+    def test_zero_horizon(self):
+        c = TransitionCounter()
+        assert c.throughput(0.0) == 0.0
+
+
+class TestBatchMeans:
+    def test_constant_signal_zero_variance(self):
+        bm = BatchMeans(horizon=100.0, n_batches=10)
+        bm.update(0.0, 3.0)
+        bm.finalize()
+        ci = bm.interval()
+        assert ci.mean == pytest.approx(3.0)
+        assert ci.half_width == pytest.approx(0.0, abs=1e-12)
+        assert ci.contains(3.0)
+
+    def test_alternating_signal(self):
+        bm = BatchMeans(horizon=100.0, n_batches=4)
+        t = 0.0
+        v = 0.0
+        while t < 100.0:
+            bm.update(t, v)
+            v = 1.0 - v
+            t += 0.5
+        bm.finalize()
+        ci = bm.interval()
+        assert ci.mean == pytest.approx(0.5, abs=0.01)
+
+    def test_batch_attribution_across_boundaries(self):
+        bm = BatchMeans(horizon=10.0, n_batches=2)
+        bm.update(0.0, 1.0)   # value 1 over [0, 10)
+        bm.finalize()
+        means = bm.batch_means()
+        assert means.tolist() == pytest.approx([1.0, 1.0])
+
+    def test_warmup(self):
+        bm = BatchMeans(horizon=20.0, warmup=10.0, n_batches=2)
+        bm.update(0.0, 99.0)
+        bm.update(10.0, 1.0)
+        bm.finalize()
+        assert bm.batch_means().tolist() == pytest.approx([1.0, 1.0])
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BatchMeans(horizon=10.0, n_batches=1)
+        with pytest.raises(ValueError):
+            BatchMeans(horizon=5.0, warmup=5.0)
+
+    def test_confidence_interval_width_shrinks_with_confidence(self):
+        rng = np.random.default_rng(0)
+        bm = BatchMeans(horizon=100.0, n_batches=20)
+        t = 0.0
+        while t < 100.0:
+            bm.update(t, float(rng.uniform(0, 2)))
+            t += 0.1
+        bm.finalize()
+        narrow = bm.interval(0.8)
+        wide = bm.interval(0.99)
+        assert narrow.half_width < wide.half_width
+        assert narrow.relative_half_width() > 0
+
+
+class TestStatisticsCollector:
+    def test_end_to_end(self):
+        col = StatisticsCollector(["A", "B"], ["t1"], warmup=0.0)
+
+        class View:
+            pass
+
+        view = View()
+        col.initialize(view, {"A": 1, "B": 0})
+        col.on_transition_fired(2.0, "t1")
+        col.on_marking_change(2.0, view, {"A": 0, "B": 1})
+        col.finalize(4.0)
+        assert col.mean_tokens("A") == pytest.approx(0.5)
+        assert col.occupancy("B") == pytest.approx(0.5)
+        assert col.firing_count("t1") == 1
+        assert col.throughput("t1") == pytest.approx(0.25)
+
+    def test_duplicate_predicate_rejected(self):
+        col = StatisticsCollector([], [])
+        col.add_predicate("p", lambda m: True)
+        with pytest.raises(ValueError):
+            col.add_predicate("p", lambda m: True)
+
+    def test_summary_structure(self):
+        col = StatisticsCollector(["A"], ["t"])
+        col.initialize(None, {"A": 1})
+        col.finalize(1.0)
+        s = col.summary()
+        assert set(s) == {"mean_tokens", "occupancy", "throughput", "predicates"}
+        assert s["mean_tokens"]["A"] == pytest.approx(1.0)

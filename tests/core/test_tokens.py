@@ -1,0 +1,131 @@
+"""Unit tests for tokens and token multisets."""
+
+import pytest
+
+from repro.core.tokens import BLACK, Token, TokenBag, make_tokens
+
+
+class TestToken:
+    def test_default_is_colorless(self):
+        tok = Token()
+        assert tok.color is None
+        assert tok.created_at == 0.0
+
+    def test_color_payload(self):
+        tok = Token(color=3, created_at=1.5)
+        assert tok.color == 3
+        assert tok.created_at == 1.5
+
+    def test_with_color_copies(self):
+        tok = Token(color=1, created_at=2.0)
+        other = tok.with_color(7)
+        assert other.color == 7
+        assert other.created_at == 2.0
+        assert tok.color == 1
+
+    def test_age(self):
+        tok = Token(created_at=3.0)
+        assert tok.age(10.0) == pytest.approx(7.0)
+
+    def test_black_prototype(self):
+        assert BLACK.color is None
+
+
+class TestMakeTokens:
+    def test_count(self):
+        toks = make_tokens(5, color="x", created_at=2.0)
+        assert len(toks) == 5
+        assert all(t.color == "x" for t in toks)
+        assert all(t.created_at == 2.0 for t in toks)
+
+    def test_distinct_instances(self):
+        toks = make_tokens(3)
+        assert len({id(t) for t in toks}) == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_tokens(-1)
+
+
+class TestTokenBag:
+    def test_empty(self):
+        bag = TokenBag()
+        assert len(bag) == 0
+        assert not bag
+        assert bag.count() == 0
+
+    def test_add_and_len(self):
+        bag = TokenBag()
+        bag.add(Token(1))
+        bag.add(Token(2))
+        assert len(bag) == 2
+        assert bag.colors() == [1, 2]
+
+    def test_extend_preserves_order(self):
+        bag = TokenBag([Token("a")])
+        bag.extend([Token("b"), Token("c")])
+        assert bag.colors() == ["a", "b", "c"]
+
+    def test_take_fifo(self):
+        bag = TokenBag([Token(i) for i in range(5)])
+        taken = bag.take(2)
+        assert [t.color for t in taken] == [0, 1]
+        assert bag.colors() == [2, 3, 4]
+
+    def test_take_zero(self):
+        bag = TokenBag([Token(1)])
+        assert bag.take(0) == []
+        assert len(bag) == 1
+
+    def test_take_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBag().take(-1)
+
+    def test_take_too_many_raises_and_rolls_back(self):
+        bag = TokenBag([Token(1)])
+        with pytest.raises(ValueError):
+            bag.take(2)
+        assert len(bag) == 1
+
+    def test_take_with_filter_selects_oldest_matching(self):
+        bag = TokenBag([Token(1), Token(2), Token(1), Token(2)])
+        taken = bag.take(1, predicate=lambda t: t.color == 2)
+        assert [t.color for t in taken] == [2]
+        assert bag.colors() == [1, 1, 2]
+
+    def test_take_with_filter_all_or_nothing(self):
+        bag = TokenBag([Token(1), Token(2)])
+        with pytest.raises(ValueError):
+            bag.take(2, predicate=lambda t: t.color == 2)
+        # Rollback: both tokens still present.
+        assert sorted(bag.colors()) == [1, 2]
+
+    def test_count_with_predicate(self):
+        bag = TokenBag([Token(1), Token(2), Token(2)])
+        assert bag.count(lambda t: t.color == 2) == 2
+
+    def test_peek_does_not_remove(self):
+        bag = TokenBag([Token(1), Token(2)])
+        assert [t.color for t in bag.peek(1)] == [1]
+        assert len(bag) == 2
+
+    def test_color_multiset(self):
+        bag = TokenBag([Token("a"), Token("b"), Token("a")])
+        assert bag.color_multiset() == {"a": 2, "b": 1}
+
+    def test_clear_returns_all(self):
+        bag = TokenBag([Token(1), Token(2)])
+        out = bag.clear()
+        assert len(out) == 2
+        assert len(bag) == 0
+
+    def test_copy_is_independent(self):
+        bag = TokenBag([Token(1)])
+        clone = bag.copy()
+        clone.add(Token(2))
+        assert len(bag) == 1
+        assert len(clone) == 2
+
+    def test_iteration(self):
+        bag = TokenBag([Token(i) for i in range(3)])
+        assert [t.color for t in bag] == [0, 1, 2]

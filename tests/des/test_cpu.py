@@ -1,0 +1,93 @@
+"""Behavioural tests for the ground-truth CPU simulator."""
+
+import pytest
+
+from repro.des import CPUPowerStateSimulator, CPUStates
+from repro.markov import SupplementaryVariableCPUModel
+
+
+def run(T, D, horizon=30_000.0, seed=7, lam=1.0, mu=10.0, warmup=100.0):
+    sim = CPUPowerStateSimulator(lam, mu, T, D, seed=seed, warmup=warmup)
+    return sim.run(horizon)
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CPUPowerStateSimulator(0.0, 1.0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            CPUPowerStateSimulator(1.0, 10.0, -0.1, 0.1)
+        with pytest.raises(ValueError):
+            CPUPowerStateSimulator(1.0, 10.0, 0.1, 0.1, initial_state="weird")
+        with pytest.raises(ValueError):
+            CPUPowerStateSimulator(1.0, 10.0, 0.1, 0.1).run(0.0)
+
+
+class TestBehaviour:
+    def test_fractions_sum_to_one(self):
+        r = run(0.1, 0.3)
+        assert sum(r.fractions.values()) == pytest.approx(1.0)
+
+    def test_workload_conservation(self):
+        r = run(0.1, 0.3)
+        assert r.jobs_arrived >= r.jobs_served
+        assert r.jobs_arrived - r.jobs_served < 50  # queue is stable
+
+    def test_zero_threshold_skips_idle(self):
+        r = run(0.0, 0.001)
+        assert r.fraction(CPUStates.IDLE) == pytest.approx(0.0, abs=1e-9)
+
+    def test_huge_threshold_never_sleeps(self):
+        r = run(10_000.0, 0.3)
+        assert r.fraction(CPUStates.STANDBY) == pytest.approx(0.0, abs=1e-6)
+        assert r.wakeups <= 1
+
+    def test_active_fraction_tracks_utilisation(self):
+        # rho = 0.1 regardless of power management (service conservation)
+        for T, D in ((0.001, 0.001), (0.5, 0.3), (0.9, 1.0)):
+            r = run(T, D)
+            assert r.fraction(CPUStates.ACTIVE) == pytest.approx(0.1, abs=0.02)
+
+    def test_wakeups_decrease_with_threshold(self):
+        wakes = [run(T, 0.001).wakeups for T in (0.001, 0.5, 2.0)]
+        assert wakes[0] > wakes[1] > wakes[2]
+
+    def test_powerup_fraction_grows_with_delay(self):
+        r_small = run(0.01, 0.001)
+        r_big = run(0.01, 10.0)
+        assert r_big.fraction(CPUStates.POWERUP) > r_small.fraction(CPUStates.POWERUP)
+        # At D = 10 the CPU spends most time waking (Fig. 6's regime).
+        assert r_big.fraction(CPUStates.POWERUP) > 0.5
+
+    def test_reproducibility(self):
+        a = run(0.1, 0.3, seed=5)
+        b = run(0.1, 0.3, seed=5)
+        assert a.fractions == b.fractions
+        assert a.jobs_arrived == b.jobs_arrived
+
+    def test_initial_state_idle(self):
+        sim = CPUPowerStateSimulator(
+            1.0, 10.0, 5.0, 0.3, initial_state=CPUStates.IDLE, seed=1
+        )
+        r = sim.run(100.0)
+        assert r.fraction(CPUStates.IDLE) > 0
+
+
+class TestAgainstMarkovModel:
+    """Cross-validation: for small D the Markov equations are accurate."""
+
+    @pytest.mark.parametrize("T", [0.05, 0.2, 0.8])
+    def test_small_delay_agreement(self, T):
+        D = 0.001
+        r = run(T, D, horizon=60_000.0)
+        ss = SupplementaryVariableCPUModel(1.0, 10.0, T, D).steady_state()
+        assert r.fraction(CPUStates.STANDBY) == pytest.approx(ss.standby, abs=0.02)
+        assert r.fraction(CPUStates.IDLE) == pytest.approx(ss.idle, abs=0.02)
+        assert r.fraction(CPUStates.ACTIVE) == pytest.approx(ss.active, abs=0.02)
+
+    def test_large_delay_divergence(self):
+        # The paper's Fig. 6 claim: Markov fails at D = 10 s.
+        D, T = 10.0, 0.5
+        r = run(T, D, horizon=60_000.0)
+        ss = SupplementaryVariableCPUModel(1.0, 10.0, T, D).steady_state()
+        assert abs(r.fraction(CPUStates.POWERUP) - ss.powerup) > 0.3

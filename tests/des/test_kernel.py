@@ -1,0 +1,112 @@
+"""Unit tests for the DES kernel."""
+
+import pytest
+
+from repro.des import Scheduler
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        s = Scheduler()
+        log = []
+        s.schedule(3.0, lambda: log.append("c"))
+        s.schedule(1.0, lambda: log.append("a"))
+        s.schedule(2.0, lambda: log.append("b"))
+        s.run_until(10.0)
+        assert log == ["a", "b", "c"]
+        assert s.now == 10.0
+
+    def test_ties_break_by_schedule_order(self):
+        s = Scheduler()
+        log = []
+        s.schedule(1.0, lambda: log.append("first"))
+        s.schedule(1.0, lambda: log.append("second"))
+        s.run_until(2.0)
+        assert log == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        s = Scheduler()
+        s.schedule(1.0, lambda: None)
+        s.run_until(5.0)
+        with pytest.raises(ValueError):
+            s.schedule_at(3.0, lambda: None)
+
+    def test_cancellation(self):
+        s = Scheduler()
+        log = []
+        handle = s.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        s.run_until(5.0)
+        assert log == []
+
+    def test_cancel_after_fire_is_noop(self):
+        s = Scheduler()
+        log = []
+        handle = s.schedule(1.0, lambda: log.append("x"))
+        s.run_until(2.0)
+        handle.cancel()
+        assert log == ["x"]
+
+    def test_events_can_schedule_events(self):
+        s = Scheduler()
+        log = []
+
+        def chain():
+            log.append(s.now)
+            if s.now < 3.0:
+                s.schedule(1.0, chain)
+
+        s.schedule(1.0, chain)
+        s.run_until(10.0)
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_horizon_leaves_future_events_queued(self):
+        s = Scheduler()
+        log = []
+        s.schedule(5.0, lambda: log.append("later"))
+        s.run_until(2.0)
+        assert log == []
+        s.run_until(6.0)
+        assert log == ["later"]
+
+    def test_run_until_backwards_rejected(self):
+        s = Scheduler()
+        s.run_until(5.0)
+        with pytest.raises(ValueError):
+            s.run_until(3.0)
+
+    def test_event_due_exactly_at_horizon_runs(self):
+        s = Scheduler()
+        log = []
+        s.schedule(2.0, lambda: log.append("edge"))
+        s.run_until(2.0)
+        assert log == ["edge"]
+
+    def test_step_and_counters(self):
+        s = Scheduler()
+        s.schedule(1.0, lambda: None)
+        s.schedule(2.0, lambda: None)
+        assert s.pending() == 2
+        assert s.step()
+        assert s.events_fired == 1
+        assert s.step()
+        assert not s.step()
+
+    def test_run_events_budget(self):
+        s = Scheduler()
+        for i in range(5):
+            s.schedule(float(i + 1), lambda: None)
+        assert s.run_events(3) == 3
+        assert s.pending() == 2
+
+    def test_peek(self):
+        s = Scheduler()
+        assert s.peek() is None
+        h = s.schedule(4.0, lambda: None)
+        assert s.peek() == 4.0
+        h.cancel()
+        assert s.peek() is None

@@ -1,0 +1,57 @@
+"""Unit tests for named RNG streams."""
+
+import numpy as np
+
+from repro.des import RngStreams
+
+
+class TestRngStreams:
+    def test_same_name_same_generator(self):
+        streams = RngStreams(42)
+        assert streams.get("a") is streams.get("a")
+
+    def test_reproducible_across_families(self):
+        a = RngStreams(42).get("arrivals").random(5)
+        b = RngStreams(42).get("arrivals").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_independent(self):
+        streams = RngStreams(42)
+        a = streams.get("a").random(5)
+        b = streams.get("b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_stream_values_independent_of_creation_order(self):
+        s1 = RngStreams(42)
+        s1.get("x")
+        v1 = s1.get("y").random(3)
+        s2 = RngStreams(42)
+        v2 = s2.get("y").random(3)  # no "x" created first
+        assert np.allclose(v1, v2)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("s").random(5)
+        b = RngStreams(2).get("s").random(5)
+        assert not np.allclose(a, b)
+
+    def test_spawn_gives_independent_family(self):
+        parent = RngStreams(42)
+        child1 = parent.spawn()
+        child2 = parent.spawn()
+        v0 = parent.get("s").random(3)
+        v1 = child1.get("s").random(3)
+        v2 = child2.get("s").random(3)
+        assert not np.allclose(v0, v1)
+        assert not np.allclose(v1, v2)
+
+    def test_names_listing(self):
+        streams = RngStreams()
+        streams.get("b")
+        streams.get("a")
+        assert streams.names() == ["a", "b"]
+
+    def test_stable_key_is_deterministic(self):
+        assert RngStreams._stable_key("cpu.arrivals") == RngStreams._stable_key(
+            "cpu.arrivals"
+        )
+        assert RngStreams._stable_key("a") != RngStreams._stable_key("b")

@@ -1,0 +1,87 @@
+"""Unit tests for state-dwell ledgers."""
+
+import pytest
+
+from repro.des import StateDwellLedger
+
+
+class TestStateDwellLedger:
+    def test_basic_dwell(self):
+        led = StateDwellLedger("a")
+        led.transition(2.0, "b")
+        led.transition(5.0, "a")
+        led.close(10.0)
+        assert led.time_in("a") == pytest.approx(2.0 + 5.0)
+        assert led.time_in("b") == pytest.approx(3.0)
+        assert led.total_time() == pytest.approx(10.0)
+
+    def test_fractions_sum_to_one(self):
+        led = StateDwellLedger("a")
+        led.transition(1.0, "b")
+        led.transition(4.0, "c")
+        led.close(8.0)
+        fracs = led.fractions()
+        assert sum(fracs.values()) == pytest.approx(1.0)
+        assert fracs["c"] == pytest.approx(0.5)
+
+    def test_self_transition_accumulates(self):
+        led = StateDwellLedger("a")
+        led.transition(1.0, "a")
+        led.transition(2.0, "a")
+        led.close(3.0)
+        assert led.time_in("a") == pytest.approx(3.0)
+        assert led.visit_count("a") == 1  # no re-entry
+
+    def test_visit_counting(self):
+        led = StateDwellLedger("a")
+        led.transition(1.0, "b")
+        led.transition(2.0, "a")
+        led.close(3.0)
+        assert led.visit_count("a") == 2
+        assert led.visit_count("b") == 1
+        assert led.visit_count("zzz") == 0
+
+    def test_warmup_discards_early_time(self):
+        led = StateDwellLedger("a", warmup=5.0)
+        led.transition(3.0, "b")  # a over [0,3) discarded entirely
+        led.transition(7.0, "a")  # b over [3,7): only [5,7) counts
+        led.close(10.0)
+        assert led.time_in("a") == pytest.approx(3.0)
+        assert led.time_in("b") == pytest.approx(2.0)
+
+    def test_time_backwards_rejected(self):
+        led = StateDwellLedger("a")
+        led.transition(5.0, "b")
+        with pytest.raises(ValueError):
+            led.transition(4.0, "a")
+
+    def test_closed_ledger_rejects_updates(self):
+        led = StateDwellLedger("a")
+        led.close(1.0)
+        with pytest.raises(RuntimeError):
+            led.transition(2.0, "b")
+
+    def test_double_close_is_noop(self):
+        led = StateDwellLedger("a")
+        led.close(1.0)
+        led.close(5.0)
+        assert led.total_time() == pytest.approx(1.0)
+
+    def test_history_recording(self):
+        led = StateDwellLedger("a", keep_history=True)
+        led.transition(1.0, "b")
+        led.close(3.0)
+        hist = led.history()
+        assert len(hist) == 2
+        assert hist[0].state == "a"
+        assert hist[0].duration == pytest.approx(1.0)
+        assert hist[1].state == "b"
+        assert hist[1].duration == pytest.approx(2.0)
+
+    def test_history_off_by_default(self):
+        led = StateDwellLedger("a")
+        led.close(1.0)
+        assert led.history() == []
+
+    def test_empty_fractions(self):
+        assert StateDwellLedger("a").fractions() == {}

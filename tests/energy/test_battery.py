@@ -1,0 +1,107 @@
+"""Unit tests for battery and lifetime models."""
+
+import math
+
+import pytest
+
+from repro.energy import (
+    IMOTE2_3xAAA,
+    LinearBattery,
+    NodeLifetimeEstimator,
+    PeukertBattery,
+)
+
+
+class TestLinearBattery:
+    def test_usable_energy(self):
+        b = LinearBattery(1000.0, 3.0)
+        # 1 Ah * 3 V = 3 Wh = 10800 J
+        assert b.usable_energy_j() == pytest.approx(10800.0)
+
+    def test_usable_fraction(self):
+        b = LinearBattery(1000.0, 3.0, usable_fraction=0.5)
+        assert b.usable_energy_j() == pytest.approx(5400.0)
+
+    def test_lifetime_scales_inversely_with_power(self):
+        b = LinearBattery(1000.0, 3.0)
+        assert b.lifetime_s(2.0) == pytest.approx(b.lifetime_s(1.0) / 2)
+
+    def test_zero_power_infinite_life(self):
+        assert LinearBattery(1.0, 1.0).lifetime_s(0.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearBattery(0.0, 3.0)
+        with pytest.raises(ValueError):
+            LinearBattery(1.0, 3.0, usable_fraction=0.0)
+        with pytest.raises(ValueError):
+            LinearBattery(1.0, 3.0, usable_fraction=1.5)
+
+    def test_imote2_preset(self):
+        # 1000 mAh * 0.85 * 4.5 V = 3.825 Wh = 13770 J
+        assert IMOTE2_3xAAA.usable_energy_j() == pytest.approx(13770.0)
+
+
+class TestPeukertBattery:
+    def test_exponent_one_matches_linear(self):
+        pk = PeukertBattery(1000.0, 3.0, peukert_exponent=1.0, rated_hours=20.0)
+        lin = LinearBattery(1000.0, 3.0)
+        for p in (0.5, 5.0, 50.0):
+            assert pk.lifetime_s(p) == pytest.approx(lin.lifetime_s(p), rel=1e-9)
+
+    def test_high_draw_penalised(self):
+        pk = PeukertBattery(1000.0, 3.0, peukert_exponent=1.2, rated_hours=20.0)
+        lin = LinearBattery(1000.0, 3.0)
+        rated_power_mw = 1000.0 / 20.0 * 3.0  # draw at the 20h rate
+        # above rated draw: Peukert life < linear life
+        assert pk.lifetime_s(10 * rated_power_mw) < lin.lifetime_s(10 * rated_power_mw)
+        # below rated draw: Peukert life > linear life
+        assert pk.lifetime_s(rated_power_mw / 10) > lin.lifetime_s(rated_power_mw / 10)
+
+    def test_at_rated_draw_equal(self):
+        pk = PeukertBattery(1000.0, 3.0, peukert_exponent=1.3, rated_hours=20.0)
+        rated_power_mw = 1000.0 / 20.0 * 3.0
+        assert pk.lifetime_s(rated_power_mw) == pytest.approx(20 * 3600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeukertBattery(1000.0, 3.0, peukert_exponent=0.9)
+        with pytest.raises(ValueError):
+            PeukertBattery(1000.0, 3.0, rated_hours=0.0)
+
+    def test_usable_energy_depends_on_draw(self):
+        pk = PeukertBattery(1000.0, 3.0, peukert_exponent=1.2)
+        assert pk.usable_energy_j(100.0) < pk.usable_energy_j(1.0)
+
+
+class TestNodeLifetimeEstimator:
+    def test_days_conversion(self):
+        est = NodeLifetimeEstimator(LinearBattery(1000.0, 3.0))
+        assert est.lifetime_days(1.0) == pytest.approx(
+            est.lifetime_s(1.0) / 86400.0
+        )
+
+    def test_from_energy(self):
+        est = NodeLifetimeEstimator(LinearBattery(1000.0, 3.0))
+        # 9 J over 900 s -> 10 mW
+        assert est.lifetime_from_energy(9.0, 900.0) == pytest.approx(
+            est.lifetime_days(10.0)
+        )
+        with pytest.raises(ValueError):
+            est.lifetime_from_energy(1.0, 0.0)
+
+    def test_lifetime_table(self):
+        est = NodeLifetimeEstimator(LinearBattery(1000.0, 3.0))
+        rows = est.lifetime_table_days([0.1, 0.2], [9.0, 18.0], 900.0)
+        assert len(rows) == 2
+        assert rows[0][1] == pytest.approx(2 * rows[1][1])
+        with pytest.raises(ValueError):
+            est.lifetime_table_days([0.1], [1.0, 2.0], 900.0)
+
+    def test_lower_threshold_energy_means_longer_life(self):
+        # The point of the whole exercise: the Fig. 14 optimum maps to
+        # the longest deployment.
+        est = NodeLifetimeEstimator(IMOTE2_3xAAA)
+        life_opt = est.lifetime_from_energy(68.6, 900.0)
+        life_bad = est.lifetime_from_energy(99.4, 900.0)
+        assert life_opt > life_bad

@@ -1,0 +1,86 @@
+"""Unit tests for the Figs. 14/15 energy-component breakdown."""
+
+import pytest
+
+from repro.energy import (
+    BREAKDOWN_CATEGORIES,
+    CATEGORY_LABELS,
+    EnergyBreakdown,
+    categorize,
+)
+
+
+class TestCategorize:
+    @pytest.mark.parametrize(
+        "component,state,expected",
+        [
+            ("cpu", "powerup", "cpu_wakeup"),
+            ("cpu", "active", "cpu_active"),
+            ("cpu", "idle", "cpu_idle"),
+            ("cpu", "standby", "cpu_sleep"),
+            ("radio", "powerup", "radio_wakeup"),
+            ("radio", "active", "radio_active"),
+            ("Radio", "Standby", "radio_sleep"),  # case-insensitive
+        ],
+    )
+    def test_mapping(self, component, state, expected):
+        assert categorize(component, state) == expected
+
+    def test_unknown_component(self):
+        with pytest.raises(ValueError):
+            categorize("gpu", "active")
+
+    def test_unknown_state(self):
+        with pytest.raises(ValueError):
+            categorize("cpu", "hibernate")
+
+    def test_all_categories_labelled(self):
+        assert set(CATEGORY_LABELS) == set(BREAKDOWN_CATEGORIES)
+
+
+class TestEnergyBreakdown:
+    def test_defaults_fill_missing(self):
+        b = EnergyBreakdown({"cpu_active": 1.0})
+        assert b.get("radio_sleep") == 0.0
+        assert b.total_j() == pytest.approx(1.0)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown({"gpu_active": 1.0})
+
+    def test_from_component_states(self):
+        b = EnergyBreakdown.from_component_states(
+            {
+                "cpu": {"active": 2.0, "powerup": 1.0},
+                "radio": {"standby": 0.5},
+            }
+        )
+        assert b.get("cpu_active") == 2.0
+        assert b.get("cpu_wakeup") == 1.0
+        assert b.get("radio_sleep") == 0.5
+        assert b.total_j() == pytest.approx(3.5)
+
+    def test_aggregates(self):
+        b = EnergyBreakdown(
+            {
+                "cpu_wakeup": 1.0,
+                "radio_wakeup": 0.5,
+                "cpu_active": 2.0,
+                "radio_active": 0.25,
+            }
+        )
+        assert b.transitional_j() == pytest.approx(1.5)
+        assert b.cpu_j() == pytest.approx(3.0)
+        assert b.radio_j() == pytest.approx(0.75)
+
+    def test_as_row_canonical_order(self):
+        b = EnergyBreakdown({c: float(i) for i, c in enumerate(BREAKDOWN_CATEGORIES)})
+        assert b.as_row() == tuple(float(i) for i in range(len(BREAKDOWN_CATEGORIES)))
+
+    def test_get_typo_raises(self):
+        b = EnergyBreakdown({})
+        with pytest.raises(KeyError):
+            b.get("cpu_wake")  # typo for cpu_wakeup
+
+    def test_str(self):
+        assert "total=" in str(EnergyBreakdown({"cpu_idle": 1.0}))

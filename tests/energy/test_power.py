@@ -1,0 +1,97 @@
+"""Unit tests for power-state tables and the paper's parameter sets."""
+
+import pytest
+
+from repro.energy import (
+    CC2420_RADIO_POWER_MW,
+    IMOTE2_MEASURED_POWER_MW,
+    PXA271_CPU_POWER_MW,
+    PowerStateTable,
+    cpu_power_table,
+    imote2_power_table,
+    radio_power_table,
+)
+
+
+class TestPaperParameterSets:
+    def test_table_iii_cpu_values(self):
+        assert PXA271_CPU_POWER_MW == {
+            "standby": 17.0,
+            "idle": 88.0,
+            "powerup": 192.976,
+            "active": 193.0,
+        }
+
+    def test_table_iii_radio_values(self):
+        assert CC2420_RADIO_POWER_MW["standby"] == pytest.approx(1.44e-4)
+        assert CC2420_RADIO_POWER_MW["active"] == 78.0
+
+    def test_table_vii_values(self):
+        assert IMOTE2_MEASURED_POWER_MW["wait"] == 1.216
+        # the paper's counter-intuitive observation: TX < idle because
+        # the idle radio is actively listening
+        assert (
+            IMOTE2_MEASURED_POWER_MW["transmitting"]
+            < IMOTE2_MEASURED_POWER_MW["wait"]
+        )
+
+    def test_factory_functions(self):
+        assert cpu_power_table().rate_mw("active") == 193.0
+        assert radio_power_table().rate_mw("idle") == 0.712
+        assert imote2_power_table().rate_mw("computation") == 1.253
+
+
+class TestPowerStateTable:
+    def table(self):
+        return PowerStateTable("t", {"on": 100.0, "off": 10.0})
+
+    def test_rates(self):
+        t = self.table()
+        assert t.rate_mw("on") == 100.0
+        assert t.rate_w("on") == 0.1
+        assert t.has_state("on")
+        assert not t.has_state("nope")
+        assert set(t.states) == {"on", "off"}
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PowerStateTable("bad", {"x": -1.0})
+
+    def test_energy_from_dwell(self):
+        t = self.table()
+        # 100mW*2s + 10mW*10s = 300 mJ = 0.3 J
+        assert t.energy_from_dwell_j({"on": 2.0, "off": 10.0}) == pytest.approx(0.3)
+
+    def test_energy_from_dwell_unknown_state_raises(self):
+        with pytest.raises(KeyError):
+            self.table().energy_from_dwell_j({"ghost": 1.0})
+
+    def test_energy_from_dwell_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.table().energy_from_dwell_j({"on": -1.0})
+
+    def test_energy_from_probabilities(self):
+        t = self.table()
+        # mean power = 0.5*100 + 0.5*10 = 55 mW over 100 s -> 5.5 J
+        e = t.energy_from_probabilities_j({"on": 0.5, "off": 0.5}, 100.0)
+        assert e == pytest.approx(5.5)
+
+    def test_probability_bounds_checked(self):
+        with pytest.raises(ValueError):
+            self.table().energy_from_probabilities_j({"on": 1.5}, 1.0)
+        with pytest.raises(ValueError):
+            self.table().energy_from_probabilities_j({"on": 0.5}, -1.0)
+
+    def test_mean_power(self):
+        assert self.table().mean_power_mw({"on": 0.25, "off": 0.75}) == pytest.approx(
+            32.5
+        )
+
+    def test_scaled(self):
+        t = self.table().scaled(2.0)
+        assert t.rate_mw("on") == 200.0
+        with pytest.raises(ValueError):
+            self.table().scaled(-1.0)
+
+    def test_str(self):
+        assert "on=" in str(self.table())

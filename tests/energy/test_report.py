@@ -1,0 +1,58 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.energy import (
+    EnergyBreakdown,
+    format_breakdown_sweep,
+    format_energy_series,
+    format_state_percentages,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_precision(self):
+        text = format_table(["x"], [[1.23456789]], precision=3)
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+
+class TestSeriesFormatters:
+    def test_state_percentages(self):
+        text = format_state_percentages(
+            [0.1, 0.2],
+            {"Idle": [0.5, 0.6], "Active": [0.1, 0.1]},
+            title="Fig 4",
+        )
+        assert "Fig 4" in text
+        assert "Idle %" in text
+        assert "50" in text  # converted to percent
+
+    def test_energy_series(self):
+        text = format_energy_series(
+            [0.1], {"Simulation": [12.5], "Markov": [13.0]}, title="Fig 7"
+        )
+        assert "Simulation (J)" in text
+        assert "12.5" in text
+
+    def test_breakdown_sweep(self):
+        b = EnergyBreakdown({"cpu_active": 1.0})
+        text = format_breakdown_sweep([0.01], [b], title="Fig 14")
+        assert "CPU Active" in text
+        assert "Total (J)" in text
+
+    def test_breakdown_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_breakdown_sweep([0.01, 0.02], [EnergyBreakdown({})], "t")

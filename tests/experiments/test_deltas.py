@@ -1,0 +1,61 @@
+"""Tests for Δ-energy statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import delta_stats, delta_table
+
+
+class TestDeltaStats:
+    def test_identical_series_zero(self):
+        s = delta_stats([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert s.avg == 0.0
+        assert s.variance == 0.0
+        assert s.std_dev == 0.0
+        assert s.rmse == 0.0
+        assert s.n == 3
+
+    def test_constant_offset(self):
+        s = delta_stats([1.0, 2.0, 3.0], [3.0, 4.0, 5.0])
+        assert s.avg == pytest.approx(2.0)
+        assert s.variance == pytest.approx(0.0)
+        assert s.rmse == pytest.approx(2.0)
+
+    def test_sign_symmetric(self):
+        a = [1.0, 5.0, 2.0]
+        b = [2.0, 3.0, 4.0]
+        assert delta_stats(a, b).avg == delta_stats(b, a).avg
+        assert delta_stats(a, b).rmse == delta_stats(b, a).rmse
+
+    def test_rmse_geq_avg(self):
+        rng = np.random.default_rng(0)
+        a = rng.random(20)
+        b = rng.random(20)
+        s = delta_stats(a, b)
+        assert s.rmse >= s.avg - 1e-12
+
+    def test_known_values(self):
+        s = delta_stats([0.0, 0.0], [1.0, 3.0])
+        assert s.avg == pytest.approx(2.0)
+        assert s.variance == pytest.approx(1.0)
+        assert s.std_dev == pytest.approx(1.0)
+        assert s.rmse == pytest.approx(np.sqrt(5.0))
+
+    def test_as_row_order(self):
+        s = delta_stats([0.0], [2.0])
+        assert s.as_row() == (s.avg, s.variance, s.std_dev, s.rmse)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            delta_stats([], [])
+        with pytest.raises(ValueError):
+            delta_stats([1.0], [1.0, 2.0])
+
+
+class TestDeltaTable:
+    def test_three_columns(self):
+        t = delta_table([1.0, 2.0], [1.5, 2.5], [1.1, 2.1])
+        assert set(t) == {"sim_markov", "sim_petri", "markov_petri"}
+        assert t["sim_markov"].avg == pytest.approx(0.5)
+        assert t["sim_petri"].avg == pytest.approx(0.1)
+        assert t["markov_petri"].avg == pytest.approx(0.4)

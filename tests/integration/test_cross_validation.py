@@ -1,0 +1,151 @@
+"""Cross-model integration tests.
+
+Three independent implementations of the same stochastic systems must
+agree: the Petri-net engine, the DES substrate, the Markov closed
+forms, and the exact CTMC solver.  Any disagreement implicates exactly
+one layer, which makes these tests the reproduction's strongest
+correctness instrument.
+"""
+
+import pytest
+
+from repro.analysis import spn_to_ctmc
+from repro.core import Erlang, Exponential, PetriNet, simulate
+from repro.des import CPUPowerStateSimulator, CPUStates
+from repro.markov import (
+    CTMC,
+    SupplementaryVariableCPUModel,
+    mm1_metrics,
+)
+from repro.models import CPUPetriModel
+
+
+class TestQueueAgreement:
+    """Petri engine vs analytic M/M/1 vs exact CTMC."""
+
+    def test_three_way_mm1k(self):
+        lam, mu, K = 1.0, 2.0, 10
+        net = PetriNet("mm1k")
+        net.add_place("src", initial_tokens=1)
+        net.add_place("q")
+        net.add_place("slots", initial_tokens=K)
+        net.add_transition(
+            "arrive", Exponential(lam), inputs=["src", "slots"], outputs=["src", "q"]
+        )
+        net.add_transition("serve", Exponential(mu), inputs=["q"], outputs=["slots"])
+
+        # exact CTMC answer
+        ctmc = spn_to_ctmc(net)
+        pi = CTMC(ctmc.Q).steady_state()
+        exact_L = ctmc.expected_tokens(pi, "q")
+
+        # simulated answer (same net!)
+        sim = simulate(net, horizon=60_000.0, seed=11, warmup=1000.0)
+        assert sim.mean_tokens("q") == pytest.approx(exact_L, rel=0.05)
+
+        # near-M/M/1 sanity (K=10 truncation is mild at rho=0.5)
+        assert exact_L == pytest.approx(
+            mm1_metrics(lam, mu).mean_number_in_system, rel=0.02
+        )
+
+    def test_erlang_approximates_deterministic(self):
+        """Erlang-k service approaches the deterministic net as k grows
+        (the classical phase-type bridge between CTMC and DSPN)."""
+        from repro.core import Deterministic
+
+        def busy_fraction(dist):
+            net = PetriNet()
+            net.add_place("src", initial_tokens=1)
+            net.add_place("q")
+            net.add_transition(
+                "arrive", Exponential(0.5), inputs=["src"], outputs=["src", "q"]
+            )
+            net.add_transition("serve", dist, inputs=["q"])
+            r = simulate(net, horizon=30_000.0, seed=3, warmup=500.0)
+            return r.occupancy("q")
+
+        det = busy_fraction(Deterministic(1.0))
+        erl = busy_fraction(Erlang.from_mean(64, 1.0))
+        exp = busy_fraction(Exponential(1.0))
+        # utilization rho = 0.5 in all cases...
+        assert det == pytest.approx(0.5, abs=0.03)
+        # ...but queueing differs; Erlang-64 must sit near deterministic
+        assert abs(erl - det) < abs(exp - det) + 0.02
+
+
+class TestCPUThreeWay:
+    """The Section IV comparison as an integration test."""
+
+    @pytest.mark.parametrize("T,D", [(0.1, 0.001), (0.5, 0.3)])
+    def test_all_three_agree_small_delay(self, T, D):
+        lam, mu = 1.0, 10.0
+        horizon, warmup = 25_000.0, 250.0
+        markov = SupplementaryVariableCPUModel(lam, mu, T, D).steady_state()
+        des = CPUPowerStateSimulator(lam, mu, T, D, seed=8, warmup=warmup).run(horizon)
+        petri = CPUPetriModel(lam, mu, T, D).simulate(horizon, seed=8, warmup=warmup)
+
+        for state, markov_p in (
+            (CPUStates.STANDBY, markov.standby),
+            (CPUStates.IDLE, markov.idle),
+            (CPUStates.ACTIVE, markov.active),
+            (CPUStates.POWERUP, markov.powerup),
+        ):
+            assert des.fraction(state) == pytest.approx(markov_p, abs=0.03), state
+            assert petri.fraction(state) == pytest.approx(markov_p, abs=0.03), state
+
+    def test_markov_fails_but_petri_tracks_large_delay(self):
+        """Fig. 6's headline: D = 10 s breaks the Markov model only."""
+        lam, mu, T, D = 1.0, 10.0, 0.5, 10.0
+        horizon, warmup = 30_000.0, 500.0
+        markov = SupplementaryVariableCPUModel(lam, mu, T, D).steady_state()
+        des = CPUPowerStateSimulator(lam, mu, T, D, seed=8, warmup=warmup).run(horizon)
+        petri = CPUPetriModel(lam, mu, T, D).simulate(horizon, seed=8, warmup=warmup)
+
+        petri_err = abs(petri.fraction(CPUStates.POWERUP) - des.fraction(CPUStates.POWERUP))
+        markov_err = abs(markov.powerup - des.fraction(CPUStates.POWERUP))
+        assert petri_err < 0.05
+        assert markov_err > 0.3
+        assert petri_err < markov_err / 5
+
+
+class TestExactVsSimulatedExponentialCPU:
+    """With T→0 and exponential wake-up, the CPU net is a CTMC: the
+    engine must match the exact solve (ablation A2's foundation)."""
+
+    def test_exponential_cpu_net(self):
+        lam, mu, nu = 1.0, 10.0, 3.0  # nu = wake-up rate
+        from repro.core import tokens_eq, tokens_gt
+
+        def build():
+            net = PetriNet("exp-cpu")
+            net.add_place("P0", initial_tokens=1)
+            net.add_place("Buffer")
+            net.add_place("Cap", initial_tokens=25)  # bound for the CTMC
+            net.add_place("Sleep", initial_tokens=1)
+            net.add_place("On")
+            net.add_transition(
+                "arrive", Exponential(lam),
+                inputs=["P0", "Cap"], outputs=["P0", "Buffer"],
+            )
+            net.add_transition(
+                "wake", Exponential(nu), inputs=["Sleep"], outputs=["On"],
+                guard=tokens_gt("Buffer", 0),
+            )
+            net.add_transition(
+                "serve", Exponential(mu), inputs=["On", "Buffer"],
+                outputs=["On", "Cap"],
+            )
+            net.add_transition(
+                "sleep", Exponential(100.0), inputs=["On"], outputs=["Sleep"],
+                guard=tokens_eq("Buffer", 0),
+            )
+            return net
+
+        ctmc = spn_to_ctmc(build())
+        pi = CTMC(ctmc.Q).steady_state()
+        exact_on = ctmc.place_marginal(pi, "On")
+        exact_q = ctmc.expected_tokens(pi, "Buffer")
+
+        sim = simulate(build(), horizon=50_000.0, seed=21, warmup=500.0)
+        assert sim.occupancy("On") == pytest.approx(exact_on, abs=0.02)
+        assert sim.mean_tokens("Buffer") == pytest.approx(exact_q, rel=0.08)

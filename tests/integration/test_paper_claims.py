@@ -1,0 +1,163 @@
+"""Scaled-down regeneration of every paper claim, asserted qualitatively.
+
+Each test regenerates a table or figure at reduced horizon and asserts
+the claim the paper draws from it — orderings, crossovers, optimum
+location bands — not absolute numbers (our substrate is a simulator,
+not the authors' testbed).  The full-scale regenerations live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    CPUComparisonConfig,
+    NodeSweepConfig,
+    ValidationConfig,
+    run_cpu_comparison,
+    run_node_energy_sweep,
+    run_simple_node_validation,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison_small_pud():
+    return run_cpu_comparison(
+        0.001, CPUComparisonConfig(horizon=800.0, thresholds=(0.001, 0.2, 0.5, 1.0))
+    )
+
+
+@pytest.fixture(scope="module")
+def comparison_mid_pud():
+    return run_cpu_comparison(
+        0.3, CPUComparisonConfig(horizon=800.0, thresholds=(0.001, 0.2, 0.5, 1.0))
+    )
+
+
+@pytest.fixture(scope="module")
+def comparison_large_pud():
+    return run_cpu_comparison(
+        10.0, CPUComparisonConfig(horizon=800.0, thresholds=(0.001, 0.2, 0.5, 1.0))
+    )
+
+
+class TestFigures4to6:
+    """State-time shares vs threshold for the three PUD scenarios."""
+
+    def test_fig4_trends(self, comparison_small_pud):
+        r = comparison_small_pud
+        sim = r.fractions["simulation"]
+        assert sim["idle"][0] < sim["idle"][-1]
+        assert sim["standby"][0] > sim["standby"][-1]
+        assert max(sim["active"]) - min(sim["active"]) < 0.08
+        assert max(sim["powerup"]) < 0.01  # wake-ups are instantaneous
+
+    def test_fig5_powerup_visible(self, comparison_mid_pud):
+        r = comparison_mid_pud
+        assert r.fractions["simulation"]["powerup"][0] > 0.1
+
+    def test_fig6_powerup_dominates(self, comparison_large_pud):
+        r = comparison_large_pud
+        assert r.fractions["simulation"]["powerup"][0] > 0.5
+
+    def test_fig6_markov_fails_petri_tracks(self, comparison_large_pud):
+        r = comparison_large_pud
+        assert r.mean_abs_fraction_error("petri") < 0.03
+        assert r.mean_abs_fraction_error("markov") > 0.15
+
+
+class TestTables4to6:
+    """Δ-energy orderings."""
+
+    def test_table4_markov_and_petri_comparable(self, comparison_small_pud):
+        d = comparison_small_pud.delta_energy()
+        # Paper Table IV: Δ(Markov-Petri) ≈ 0.05 J — the two models
+        # agree with each other far better than either matches the
+        # noisy simulation.
+        assert d["markov_petri"].avg < d["sim_markov"].avg
+        assert abs(d["sim_markov"].avg - d["sim_petri"].avg) < 1.0
+
+    def test_table5_petri_beats_markov(self, comparison_mid_pud):
+        d = comparison_mid_pud.delta_energy()
+        assert d["sim_petri"].avg < d["sim_markov"].avg
+
+    def test_table6_markov_catastrophic(self, comparison_large_pud):
+        d = comparison_large_pud.delta_energy()
+        # Paper Table VI: Δ Sim-Markov ≈ 42 J vs Δ Sim-Petri ≈ 0.12 J.
+        assert d["sim_markov"].avg > 10 * d["sim_petri"].avg
+        assert d["sim_petri"].rmse < 5.0
+
+
+class TestTablesVIIItoX:
+    """Simple-system validation."""
+
+    @pytest.fixture(scope="class")
+    def validation(self):
+        return run_simple_node_validation(
+            ValidationConfig(n_events=100, petri_horizon=4000.0, seed=3)
+        )
+
+    def test_steady_state_matches_analytic_cycle(self, validation):
+        probs = validation.petri.stage_probabilities
+        assert probs["Wait"] == pytest.approx(0.595, abs=0.03)
+        assert probs["Temp_Place"] == pytest.approx(0.198, abs=0.03)
+        assert probs["Computation"] == pytest.approx(0.204, abs=0.03)
+
+    def test_table_x_percent_difference(self, validation):
+        # Paper: 2.95 %; we assert the same band.
+        assert validation.percent_difference < 5.0
+        assert validation.percent_difference > 0.5
+
+    def test_petri_energy_close_to_paper_per_second(self, validation):
+        # mean power must be ~1.225 mW regardless of run length
+        mean_mw = validation.petri.mean_power_mw
+        assert mean_mw == pytest.approx(1.225, abs=0.01)
+
+
+class TestFigures14and15:
+    """Node sweeps: optimum location and savings."""
+
+    GRID = (1e-9, 1e-6, 0.0017, 0.00178, 0.005, 0.01, 0.1, 1.0, 10.0)
+
+    @pytest.fixture(scope="class")
+    def closed(self):
+        return run_node_energy_sweep(
+            NodeSweepConfig(workload="closed", horizon=250.0, thresholds=self.GRID)
+        )
+
+    @pytest.fixture(scope="class")
+    def open_(self):
+        return run_node_energy_sweep(
+            NodeSweepConfig(workload="open", horizon=250.0, thresholds=self.GRID)
+        )
+
+    def test_closed_optimum_in_paper_band(self, closed):
+        t_opt, _ = closed.optimum()
+        # Paper: 0.00177 s. Anything in the just-above-radio-phase
+        # cluster counts as reproducing the crossover.
+        assert 0.0017 <= t_opt <= 0.01
+
+    def test_closed_savings_positive_both_ways(self, closed):
+        # Paper: 35 % vs immediate, 29 % vs never.
+        assert closed.savings_vs_immediate() > 0.10
+        assert closed.savings_vs_never() > 0.10
+
+    def test_open_optimum_in_paper_band(self, open_):
+        t_opt, _ = open_.optimum()
+        assert 0.0017 <= t_opt <= 0.05  # paper: 0.01 s
+
+    def test_open_savings_larger_vs_immediate(self, open_):
+        # Paper: 55 % vs immediate for open vs 35 % for closed — the
+        # open model wastes more wake-ups at tiny thresholds.
+        assert open_.savings_vs_immediate() > 0.25
+
+    def test_wakeup_energy_collapses_past_radio_phase(self, closed):
+        wake = dict(zip(closed.thresholds, closed.series("cpu_wakeup")))
+        assert wake[0.00178] < 0.7 * wake[1e-9]
+
+    def test_idle_energy_monotone_up(self, closed):
+        idle = closed.series("cpu_idle")
+        assert idle[0] < idle[-1]
+
+    def test_sleep_energy_vanishes_at_huge_threshold(self, closed):
+        sleep = dict(zip(closed.thresholds, closed.series("cpu_sleep")))
+        assert sleep[10.0] < 0.1 * sleep[0.005]

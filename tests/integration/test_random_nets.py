@@ -1,0 +1,99 @@
+"""Property-based cross-validation on randomly generated nets.
+
+Hypothesis generates small random exponential SPNs; the simulation
+engine and the exact SPN→CTMC pipeline must agree on place occupancies.
+This is the strongest single check of the engine's timed semantics:
+any systematic bias in enabling, racing, or statistics collection
+would surface as a disagreement on some generated topology.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import spn_to_ctmc
+from repro.core import Exponential, PetriNet, simulate
+from repro.core.errors import UnboundedNetError
+from repro.markov import CTMC
+
+
+@st.composite
+def random_closed_net(draw):
+    """A random strongly-token-conserving exponential net.
+
+    ``n_places`` places in a cycle guarantee every transition can fire
+    again (token conservation on a ring), plus random chords for
+    topology variety.  All transitions are exponential with random
+    rates, so the net is a CTMC.
+    """
+    n_places = draw(st.integers(3, 5))
+    n_tokens = draw(st.integers(1, 3))
+    n_chords = draw(st.integers(0, 3))
+    rates = draw(
+        st.lists(
+            st.floats(0.2, 5.0, allow_nan=False),
+            min_size=n_places + n_chords,
+            max_size=n_places + n_chords,
+        )
+    )
+    seed = draw(st.integers(0, 10**6))
+
+    net = PetriNet("random")
+    for i in range(n_places):
+        net.add_place(f"P{i}", initial_tokens=n_tokens if i == 0 else 0)
+    # ring backbone
+    for i in range(n_places):
+        net.add_transition(
+            f"ring{i}",
+            Exponential(rates[i]),
+            inputs=[f"P{i}"],
+            outputs=[f"P{(i + 1) % n_places}"],
+        )
+    # random chords (still token-conserving: one in, one out)
+    rng = np.random.default_rng(seed)
+    for j in range(n_chords):
+        a = int(rng.integers(n_places))
+        b = int(rng.integers(n_places))
+        if a == b:
+            b = (b + 1) % n_places
+        net.add_transition(
+            f"chord{j}",
+            Exponential(rates[n_places + j]),
+            inputs=[f"P{a}"],
+            outputs=[f"P{b}"],
+        )
+    return net, seed
+
+
+class TestRandomNetAgreement:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(random_closed_net())
+    def test_engine_matches_exact_ctmc(self, net_and_seed):
+        net, seed = net_and_seed
+        try:
+            ctmc = spn_to_ctmc(net, max_states=5000)
+        except UnboundedNetError:
+            pytest.skip("state space larger than budget")
+        pi = CTMC(ctmc.Q).steady_state()
+        result = simulate(net, horizon=8000.0, seed=seed, warmup=200.0)
+        for place in net.place_names:
+            exact = ctmc.place_marginal(pi, place)
+            simulated = result.occupancy(place)
+            assert simulated == pytest.approx(exact, abs=0.06), place
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(random_closed_net())
+    def test_token_conservation(self, net_and_seed):
+        net, seed = net_and_seed
+        total0 = net.initial_marking().total_tokens()
+        result = simulate(net, horizon=500.0, seed=seed)
+        assert sum(result.final_marking_counts.values()) == total0

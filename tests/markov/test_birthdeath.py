@@ -1,0 +1,59 @@
+"""Unit tests for birth-death chains."""
+
+import numpy as np
+import pytest
+
+from repro.markov import BirthDeathChain, CTMC, mm1_steady_state
+
+
+class TestBirthDeathChain:
+    def test_mm1k_matches_ctmc(self):
+        bd = BirthDeathChain.mm1k(1.0, 2.0, 6)
+        pi_bd = bd.steady_state()
+        pi_ctmc = bd.to_ctmc().steady_state()
+        assert np.allclose(pi_bd, pi_ctmc, atol=1e-10)
+
+    def test_mm1k_distribution_shape(self):
+        bd = BirthDeathChain.mm1k(1.0, 2.0, 10)
+        pi = bd.steady_state()
+        # rho = 0.5: each level halves
+        ratios = pi[1:] / pi[:-1]
+        assert np.allclose(ratios, 0.5)
+
+    def test_mean_population(self):
+        bd = BirthDeathChain.mm1k(1.0, 2.0, 50)
+        # K large: approaches M/M/1 mean rho/(1-rho) = 1
+        assert bd.mean_population() == pytest.approx(1.0, rel=1e-4)
+
+    def test_zero_birth_truncates(self):
+        bd = BirthDeathChain([1.0, 0.0], [1.0, 1.0])
+        pi = bd.steady_state()
+        assert pi[2] == 0.0
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            BirthDeathChain([-1.0], [1.0])
+        with pytest.raises(ValueError):
+            BirthDeathChain([1.0], [0.0])
+        with pytest.raises(ValueError):
+            BirthDeathChain.mm1k(0.0, 1.0, 5)
+
+
+class TestMM1SteadyState:
+    def test_geometric_form(self):
+        pi = mm1_steady_state(1.0, 2.0, 30)
+        assert pi[0] == pytest.approx(0.5, rel=1e-6)
+        assert pi[1] / pi[0] == pytest.approx(0.5)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_steady_state(2.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            mm1_steady_state(-1.0, 1.0, 10)
+
+    def test_normalised(self):
+        pi = mm1_steady_state(0.9, 1.0, 200)
+        assert pi.sum() == pytest.approx(1.0)

@@ -1,0 +1,143 @@
+"""Unit + property tests for the CTMC solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import CTMC
+
+
+def two_state(a=1.0, b=2.0):
+    """on --a--> off --b--> on."""
+    return CTMC.from_rates({("on", "off"): a, ("off", "on"): b})
+
+
+class TestConstruction:
+    def test_from_rates(self):
+        c = two_state()
+        assert c.n == 2
+        assert c.labels == ["on", "off"]
+        assert c.Q[c.index_of("on"), c.index_of("off")] == 1.0
+
+    def test_row_sums_zero(self):
+        c = two_state()
+        assert np.allclose(c.Q.sum(axis=1), 0.0)
+
+    def test_bad_generator_rejected(self):
+        with pytest.raises(ValueError):
+            CTMC(np.array([[0.0, -1.0], [1.0, -1.0]]))
+        with pytest.raises(ValueError):
+            CTMC(np.array([[-1.0, 2.0], [1.0, -1.0]]))
+        with pytest.raises(ValueError):
+            CTMC(np.zeros((2, 3)))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            CTMC.from_rates({("a", "b"): -1.0})
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            CTMC(np.zeros((2, 2)), labels=["only-one"])
+
+
+class TestSteadyState:
+    def test_two_state_balance(self):
+        c = two_state(1.0, 2.0)
+        pi = c.steady_state()
+        # pi_on * 1 = pi_off * 2 -> pi_on = 2/3
+        assert c.probability(pi, "on") == pytest.approx(2 / 3)
+        assert c.probability(pi, "off") == pytest.approx(1 / 3)
+
+    def test_sums_to_one(self):
+        pi = two_state(0.3, 0.7).steady_state()
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_global_balance_residual(self):
+        c = two_state(1.3, 0.4)
+        pi = c.steady_state()
+        assert np.allclose(pi @ c.Q, 0.0, atol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(0.1, 10.0), min_size=3, max_size=3),
+    )
+    def test_three_state_cycle_properties(self, rates):
+        a, b, c_rate = rates
+        c = CTMC.from_rates(
+            {(0, 1): a, (1, 2): b, (2, 0): c_rate}, labels=[0, 1, 2]
+        )
+        pi = c.steady_state()
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= -1e-12)
+        assert np.allclose(pi @ c.Q, 0.0, atol=1e-8)
+
+
+class TestTransient:
+    def test_t_zero_is_identity(self):
+        c = two_state()
+        p0 = np.array([1.0, 0.0])
+        assert np.allclose(c.transient(p0, 0.0), p0)
+
+    def test_converges_to_steady_state(self):
+        c = two_state(1.0, 2.0)
+        p0 = np.array([0.0, 1.0])
+        pt = c.transient(p0, 50.0)
+        assert np.allclose(pt, c.steady_state(), atol=1e-8)
+
+    def test_short_horizon_mass_conserved(self):
+        c = two_state(5.0, 3.0)
+        p0 = np.array([0.5, 0.5])
+        pt = c.transient(p0, 0.123)
+        assert pt.sum() == pytest.approx(1.0)
+        assert np.all(pt >= 0)
+
+    def test_matches_matrix_exponential(self):
+        from scipy.linalg import expm
+
+        c = two_state(1.7, 0.9)
+        p0 = np.array([1.0, 0.0])
+        for t in (0.1, 1.0, 3.0):
+            expected = p0 @ expm(c.Q * t)
+            assert np.allclose(c.transient(p0, t), expected, atol=1e-8)
+
+    def test_invalid_inputs(self):
+        c = two_state()
+        with pytest.raises(ValueError):
+            c.transient(np.array([0.5, 0.6]), 1.0)  # not a distribution
+        with pytest.raises(ValueError):
+            c.transient(np.array([1.0, 0.0]), -1.0)
+        with pytest.raises(ValueError):
+            c.transient(np.array([1.0]), 1.0)
+
+
+class TestDerived:
+    def test_embedded_dtmc(self):
+        c = two_state(2.0, 4.0)
+        P = c.embedded_dtmc()
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert P[0, 1] == pytest.approx(1.0)
+
+    def test_holding_times(self):
+        c = two_state(2.0, 4.0)
+        h = c.holding_times()
+        assert h[0] == pytest.approx(0.5)
+        assert h[1] == pytest.approx(0.25)
+
+    def test_absorbing_holding_time_infinite(self):
+        Q = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        c = CTMC(Q)
+        assert c.holding_times()[1] == np.inf
+
+    def test_mean_first_passage_two_state(self):
+        c = two_state(2.0, 4.0)
+        h = c.mean_first_passage("off")
+        # From on: exp(2) to reach off -> 0.5
+        assert h[c.index_of("on")] == pytest.approx(0.5)
+        assert h[c.index_of("off")] == 0.0
+
+    def test_expected_reward_rate(self):
+        c = two_state(1.0, 2.0)
+        pi = c.steady_state()
+        # on: 2/3 at 90mW; off: 1/3 at 30mW
+        assert c.expected_reward_rate(pi, {"on": 90.0, "off": 30.0}) == pytest.approx(70.0)

@@ -1,0 +1,105 @@
+"""Tests for integrated transients and accumulated rewards (Markov-reward)."""
+
+import numpy as np
+import pytest
+
+from repro.markov import CTMC
+
+
+def two_state(a=1.0, b=2.0):
+    return CTMC.from_rates({("on", "off"): a, ("off", "on"): b})
+
+
+class TestIntegratedTransient:
+    def test_entries_sum_to_t(self):
+        c = two_state()
+        p0 = np.array([1.0, 0.0])
+        for t in (0.1, 1.0, 10.0):
+            occ = c.integrated_transient(p0, t)
+            assert occ.sum() == pytest.approx(t, rel=1e-9)
+            assert np.all(occ >= 0)
+
+    def test_t_zero(self):
+        c = two_state()
+        occ = c.integrated_transient(np.array([1.0, 0.0]), 0.0)
+        assert np.allclose(occ, 0.0)
+
+    def test_matches_quadrature(self):
+        from scipy.linalg import expm
+
+        c = two_state(1.7, 0.6)
+        p0 = np.array([0.3, 0.7])
+        t = 2.5
+        # composite Simpson over the transient distribution
+        n = 401
+        s = np.linspace(0.0, t, n)
+        values = np.array([p0 @ expm(c.Q * si) for si in s])
+        h = s[1] - s[0]
+        weights = np.ones(n)
+        weights[1:-1:2] = 4.0
+        weights[2:-1:2] = 2.0
+        simpson = (h / 3.0) * (weights[:, None] * values).sum(axis=0)
+        occ = c.integrated_transient(p0, t)
+        assert np.allclose(occ, simpson, atol=1e-6)
+
+    def test_long_horizon_approaches_steady_state_share(self):
+        c = two_state(1.0, 2.0)
+        p0 = np.array([0.0, 1.0])
+        pi = c.steady_state()
+        # The initial transient contributes O(1) to the integral, so
+        # occ/t converges to pi like 1/t.
+        errs = []
+        for t in (100.0, 400.0, 1600.0):
+            occ = c.integrated_transient(p0, t)
+            errs.append(np.max(np.abs(occ / t - pi)))
+        assert errs[-1] < 1e-3
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_absorbing_chain(self):
+        Q = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        c = CTMC(Q)
+        occ = c.integrated_transient(np.array([1.0, 0.0]), 100.0)
+        # expected time in transient state = 1/rate = 1
+        assert occ[0] == pytest.approx(1.0, rel=1e-3)
+        assert occ[1] == pytest.approx(99.0, rel=1e-3)
+
+    def test_validation(self):
+        c = two_state()
+        with pytest.raises(ValueError):
+            c.integrated_transient(np.array([1.0]), 1.0)
+        with pytest.raises(ValueError):
+            c.integrated_transient(np.array([1.0, 0.0]), -1.0)
+
+
+class TestAccumulatedReward:
+    def test_transient_energy_two_state(self):
+        # CPU on at 193 mW, off at 17 mW: transient energy from "off".
+        c = two_state(1.0, 2.0)
+        p0 = np.zeros(2)
+        p0[c.index_of("off")] = 1.0
+        e = c.accumulated_reward(p0, 10.0, {"on": 193.0, "off": 17.0})
+        # bounded by the extreme constant draws
+        assert 17.0 * 10.0 <= e <= 193.0 * 10.0
+
+    def test_matches_steady_state_rate_for_long_t(self):
+        c = two_state(0.7, 1.9)
+        pi = c.steady_state()
+        rewards = {"on": 5.0, "off": 1.0}
+        rate = c.expected_reward_rate(pi, rewards)
+        t = 500.0
+        e = c.accumulated_reward(
+            np.array([1.0, 0.0]), t, rewards
+        )
+        assert e / t == pytest.approx(rate, rel=1e-3)
+
+    def test_missing_labels_count_zero(self):
+        c = two_state()
+        e = c.accumulated_reward(np.array([1.0, 0.0]), 1.0, {})
+        assert e == 0.0
+
+    def test_linear_in_rewards(self):
+        c = two_state()
+        p0 = np.array([0.5, 0.5])
+        e1 = c.accumulated_reward(p0, 3.0, {"on": 1.0})
+        e2 = c.accumulated_reward(p0, 3.0, {"on": 2.0})
+        assert e2 == pytest.approx(2 * e1)

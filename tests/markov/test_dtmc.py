@@ -1,0 +1,84 @@
+"""Unit tests for the DTMC solver."""
+
+import numpy as np
+import pytest
+
+from repro.markov import DTMC
+
+
+def two_state(p=0.3, q=0.6):
+    return DTMC(np.array([[1 - p, p], [q, 1 - q]]), labels=["a", "b"])
+
+
+class TestConstruction:
+    def test_valid(self):
+        d = two_state()
+        assert d.n == 2
+        assert d.index_of("b") == 1
+
+    def test_rows_must_be_stochastic(self):
+        with pytest.raises(ValueError):
+            DTMC(np.array([[0.5, 0.4], [0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            DTMC(np.array([[1.1, -0.1], [0.5, 0.5]]))
+
+    def test_square_required(self):
+        with pytest.raises(ValueError):
+            DTMC(np.ones((2, 3)) / 3)
+
+
+class TestStationary:
+    def test_two_state(self):
+        d = two_state(0.3, 0.6)
+        pi = d.stationary()
+        # pi_a * 0.3 = pi_b * 0.6 -> pi_a = 2/3
+        assert pi[0] == pytest.approx(2 / 3)
+
+    def test_fixed_point(self):
+        d = two_state(0.25, 0.5)
+        pi = d.stationary()
+        assert np.allclose(pi @ d.P, pi)
+
+    def test_step_converges(self):
+        d = two_state()
+        p = np.array([1.0, 0.0])
+        assert np.allclose(d.step(p, 500), d.stationary(), atol=1e-10)
+
+
+class TestAbsorption:
+    def gamblers_ruin(self):
+        # states 0 (broke), 1, 2, 3 (rich); fair coin
+        P = np.array(
+            [
+                [1.0, 0, 0, 0],
+                [0.5, 0, 0.5, 0],
+                [0, 0.5, 0, 0.5],
+                [0, 0, 0, 1.0],
+            ]
+        )
+        return DTMC(P)
+
+    def test_absorbing_states(self):
+        assert self.gamblers_ruin().absorbing_states() == [0, 3]
+
+    def test_absorption_times(self):
+        t = self.gamblers_ruin().absorption_times()
+        # classic: from i, expected steps = i*(N-i) with N=3
+        assert t[1] == pytest.approx(2.0)
+        assert t[2] == pytest.approx(2.0)
+        assert t[0] == 0.0
+
+    def test_absorption_probabilities(self):
+        B = self.gamblers_ruin().absorption_probabilities()
+        # from state 1: P(broke) = 2/3, P(rich) = 1/3
+        assert B[1, 0] == pytest.approx(2 / 3)
+        assert B[1, 1] == pytest.approx(1 / 3)
+        # absorbing rows are unit vectors
+        assert B[0, 0] == 1.0
+        assert B[3, 1] == 1.0
+
+    def test_no_absorbing_raises(self):
+        with pytest.raises(ValueError):
+            two_state().absorption_times()
+        with pytest.raises(ValueError):
+            two_state().absorption_probabilities()

@@ -1,0 +1,93 @@
+"""Tests for distribution fitting from traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import Deterministic, Erlang, Exponential, LogNormal
+from repro.markov import (
+    fit_best,
+    fit_deterministic,
+    fit_erlang,
+    fit_exponential,
+    fit_lognormal,
+)
+
+RNG = np.random.default_rng(77)
+
+
+class TestIndividualFitters:
+    def test_exponential_recovers_rate(self):
+        samples = RNG.exponential(0.25, 20_000)
+        dist = fit_exponential(samples)
+        assert dist.rate == pytest.approx(4.0, rel=0.03)
+
+    def test_deterministic_mean(self):
+        dist = fit_deterministic([2.0, 2.0, 2.0])
+        assert dist.delay == 2.0
+
+    def test_erlang_recovers_shape(self):
+        samples = RNG.gamma(4, 0.5, 20_000)  # Erlang-4, rate 2
+        dist = fit_erlang(samples)
+        assert dist.k == 4
+        assert dist.mean() == pytest.approx(2.0, rel=0.03)
+
+    def test_erlang_constant_data_gives_max_k(self):
+        dist = fit_erlang([1.0, 1.0, 1.0], max_k=100)
+        assert dist.k == 100
+        assert dist.mean() == pytest.approx(1.0)
+
+    def test_lognormal_recovers_moments(self):
+        true = LogNormal.from_mean_cv(2.0, 0.4)
+        samples = RNG.lognormal(true.mu, true.sigma, 20_000)
+        dist = fit_lognormal(samples)
+        assert dist.mean() == pytest.approx(2.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1.0])  # too few
+        with pytest.raises(ValueError):
+            fit_exponential([-1.0, 1.0])
+        with pytest.raises(ValueError):
+            fit_exponential([0.0, 0.0])
+        with pytest.raises(ValueError):
+            fit_lognormal([1.0, 1.0])  # zero variance
+
+
+class TestFitBest:
+    def test_selects_exponential_for_exponential_data(self):
+        samples = RNG.exponential(1.0, 5000)
+        dist = fit_best(samples)
+        assert isinstance(dist, (Exponential, Erlang))
+        if isinstance(dist, Erlang):
+            assert dist.k <= 2  # close call with Erlang-1 is acceptable
+        assert dist.mean() == pytest.approx(1.0, rel=0.06)
+
+    def test_selects_erlang_for_low_variance_data(self):
+        samples = RNG.gamma(16, 1 / 16, 5000)  # Erlang-16, mean 1
+        dist = fit_best(samples)
+        assert isinstance(dist, Erlang)
+        assert 8 <= dist.k <= 32
+
+    def test_selects_deterministic_for_constant_data(self):
+        dist = fit_best([0.253] * 50)
+        assert isinstance(dist, Deterministic)
+        assert dist.delay == pytest.approx(0.253)
+
+    def test_selects_heavy_tail_for_lognormal_data(self):
+        true = LogNormal.from_mean_cv(1.0, 2.5)
+        samples = RNG.lognormal(true.mu, true.sigma, 5000)
+        dist = fit_best(samples)
+        assert isinstance(dist, LogNormal)
+
+    def test_fitted_distribution_is_usable_in_a_net(self):
+        from repro.core import PetriNet, simulate
+
+        samples = RNG.exponential(0.5, 2000)
+        dist = fit_best(samples)
+        net = PetriNet()
+        net.add_place("src", initial_tokens=1)
+        net.add_place("q")
+        net.add_transition("gen", dist, inputs=["src"], outputs=["src", "q"])
+        net.add_transition("sink", Exponential(10.0), inputs=["q"])
+        result = simulate(net, horizon=3000.0, seed=1, warmup=100.0)
+        assert result.throughput("gen") == pytest.approx(2.0, rel=0.1)

@@ -1,0 +1,81 @@
+"""Unit tests for reference queueing formulas."""
+
+import pytest
+
+from repro.markov import (
+    erlang_b,
+    erlang_c,
+    md1_mean_queue_length,
+    mg1_mean_queue_length,
+    mm1_metrics,
+)
+
+
+class TestMM1:
+    def test_standard_metrics(self):
+        m = mm1_metrics(1.0, 2.0)
+        assert m.rho == pytest.approx(0.5)
+        assert m.mean_number_in_system == pytest.approx(1.0)
+        assert m.mean_number_in_queue == pytest.approx(0.5)
+        assert m.mean_time_in_system == pytest.approx(1.0)
+        assert m.mean_waiting_time == pytest.approx(0.5)
+        assert m.p_empty == pytest.approx(0.5)
+
+    def test_littles_law_consistency(self):
+        m = mm1_metrics(0.7, 1.0)
+        assert m.mean_number_in_system == pytest.approx(
+            0.7 * m.mean_time_in_system
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_metrics(2.0, 1.0)
+        with pytest.raises(ValueError):
+            mm1_metrics(0.0, 1.0)
+
+
+class TestMG1:
+    def test_exponential_service_reduces_to_mm1(self):
+        lam, mu = 1.0, 2.0
+        mean_s = 1 / mu
+        var_s = 1 / mu**2
+        L = mg1_mean_queue_length(lam, mean_s, var_s)
+        assert L == pytest.approx(mm1_metrics(lam, mu).mean_number_in_system)
+
+    def test_md1_half_the_queueing(self):
+        lam, d = 1.0, 0.5
+        L_md1 = md1_mean_queue_length(lam, d)
+        L_mm1 = mm1_metrics(lam, 2.0).mean_number_in_system
+        # M/D/1 Lq is half of M/M/1 Lq
+        lq_md1 = L_md1 - 0.5
+        lq_mm1 = L_mm1 - 0.5
+        assert lq_md1 == pytest.approx(lq_mm1 / 2)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mg1_mean_queue_length(2.0, 1.0, 0.0)
+
+
+class TestErlang:
+    def test_erlang_b_known_value(self):
+        # a=1 erlang, 1 server: B = 1/(1+1) = 0.5
+        assert erlang_b(1.0, 1) == pytest.approx(0.5)
+
+    def test_erlang_b_zero_servers(self):
+        assert erlang_b(1.0, 0) == pytest.approx(1.0)
+
+    def test_erlang_b_monotone_in_servers(self):
+        vals = [erlang_b(5.0, c) for c in range(1, 15)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_erlang_c_known_value(self):
+        # a=1, c=2: C = 2B/(2 - a(1-B)) with B = erlang_b(1,2) = 0.2
+        b = erlang_b(1.0, 2)
+        expected = 2 * b / (2 - 1 * (1 - b))
+        assert erlang_c(1.0, 2) == pytest.approx(expected)
+
+    def test_erlang_c_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_c(2.0, 2)
+        with pytest.raises(ValueError):
+            erlang_c(1.0, 0)

@@ -1,0 +1,137 @@
+"""Unit + property tests for the paper's supplementary-variable CPU model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import SupplementaryVariableCPUModel
+
+
+def model(T=0.1, D=0.3, lam=1.0, mu=10.0):
+    return SupplementaryVariableCPUModel(lam, mu, T, D)
+
+
+class TestEquations:
+    def test_probabilities_sum_to_one(self):
+        ss = model().steady_state()
+        assert ss.total() == pytest.approx(1.0)
+
+    def test_active_fraction_approaches_rho(self):
+        # For small T, D: active ≈ rho (the CPU must serve the load).
+        ss = model(T=1e-6, D=1e-6).steady_state()
+        assert ss.active == pytest.approx(0.1, abs=1e-4)
+
+    def test_t_zero_means_no_idle(self):
+        ss = model(T=0.0, D=0.001).steady_state()
+        assert ss.idle == pytest.approx(0.0, abs=1e-12)
+
+    def test_d_zero_means_no_powerup(self):
+        ss = model(T=0.1, D=0.0).steady_state()
+        assert ss.powerup == pytest.approx(0.0, abs=1e-12)
+
+    def test_idle_grows_with_threshold(self):
+        idles = [model(T=t).steady_state().idle for t in (0.01, 0.1, 0.5, 1.0)]
+        assert all(a < b for a, b in zip(idles, idles[1:]))
+
+    def test_standby_shrinks_with_threshold(self):
+        sbs = [model(T=t).steady_state().standby for t in (0.01, 0.1, 0.5, 1.0)]
+        assert all(a > b for a, b in zip(sbs, sbs[1:]))
+
+    def test_powerup_grows_then_saturates_with_delay(self):
+        # Eq. (3)'s numerator is bounded by (1 - rho) while the
+        # denominator grows like rho*lam*D, so p_u rises for small D but
+        # saturates and *decays* for large D — this severe
+        # underestimation of power-up time at D = 10 s is precisely the
+        # Markov-model failure Figs. 6/9 demonstrate.
+        pus = [model(D=d).steady_state().powerup for d in (0.001, 0.1, 1.0)]
+        assert all(a < b for a, b in zip(pus, pus[1:]))
+        assert model(D=10.0).steady_state().powerup < model(D=1.0).steady_state().powerup
+        # The DES ground truth at D = 10 spends ~80% of time powering
+        # up; Eq. (3) caps below 35% here.
+        assert model(D=10.0).steady_state().powerup < 0.35
+
+    def test_explicit_equation_values(self):
+        # Hand-evaluated Eqs. (1)-(4) at lam=1, mu=10, T=0.5, D=0.3.
+        lam, mu, T, D = 1.0, 10.0, 0.5, 0.3
+        rho = lam / mu
+        Z = math.exp(lam * T) + (1 - rho) * (1 - math.exp(-lam * D)) + rho * lam * D
+        ss = model(T=T, D=D, lam=lam, mu=mu).steady_state()
+        assert ss.standby == pytest.approx((1 - rho) / Z)
+        assert ss.idle == pytest.approx((1 - rho) * (math.exp(lam * T) - 1) / Z)
+        assert ss.powerup == pytest.approx(
+            (1 - rho) * (1 - math.exp(-lam * D)) / Z
+        )
+        assert ss.active == pytest.approx(rho * (math.exp(lam * T) + lam * D) / Z)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(0.0, 5.0),
+        st.floats(0.0, 20.0),
+        st.floats(0.05, 0.95),
+    )
+    def test_normalisation_property(self, T, D, rho):
+        m = SupplementaryVariableCPUModel(1.0, 1.0 / rho, T, D)
+        ss = m.steady_state()
+        assert ss.total() == pytest.approx(1.0, abs=1e-9)
+        for p in (ss.standby, ss.idle, ss.powerup, ss.active):
+            assert -1e-12 <= p <= 1.0 + 1e-12
+
+
+class TestValidation:
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            SupplementaryVariableCPUModel(10.0, 1.0, 0.1, 0.1)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            SupplementaryVariableCPUModel(1.0, 10.0, -0.1, 0.1)
+        with pytest.raises(ValueError):
+            SupplementaryVariableCPUModel(1.0, 10.0, 0.1, -0.1)
+        with pytest.raises(ValueError):
+            SupplementaryVariableCPUModel(0.0, 10.0, 0.1, 0.1)
+
+
+class TestEnergy:
+    POWERS = {"standby": 17.0, "idle": 88.0, "powerup": 192.976, "active": 193.0}
+
+    def test_mean_power_weighted(self):
+        m = model()
+        ss = m.steady_state()
+        expected = (
+            ss.standby * 17.0
+            + ss.idle * 88.0
+            + ss.powerup * 192.976
+            + ss.active * 193.0
+        )
+        assert m.mean_power(self.POWERS) == pytest.approx(expected)
+
+    def test_energy_over_time_linear(self):
+        m = model()
+        e1 = m.energy_over_time(self.POWERS, 100.0)
+        e2 = m.energy_over_time(self.POWERS, 200.0)
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_eq6_horizon_close_to_n_over_lambda(self):
+        m = model()
+        # L(1)/2 correction is small at rho = 0.1
+        assert m.effective_horizon(1000) == pytest.approx(1000.0, rel=0.001)
+
+    def test_energy_eq6(self):
+        m = model()
+        e = m.energy(self.POWERS, 1000)
+        assert e == pytest.approx(
+            m.mean_power(self.POWERS) * m.effective_horizon(1000)
+        )
+
+    def test_negative_inputs_rejected(self):
+        m = model()
+        with pytest.raises(ValueError):
+            m.energy(self.POWERS, -1)
+        with pytest.raises(ValueError):
+            m.energy_over_time(self.POWERS, -1.0)
+
+    def test_missing_states_default_zero(self):
+        m = model()
+        assert m.mean_power({}) == 0.0

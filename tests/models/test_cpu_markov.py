@@ -1,0 +1,54 @@
+"""Tests for the Markov CPU estimator wrapper."""
+
+import pytest
+
+from repro.des import CPUStates
+from repro.energy import PXA271_CPU_POWER_MW
+from repro.models import CPUMarkovModel
+
+
+class TestInterface:
+    def model(self):
+        return CPUMarkovModel(1.0, 10.0, 0.1, 0.3)
+
+    def test_state_fractions_keys(self):
+        f = self.model().state_fractions()
+        assert set(f) == set(CPUStates.ALL)
+        assert sum(f.values()) == pytest.approx(1.0)
+
+    def test_simulate_shape(self):
+        r = self.model().simulate(1000.0)
+        assert sum(r.fractions.values()) == pytest.approx(1.0)
+        assert r.duration == 1000.0
+        assert r.jobs_arrived == 1000
+
+    def test_simulate_ignores_seed(self):
+        a = self.model().simulate(1000.0, seed=1)
+        b = self.model().simulate(1000.0, seed=2)
+        assert a.fractions == b.fractions
+
+    def test_warmup_shrinks_duration(self):
+        r = self.model().simulate(1000.0, warmup=200.0)
+        assert r.duration == 800.0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            self.model().simulate(0.0)
+
+    def test_dwell_consistent_with_fractions(self):
+        r = self.model().simulate(500.0)
+        for s, f in r.fractions.items():
+            assert r.dwell[s] == pytest.approx(f * 500.0)
+
+    def test_energy_j(self):
+        m = self.model()
+        e = m.energy_j(PXA271_CPU_POWER_MW, 1000.0)
+        f = m.state_fractions()
+        expected_mw = sum(
+            PXA271_CPU_POWER_MW[s] * p for s, p in f.items()
+        )
+        assert e == pytest.approx(expected_mw * 1000.0 / 1000.0 / 1000.0 * 1000.0)
+
+    def test_wakeup_expectation_positive(self):
+        r = self.model().simulate(1000.0)
+        assert r.wakeups > 0

@@ -1,0 +1,40 @@
+"""Tests for DVS task classes."""
+
+import pytest
+
+from repro.models import (
+    DEFAULT_DVS_CLASSES,
+    DVS_CLASS_1,
+    DVS_CLASS_2,
+    DVS_CLASS_3,
+    DVS_MODE_SWITCH_DELAY_S,
+    DVSClass,
+)
+
+
+class TestDVSClasses:
+    def test_table_xi_delays(self):
+        assert DVS_CLASS_1.execute_delay_s == 0.03
+        assert DVS_CLASS_2.execute_delay_s == 0.01
+        assert DVS_CLASS_3.execute_delay_s == 0.081578
+        assert DVS_MODE_SWITCH_DELAY_S == 0.05
+
+    def test_default_registry(self):
+        assert set(DEFAULT_DVS_CLASSES) == {1, 2, 3}
+        assert DEFAULT_DVS_CLASSES[2] is DVS_CLASS_2
+
+    def test_transition_names(self):
+        assert DVS_CLASS_1.transition_name == "DVS_1"
+        assert DVS_CLASS_3.transition_name == "DVS_3"
+
+    def test_total_service_time(self):
+        assert DVS_CLASS_2.total_service_time() == pytest.approx(0.06)
+        assert DVS_CLASS_2.total_service_time(0.0) == pytest.approx(0.01)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DVSClass(4, -0.1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DVS_CLASS_1.execute_delay_s = 1.0

@@ -1,0 +1,98 @@
+"""Tests for the multi-node network layer."""
+
+import pytest
+
+from repro.energy import LinearBattery
+from repro.models import (
+    LineTopology,
+    NodeParameters,
+    SensorNetworkModel,
+    StarTopology,
+)
+
+
+class TestTopologies:
+    def test_line_rates_gradient(self):
+        rates = LineTopology(4).effective_rates(0.5)
+        assert rates == [2.0, 1.5, 1.0, 0.5]
+
+    def test_star_rates(self):
+        topo = StarTopology(3)
+        assert topo.n_nodes == 4
+        assert topo.effective_rates(1.0) == [4.0, 1.0, 1.0, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LineTopology(0)
+        with pytest.raises(ValueError):
+            StarTopology(0)
+        with pytest.raises(ValueError):
+            LineTopology(2).effective_rates(0.0)
+
+    def test_describe(self):
+        assert "line" in LineTopology(3).describe()
+        assert "star" in StarTopology(2).describe()
+
+
+class TestNetworkSimulation:
+    def network(self, n=3, pdt=0.01):
+        return SensorNetworkModel(
+            LineTopology(n),
+            NodeParameters(power_down_threshold=pdt),
+            LinearBattery(1000.0, 4.5, usable_fraction=0.85),
+        )
+
+    def test_result_shape(self):
+        r = self.network().simulate(horizon=60.0, seed=1, base_rate=0.5)
+        assert len(r.nodes) == 3
+        assert r.total_energy_j == pytest.approx(
+            sum(n.energy_j for n in r.nodes)
+        )
+        assert r.power_down_threshold == 0.01
+
+    def test_hotspot_is_sink_adjacent(self):
+        r = self.network().simulate(horizon=120.0, seed=1, base_rate=0.5)
+        # node 1 relays everyone: most events, most energy, dies first
+        assert r.hotspot.node_id == 1
+        assert r.nodes[0].events_completed > r.nodes[-1].events_completed
+        assert r.nodes[0].energy_j > r.nodes[-1].energy_j
+
+    def test_network_lifetime_is_min(self):
+        r = self.network().simulate(horizon=120.0, seed=1, base_rate=0.5)
+        assert r.network_lifetime_days == min(
+            n.lifetime_days for n in r.nodes
+        )
+        assert r.network_lifetime_days == r.hotspot.lifetime_days
+
+    def test_lifetime_imbalance_above_one(self):
+        r = self.network().simulate(horizon=120.0, seed=1, base_rate=0.5)
+        assert r.lifetime_imbalance() > 1.0
+
+    def test_star_hub_is_hotspot(self):
+        net = SensorNetworkModel(
+            StarTopology(3), NodeParameters(power_down_threshold=0.01)
+        )
+        r = net.simulate(horizon=120.0, seed=2, base_rate=0.5)
+        assert r.hotspot.node_id == 1
+
+    def test_threshold_sweep(self):
+        results = self.network().sweep_thresholds(
+            (1e-9, 0.01, 100.0), horizon=60.0, seed=3, base_rate=0.5
+        )
+        assert len(results) == 3
+        lifetimes = [r.network_lifetime_days for r in results]
+        # interior threshold beats both extremes (the Fig. 14 U-shape
+        # carries over to the network metric)
+        assert lifetimes[1] > lifetimes[0]
+        assert lifetimes[1] > lifetimes[2]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            SensorNetworkModel(LineTopology(2), workload="bogus")
+        with pytest.raises(ValueError):
+            self.network().simulate(horizon=0.0)
+
+    def test_reproducible(self):
+        a = self.network().simulate(horizon=60.0, seed=5, base_rate=0.5)
+        b = self.network().simulate(horizon=60.0, seed=5, base_rate=0.5)
+        assert a.total_energy_j == pytest.approx(b.total_energy_j)

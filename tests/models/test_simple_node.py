@@ -1,0 +1,85 @@
+"""Tests for the Fig. 10 simple-node model (Section V)."""
+
+import pytest
+
+from repro.analysis import boundedness, liveness_summary, p_invariants
+from repro.models import SimpleNodeModel, SimpleNodeParameters
+
+
+class TestParameters:
+    def test_defaults_are_table_viii(self):
+        p = SimpleNodeParameters()
+        assert p.mean_event_gap == 3.0
+        assert p.min_event_separation == 1.0
+        assert p.receive_delay == 0.00597
+        assert p.computation_delay == 1.0274
+        assert p.transmit_delay == 0.0059
+
+    def test_cycle_time(self):
+        assert SimpleNodeParameters().cycle_time() == pytest.approx(5.03927)
+
+    def test_analytic_fractions_sum_to_one(self):
+        fr = SimpleNodeParameters().analytic_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_analytic_wait_fraction(self):
+        fr = SimpleNodeParameters().analytic_fractions()
+        assert fr["Wait"] == pytest.approx(3.0 / 5.03927)
+
+
+class TestStructure:
+    def test_safe_and_live(self):
+        net = SimpleNodeModel().build()
+        b = boundedness(net)
+        assert b.is_safe
+        assert b.n_states == 5
+        live = liveness_summary(net)
+        assert live.deadlock_free
+        assert not live.dead
+
+    def test_stage_token_invariant(self):
+        net = SimpleNodeModel().build()
+        invs = p_invariants(net)
+        assert any(
+            inv.support
+            == {"Wait", "Temp_Place", "Receiving", "Computation", "Transmitting"}
+            for inv in invs
+        )
+
+
+class TestSimulation:
+    def test_converges_to_analytic(self):
+        model = SimpleNodeModel()
+        sim = model.simulate(30_000.0, seed=5, warmup=100.0)
+        exact = model.analytic_result(1.0)
+        for stage, p in exact.stage_probabilities.items():
+            assert sim.stage_probabilities[stage] == pytest.approx(
+                p, abs=0.01
+            ), stage
+
+    def test_mean_power_near_paper_value(self):
+        # Eq. (8) with Table VII/VIII gives ~1.225 mW (0.326519 J / 266.5 s).
+        model = SimpleNodeModel()
+        r = model.simulate(30_000.0, seed=5, warmup=100.0)
+        assert r.mean_power_mw == pytest.approx(1.2252, abs=0.005)
+
+    def test_energy_over_duration(self):
+        model = SimpleNodeModel()
+        r = model.analytic_result(266.5)
+        # The paper's printed Petri-net energy.
+        assert r.energy_over(266.5) == pytest.approx(0.326519, abs=0.002)
+
+    def test_events_counted(self):
+        r = SimpleNodeModel().simulate(5000.0, seed=6)
+        assert r.events == pytest.approx(5000 / 5.04, rel=0.1)
+
+    def test_transmitting_probability_is_small(self):
+        # Table VIII/IX's 19.7% for Transmitting is a typo; the delay
+        # ratio gives ~0.12% (consistent with the printed energy).
+        r = SimpleNodeModel().simulate(20_000.0, seed=7, warmup=100.0)
+        assert r.stage_probabilities["Transmitting"] < 0.01
+
+    def test_custom_parameters(self):
+        p = SimpleNodeParameters(mean_event_gap=10.0)
+        r = SimpleNodeModel(p).simulate(20_000.0, seed=8, warmup=100.0)
+        assert r.stage_probabilities["Wait"] > 0.7

@@ -1,0 +1,177 @@
+"""Tests for the Figs. 12/13 WSN node model."""
+
+import pytest
+
+from repro.analysis import p_invariants
+from repro.models import NodeParameters, WSNNodeModel, build_wsn_node_net
+from repro.models.workload import ClosedWorkload, OpenWorkload
+from repro.models.wsn_node import CPU_PLACES, RADIO_PLACES, STAGE_PLACES
+
+
+class TestParameters:
+    def test_defaults_are_table_xi(self):
+        p = NodeParameters()
+        assert p.radio_startup_delay == 0.000194
+        assert p.channel_listening == 0.001
+        assert p.transmit_receive == 0.000576
+        assert p.cpu_power_up_delay == 0.253
+        assert p.dvs_mode_switch == 0.05
+
+    def test_radio_phase_duration_is_the_paper_optimum(self):
+        # 0.000194 + 0.001 + 0.000576 = 0.00177: the Fig. 14 optimum PDT.
+        assert NodeParameters().radio_phase_duration() == pytest.approx(0.00177)
+
+    def test_with_threshold(self):
+        p = NodeParameters(power_down_threshold=0.5)
+        q = p.with_threshold(0.9)
+        assert q.power_down_threshold == 0.9
+        assert p.power_down_threshold == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeParameters(power_down_threshold=-1.0)
+        with pytest.raises(ValueError):
+            NodeParameters(arrival_rate=0.0)
+        with pytest.raises(ValueError):
+            NodeParameters(com_packets=0)
+
+    def test_dvs_class_lookup(self):
+        p = NodeParameters()
+        assert p.dvs_class(3).execute_delay_s == pytest.approx(0.081578)
+        with pytest.raises(KeyError):
+            p.dvs_class(9)
+
+
+class TestStructure:
+    def test_conservation_invariants_present(self):
+        net = build_wsn_node_net(NodeParameters(), ClosedWorkload(1.0))
+        supports = [inv.support for inv in p_invariants(net)]
+        assert frozenset(CPU_PLACES) in supports
+        assert frozenset(RADIO_PLACES) in supports
+        assert frozenset(STAGE_PLACES) in supports
+
+    def test_table_xi_transitions_present(self):
+        net = build_wsn_node_net(NodeParameters(), ClosedWorkload(1.0))
+        for name in (
+            "T0",
+            "RadioStartUpDelay_R",
+            "Channel_Listening_R",
+            "Transmitting_Receiving_R",
+            "T17",
+            "T7",
+            "T19",
+            "RadioStartUpDelay_T",
+            "Wait_Transmitting",
+            "Wait_Begin",
+            "T3",
+            "Power_Up_Delay",
+            "DVS_Delay",
+            "DVS_1",
+            "DVS_2",
+            "DVS_3",
+            "Power_Down_Threshold",
+        ):
+            assert net.has_transition(name), name
+
+    def test_dynamic_token_conservation(self):
+        from repro.core import Simulation
+
+        net = build_wsn_node_net(NodeParameters(power_down_threshold=0.01), ClosedWorkload(1.0))
+        sim = Simulation(net, seed=2)
+        violations = []
+
+        def check(t, name, c, p):
+            for group in (CPU_PLACES, RADIO_PLACES, STAGE_PLACES):
+                if sum(sim.marking.count(pl) for pl in group) != 1:
+                    violations.append((t, name, group))
+
+        sim.add_observer(check)
+        sim.run(60.0)
+        assert not violations
+
+
+class TestBehaviour:
+    def run(self, pdt, kind="closed", horizon=300.0, seed=3, **kw):
+        params = NodeParameters(power_down_threshold=pdt, **kw)
+        return WSNNodeModel(params, kind).simulate(horizon, seed=seed)
+
+    def test_fractions_sum_to_one(self):
+        r = self.run(0.01)
+        assert sum(r.cpu_fractions.values()) == pytest.approx(1.0, abs=1e-6)
+        assert sum(r.radio_fractions.values()) == pytest.approx(1.0, abs=1e-6)
+        assert sum(r.stage_fractions.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_events_complete(self):
+        r = self.run(0.01)
+        assert r.events_completed > 100  # ~1 per 1.5 s over 300 s
+
+    def test_tiny_threshold_doubles_wakeups(self):
+        small = self.run(1e-9)
+        just_above = self.run(0.0018)
+        # Below the 0.00177 s radio phase the CPU takes an extra wake
+        # per cycle (sleeps during the transmit phase).
+        ratio = (small.cpu_wakeups / small.events_completed) / (
+            just_above.cpu_wakeups / just_above.events_completed
+        )
+        assert ratio == pytest.approx(2.0, abs=0.2)
+
+    def test_huge_threshold_never_sleeps(self):
+        r = self.run(1000.0)
+        assert r.cpu_wakeups <= 1
+        assert r.cpu_fractions["standby"] == pytest.approx(0.0, abs=1e-3)
+
+    def test_energy_u_shape(self):
+        """The Fig. 14 claim: optimum strictly between the extremes."""
+        e_tiny = self.run(1e-9).total_energy_j
+        e_opt = self.run(0.0018).total_energy_j
+        e_huge = self.run(1000.0).total_energy_j
+        assert e_opt < e_tiny
+        assert e_opt < e_huge
+
+    def test_open_model_queues_events(self):
+        # Open workload at high rate: events queue, node keeps cycling.
+        r = self.run(0.01, kind="open", arrival_rate=5.0)
+        assert r.events_completed > 150
+
+    def test_closed_model_never_queues(self):
+        from repro.core import Simulation
+
+        net = build_wsn_node_net(
+            NodeParameters(power_down_threshold=0.01), ClosedWorkload(1.0)
+        )
+        sim = Simulation(net, seed=4)
+        max_queue = [0]
+        sim.add_observer(
+            lambda t, n, c, p: max_queue.__setitem__(
+                0, max(max_queue[0], sim.marking.count("Event_Queue"))
+            )
+        )
+        sim.run(120.0)
+        assert max_queue[0] <= 1
+
+    def test_radio_wakeups_twice_per_cycle(self):
+        r = self.run(0.01)
+        assert r.radio_wakeups == pytest.approx(2 * r.events_completed, abs=2)
+
+    def test_com_packets_lengthen_radio_active(self):
+        short = self.run(0.01, com_packets=1)
+        long = self.run(0.01, com_packets=10)
+        assert (
+            long.radio_fractions["active"] > short.radio_fractions["active"]
+        )
+
+    def test_invalid_workload_kind(self):
+        with pytest.raises(ValueError):
+            WSNNodeModel(NodeParameters(), "sideways")
+
+    def test_reproducible(self):
+        a = self.run(0.01, seed=9)
+        b = self.run(0.01, seed=9)
+        assert a.total_energy_j == pytest.approx(b.total_energy_j)
+        assert a.events_completed == b.events_completed
+
+    def test_breakdown_total_matches_sum(self):
+        r = self.run(0.01)
+        assert r.total_energy_j == pytest.approx(
+            sum(r.breakdown.energy_j.values())
+        )

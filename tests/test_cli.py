@@ -1,0 +1,63 @@
+"""Tests for the command-line interface (fast paths only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figures" in out
+        assert "validate" in out
+
+    def test_fig7_short(self, capsys):
+        assert main(["fig", "7", "--horizon", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "Simulation (J)" in out
+
+    def test_fig4_short(self, capsys):
+        assert main(["fig", "4", "--horizon", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "simulation" in out
+        assert "markov" in out
+        assert "petri" in out
+
+    def test_table5_short(self, capsys):
+        assert main(["table", "5", "--horizon", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "RMSE" in out
+
+    def test_node_sweep_short(self, capsys):
+        assert main(["node-sweep", "--horizon", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "optimum Power_Down_Threshold" in out
+
+    def test_lifetime(self, capsys):
+        assert (
+            main(
+                [
+                    "lifetime",
+                    "--threshold",
+                    "0.01",
+                    "--horizon",
+                    "30",
+                    "--capacity-mah",
+                    "1000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "days" in out
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig", "3"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
