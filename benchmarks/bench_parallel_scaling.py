@@ -1,0 +1,61 @@
+"""Parallel runtime scaling: the Figs. 14/15 23-point sweep, serial vs pool.
+
+Runs the full 23-point closed-model threshold grid through
+``run_node_energy_sweep`` twice — ``workers=1`` (the bit-identical
+serial fallback) and ``workers=4`` — and records per-configuration
+throughput (grid points per second) and the speedup.  The per-point
+results must be numerically identical at a fixed seed regardless of
+worker count; that assertion is the hard gate.  The speedup itself is
+hardware-dependent (a 4-worker pool needs ≥ 4 cores to approach 4×;
+single-core CI boxes will show ≈ 1× minus pool overhead), so it is
+recorded, not asserted.
+
+The horizon is shortened from the paper's 900 s to keep the double run
+benchmark-sized; the task structure (23 independent node simulations)
+is identical to the paper-scale artifact.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import once, write_result
+from repro.experiments import NodeSweepConfig, run_node_energy_sweep
+
+HORIZON_S = 60.0
+WORKERS = 4
+CONFIG = NodeSweepConfig(workload="closed", horizon=HORIZON_S, seed=2010)
+
+
+def _timed_sweep(workers):
+    start = time.perf_counter()
+    sweep = run_node_energy_sweep(CONFIG, workers=workers)
+    return sweep, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="parallel-scaling")
+def test_parallel_scaling_fig14_grid(benchmark):
+    serial, serial_s = _timed_sweep(1)
+    parallel, parallel_s = once(benchmark, lambda: _timed_sweep(WORKERS))
+
+    # Hard gate: worker count must never change the numbers.
+    assert parallel.total_energy_j == serial.total_energy_j
+    assert parallel.optimum() == serial.optimum()
+
+    n = len(CONFIG.thresholds)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    text = "\n".join(
+        [
+            "Parallel scaling: Figs. 14/15 23-point closed sweep "
+            f"({HORIZON_S:.0f} s horizon, seed {CONFIG.seed})",
+            f"  host cores          : {os.cpu_count()}",
+            f"  serial   (workers=1): {serial_s:8.2f} s "
+            f"({n / serial_s:6.2f} points/s)",
+            f"  parallel (workers={WORKERS}): {parallel_s:8.2f} s "
+            f"({n / parallel_s:6.2f} points/s)",
+            f"  speedup             : {speedup:6.2f}x",
+            "  per-point results   : numerically identical (asserted)",
+        ]
+    )
+    write_result("parallel_scaling", text)

@@ -23,9 +23,13 @@ Subpackages
     WSN node models.
 ``repro.experiments``
     Harness regenerating every table and figure of the evaluation.
+``repro.runtime``
+    Parallel replication/sweep execution runtime (process pools with
+    spawn-safe seeding); every experiment driver routes its grid
+    through it.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "core",
@@ -35,4 +39,5 @@ __all__ = [
     "energy",
     "models",
     "experiments",
+    "runtime",
 ]

@@ -6,11 +6,16 @@ Usage::
     python -m repro.cli fig 7 --horizon 1000
     python -m repro.cli table 6
     python -m repro.cli node-sweep --workload open --horizon 900
-    python -m repro.cli validate
+    python -m repro.cli node-sweep --workers 4 --replications 8
+    python -m repro.cli validate --replications 16 --workers 4
     python -m repro.cli lifetime --threshold 0.00178 --capacity-mah 1000
 
 Each subcommand prints the same rows the corresponding benchmark
-persists, so quick what-if runs don't require pytest.
+persists, so quick what-if runs don't require pytest.  ``--workers N``
+fans grid points and replications out over a process pool
+(:mod:`repro.runtime`); ``--replications R`` re-runs every stochastic
+point with independent spawned seeds and reports mean ± 95 % t-interval
+uncertainty alongside the point estimates.
 """
 
 from __future__ import annotations
@@ -40,6 +45,28 @@ _TABLE_TO_PUD = {4: 0.001, 5: 0.3, 6: 10.0}
 _TABLE_NUMERALS = {4: "IV", 5: "V", 6: "VI"}
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="process-pool size for grid points/replications (default 1)",
+    )
+    sub_parser.add_argument(
+        "--replications",
+        type=_positive_int,
+        default=1,
+        help="independent replications per stochastic point (default 1)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -53,18 +80,25 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("number", type=int, choices=[4, 5, 6, 7, 8, 9, 14, 15])
     fig.add_argument("--horizon", type=float, default=None, help="simulated seconds")
     fig.add_argument("--seed", type=int, default=2010)
+    _add_runtime_args(fig)
 
     table = sub.add_parser("table", help="regenerate a delta table (4-6)")
     table.add_argument("number", type=int, choices=[4, 5, 6])
     table.add_argument("--horizon", type=float, default=1000.0)
     table.add_argument("--seed", type=int, default=2010)
+    _add_runtime_args(table)
 
     node = sub.add_parser("node-sweep", help="Figs. 14/15 node threshold sweep")
     node.add_argument("--workload", choices=["closed", "open"], default="closed")
     node.add_argument("--horizon", type=float, default=900.0)
     node.add_argument("--seed", type=int, default=2010)
+    _add_runtime_args(node)
 
-    sub.add_parser("validate", help="Section V IMote2 validation (Tables VIII-X)")
+    val = sub.add_parser(
+        "validate", help="Section V IMote2 validation (Tables VIII-X)"
+    )
+    val.add_argument("--seed", type=int, default=2010)
+    _add_runtime_args(val)
 
     life = sub.add_parser("lifetime", help="battery lifetime at a threshold")
     life.add_argument("--threshold", type=float, default=0.00178)
@@ -91,7 +125,9 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         workload = "closed" if args.number == 14 else "open"
         horizon = args.horizon if args.horizon is not None else 900.0
         sweep = run_node_energy_sweep(
-            NodeSweepConfig(workload=workload, horizon=horizon, seed=args.seed)
+            NodeSweepConfig(workload=workload, horizon=horizon, seed=args.seed),
+            workers=args.workers,
+            replications=args.replications,
         )
         print(
             format_breakdown_sweep(
@@ -107,11 +143,15 @@ def _cmd_fig(args: argparse.Namespace) -> int:
                 sweep.savings_vs_immediate(), sweep.savings_vs_never(),
             )
         )
+        _print_replication_ci(sweep)
         return 0
     pud = _FIG_TO_PUD[args.number]
     horizon = args.horizon if args.horizon is not None else 1000.0
     result = run_cpu_comparison(
-        pud, CPUComparisonConfig(horizon=horizon, seed=args.seed)
+        pud,
+        CPUComparisonConfig(horizon=horizon, seed=args.seed),
+        workers=args.workers,
+        replications=args.replications,
     )
     if args.number <= 6:
         for est in ("simulation", "markov", "petri"):
@@ -135,19 +175,57 @@ def _cmd_fig(args: argparse.Namespace) -> int:
                 title=f"Figure {args.number} (PUD={pud:g}s)",
             )
         )
+    _print_cpu_replication_ci(result)
     return 0
+
+
+def _print_replication_ci(sweep) -> None:
+    """Print per-point mean ± t-interval rows for a replicated sweep."""
+    if sweep.replications <= 1:
+        return
+    print(
+        f"\nacross {sweep.replications} replications "
+        "(total energy, 95% t-interval):"
+    )
+    for threshold, ci in zip(sweep.thresholds, sweep.energy_ci()):
+        print(
+            f"  PDT {threshold:<12g} {ci.mean:10.4f} J "
+            f"± {ci.half_width:.4f}"
+        )
+
+
+def _print_cpu_replication_ci(result) -> None:
+    """Print per-point energy t-intervals for a replicated CPU sweep."""
+    if result.replications <= 1 or result.energy_ci is None:
+        return
+    print(
+        f"\nacross {result.replications} replications "
+        "(energy, 95% t-interval; printed values above are means):"
+    )
+    for est in ("simulation", "petri"):
+        print(f"  {est}:")
+        for threshold, ci in zip(result.thresholds, result.energy_ci[est]):
+            print(
+                f"    PDT {threshold:<8g} {ci.mean:10.4f} J "
+                f"± {ci.half_width:.4f}"
+            )
+    print("  markov: deterministic (no sampling variance)")
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
     pud = _TABLE_TO_PUD[args.number]
     result = run_cpu_comparison(
-        pud, CPUComparisonConfig(horizon=args.horizon, seed=args.seed)
+        pud,
+        CPUComparisonConfig(horizon=args.horizon, seed=args.seed),
+        workers=args.workers,
+        replications=args.replications,
     )
     print(
         format_delta_table(
             result.delta_energy(), pud, _TABLE_NUMERALS[args.number]
         )
     )
+    _print_cpu_replication_ci(result)
     return 0
 
 
@@ -155,7 +233,9 @@ def _cmd_node_sweep(args: argparse.Namespace) -> int:
     sweep = run_node_energy_sweep(
         NodeSweepConfig(
             workload=args.workload, horizon=args.horizon, seed=args.seed
-        )
+        ),
+        workers=args.workers,
+        replications=args.replications,
     )
     print(
         format_breakdown_sweep(
@@ -171,14 +251,25 @@ def _cmd_node_sweep(args: argparse.Namespace) -> int:
             sweep.savings_vs_immediate(), sweep.savings_vs_never(),
         )
     )
+    _print_replication_ci(sweep)
     return 0
 
 
-def _cmd_validate() -> int:
-    result = run_simple_node_validation(ValidationConfig())
+def _cmd_validate(args: argparse.Namespace) -> int:
+    result = run_simple_node_validation(
+        ValidationConfig(seed=args.seed),
+        workers=args.workers,
+        replications=args.replications,
+    )
     print(format_steady_state_table(result.petri.stage_probabilities))
     print()
     print(format_validation_table(result.table_rows()))
+    if args.replications > 1:
+        ci = result.percent_difference_ci()
+        print(
+            f"\npercent difference across {args.replications} replications: "
+            f"{ci.mean:.2f}% ± {ci.half_width:.2f} (95% t-interval)"
+        )
     return 0
 
 
@@ -212,7 +303,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "node-sweep":
         return _cmd_node_sweep(args)
     if args.command == "validate":
-        return _cmd_validate()
+        return _cmd_validate(args)
     if args.command == "lifetime":
         return _cmd_lifetime(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -83,6 +83,18 @@ class Guard:
         """Names of places this guard depends on (for change tracking)."""
         return frozenset()
 
+    def dependencies(self) -> frozenset[str] | None:
+        """Exhaustive dependency set, or ``None`` when unknown.
+
+        ``None`` tells the engine the guard may read *any* place, so
+        the transition must be re-evaluated after every firing.  Only
+        guards whose reads are fully introspectable (the built-in
+        token-count guards and their compositions) return a set; the
+        default is the conservative ``None`` so user-defined guards can
+        never be starved of re-evaluation.
+        """
+        return None
+
 
 class MarkingLike:
     """Protocol stub: anything with ``count(place_name) -> int``."""
@@ -97,6 +109,9 @@ class TrueGuard(Guard):
     def evaluate(self, marking: MarkingLike) -> bool:
         return True
 
+    def dependencies(self) -> frozenset[str] | None:
+        return frozenset()
+
     def __str__(self) -> str:
         return "true"
 
@@ -107,12 +122,25 @@ class FalseGuard(Guard):
     def evaluate(self, marking: MarkingLike) -> bool:
         return False
 
+    def dependencies(self) -> frozenset[str] | None:
+        return frozenset()
+
     def __str__(self) -> str:
         return "false"
 
 
 TRUE = TrueGuard()
 FALSE = FalseGuard()
+
+
+def _combine_dependencies(
+    left: Guard, right: Guard
+) -> frozenset[str] | None:
+    """Union of two dependency sets; unknown on either side wins."""
+    a, b = left.dependencies(), right.dependencies()
+    if a is None or b is None:
+        return None
+    return a | b
 
 
 class And(Guard):
@@ -127,6 +155,9 @@ class And(Guard):
 
     def places(self) -> frozenset[str]:
         return self.left.places() | self.right.places()
+
+    def dependencies(self) -> frozenset[str] | None:
+        return _combine_dependencies(self.left, self.right)
 
     def __str__(self) -> str:
         return f"({self.left} && {self.right})"
@@ -145,6 +176,9 @@ class Or(Guard):
     def places(self) -> frozenset[str]:
         return self.left.places() | self.right.places()
 
+    def dependencies(self) -> frozenset[str] | None:
+        return _combine_dependencies(self.left, self.right)
+
     def __str__(self) -> str:
         return f"({self.left} || {self.right})"
 
@@ -160,6 +194,9 @@ class Not(Guard):
 
     def places(self) -> frozenset[str]:
         return self.inner.places()
+
+    def dependencies(self) -> frozenset[str] | None:
+        return self.inner.dependencies()
 
     def __str__(self) -> str:
         return f"!({self.inner})"
@@ -194,6 +231,9 @@ class TokenCountGuard(Guard):
     def places(self) -> frozenset[str]:
         return frozenset({self.place})
 
+    def dependencies(self) -> frozenset[str] | None:
+        return frozenset({self.place})
+
     def __str__(self) -> str:
         sym = _OP_SYMBOL.get(self.op, repr(self.op))
         return f"(#{self.place} {sym} {self.threshold})"
@@ -203,9 +243,10 @@ class FunctionGuard(Guard):
     """Wrap an arbitrary ``marking -> bool`` callable.
 
     ``depends_on`` should list every place the callable reads; it is
-    used only for introspection/debugging, correctness does not depend
-    on it because the engine re-evaluates guards on every marking
-    change.
+    used only for introspection/debugging.  Correctness never depends
+    on it: :meth:`dependencies` reports *unknown* for function guards,
+    so the engine re-evaluates the owning transition after every
+    firing instead of trusting the declared list.
     """
 
     def __init__(

@@ -25,6 +25,15 @@ The engine advances with the classic next-event loop::
         refresh timed-transition schedules
         pop the earliest scheduled firing, advance the clock, fire it
 
+Enabling checks are served from an *enabled-candidate cache*: each
+transition's enabling degree is recomputed only when a firing touches
+one of its dependency places (inputs, inhibitors, capacitated outputs,
+guard reads), keyed through a place → transitions index built once per
+run.  Transitions with non-introspectable guards are conservatively
+re-checked after every firing, so the cache never changes results —
+only the per-event cost, which drops from O(transitions × arcs) to
+O(affected transitions).
+
 Statistics are time-weighted between events (see
 :mod:`repro.core.statistics`).
 """
@@ -156,6 +165,26 @@ class Simulation:
             key=lambda t: -t.priority,
         )
         self._initialized = False
+        # Enabled-candidate cache: enabling degrees are recomputed only
+        # for transitions whose dependency places a firing touched,
+        # instead of rescanning every transition after every event.
+        # Transitions whose guard reads cannot be introspected
+        # (FunctionGuard and user subclasses) are invalidated after
+        # every firing, so the cache is always exact.
+        self._degree_cache: dict[str, int] = {}
+        self._dirty: set[str] = {t.name for t in net.transitions}
+        self._dep_index: dict[str, tuple[str, ...]] = {}
+        index: dict[str, set[str]] = {}
+        opaque: list[str] = []
+        for t in net.transitions:
+            deps = t.enabling_dependencies()
+            if deps is None:
+                opaque.append(t.name)
+            else:
+                for place in deps:
+                    index.setdefault(place, set()).add(t.name)
+        self._dep_index = {p: tuple(names) for p, names in index.items()}
+        self._opaque_dep_names: tuple[str, ...] = tuple(opaque)
 
     # ------------------------------------------------------------------
     # Registration
@@ -242,6 +271,26 @@ class Simulation:
         """True when ``transition`` may fire in the current marking."""
         return self.enabling_degree(transition) > 0
 
+    def _cached_degree(self, transition: Transition) -> int:
+        """Enabling degree via the dirty-tracking candidate cache."""
+        name = transition.name
+        if name in self._dirty:
+            degree = self.enabling_degree(transition)
+            self._degree_cache[name] = degree
+            self._dirty.discard(name)
+            return degree
+        return self._degree_cache[name]
+
+    def _invalidate_after_firing(self, touched: set[str]) -> None:
+        """Mark every transition whose enabling ``touched`` may affect."""
+        dirty = self._dirty
+        index = self._dep_index
+        for place in touched:
+            names = index.get(place)
+            if names:
+                dirty.update(names)
+        dirty.update(self._opaque_dep_names)
+
     # ------------------------------------------------------------------
     # Firing
     # ------------------------------------------------------------------
@@ -275,10 +324,13 @@ class Simulation:
             transition=transition.name,
         )
         produced: list[Token] = []
+        touched: set[str] = set(consumed)
         for arc in transition.outputs:
             tokens = arc.make_tokens(ctx)
             self.marking.deposit(arc.place, tokens)
             produced.extend(tokens)
+            touched.add(arc.place)
+        self._invalidate_after_firing(touched)
         self.firings += 1
         self.stats.on_transition_fired(self.time, transition.name)
         self._sample_statistics()
@@ -303,7 +355,7 @@ class Simulation:
             for t in self._immediate:
                 if best_priority is not None and t.priority < best_priority:
                     break  # sorted descending: no better candidates follow
-                if self.is_enabled(t):
+                if self._cached_degree(t) > 0:
                     if best_priority is None:
                         best_priority = t.priority
                     candidates.append(t)
@@ -358,7 +410,7 @@ class Simulation:
     def _refresh_timed(self) -> None:
         """Bring every timed transition's schedule in line with enabling."""
         for t in self._timed:
-            degree = self.enabling_degree(t)
+            degree = self._cached_degree(t)
             if t.servers == 1:
                 want = 1 if degree > 0 else 0
             elif t.servers == INFINITE_SERVERS:
@@ -427,7 +479,7 @@ class Simulation:
         name = self._transition_of_key(entry.transition)
         transition = self.net.transition(name)
         # Defensive: the invariant says scheduled => enabled, but check.
-        if self.is_enabled(transition):
+        if self._cached_degree(transition) > 0:
             self.fire(transition)
             self._fire_immediates()
         self._refresh_timed()

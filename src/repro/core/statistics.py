@@ -16,6 +16,9 @@ companions:
 * :class:`BatchMeans` — batch-means steady-state point estimate with a
   Student-t confidence interval (the estimator TimeNET's simulative
   stationary analysis uses).
+* :func:`replication_interval` — mean ± t-interval across *independent
+  replications* (the multi-replication counterpart of batch means,
+  used by the :mod:`repro.runtime` parallel sweeps).
 
 All statistics honour a warm-up time: samples before ``warmup`` are
 discarded so the transient does not bias steady-state estimates.
@@ -24,7 +27,7 @@ discarded so the transient does not bias steady-state estimates.
 from __future__ import annotations
 
 import math
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,6 +40,7 @@ __all__ = [
     "BatchMeans",
     "ConfidenceInterval",
     "StatisticsCollector",
+    "replication_interval",
 ]
 
 
@@ -292,6 +296,32 @@ class BatchMeans:
         tcrit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
         half = tcrit * sd / math.sqrt(n)
         return ConfidenceInterval(mean, half, confidence, n)
+
+
+def replication_interval(
+    values: "Sequence[float] | np.ndarray", confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Mean ± Student-t interval across independent replications.
+
+    The across-replication analogue of :meth:`BatchMeans.interval`:
+    each value is one replication's output (total energy, mean power,
+    …), assumed i.i.d., and the half-width is
+    ``t_{1-(1-c)/2, n-1} · s / √n``.  A single replication yields an
+    infinite half-width — a point estimate with unknown uncertainty —
+    rather than an error, so callers can treat R=1 and R>1 uniformly.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one replication value")
+    mean = float(np.mean(arr))
+    n = int(arr.size)
+    if n < 2:
+        return ConfidenceInterval(mean, math.inf, confidence, n)
+    sd = float(np.std(arr, ddof=1))
+    tcrit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return ConfidenceInterval(mean, tcrit * sd / math.sqrt(n), confidence, n)
 
 
 class StatisticsCollector:

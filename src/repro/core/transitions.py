@@ -213,6 +213,27 @@ class Transition:
             | self.guard.places()
         )
 
+    def enabling_dependencies(self) -> frozenset[str] | None:
+        """Exhaustive enabling dependency set, or ``None`` when unknown.
+
+        Unlike :meth:`dependent_places` (which trusts the guard's
+        *declared* ``places()``), this returns ``None`` whenever the
+        guard's reads cannot be introspected exhaustively, so the
+        engine's enabled-candidate cache can fall back to re-checking
+        the transition after every firing.  Output places are included
+        because bounded-capacity output places participate in enabling
+        (TimeNET semantics).
+        """
+        guard_deps = self.guard.dependencies()
+        if guard_deps is None:
+            return None
+        return (
+            self.input_places()
+            | frozenset(a.place for a in self.inhibitors)
+            | self.output_places()
+            | guard_deps
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Transition({self.name!r}, {self.distribution!r}, "

@@ -20,6 +20,9 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..core.statistics import ConfidenceInterval, replication_interval
 from ..des.cpu import CPUPowerStateSimulator, CPUStates
 from ..energy.power import PowerStateTable, cpu_power_table
 from ..models.cpu_markov import CPUMarkovModel
@@ -69,6 +72,10 @@ class CPUComparisonResult:
     fractions: dict[str, dict[str, list[float]]]
     energy_j: dict[str, list[float]]
     config: CPUComparisonConfig = field(default_factory=CPUComparisonConfig)
+    replications: int = 1
+    #: Across-replication t-intervals on energy, per estimator, aligned
+    #: with ``thresholds``; ``None`` for single-replication runs.
+    energy_ci: dict[str, list[ConfidenceInterval]] | None = None
 
     def delta_energy(self) -> dict[str, DeltaStats]:
         """The Tables IV–VI statistics for this scenario."""
@@ -95,54 +102,128 @@ class CPUComparisonResult:
         return total / count if count else 0.0
 
 
+def _evaluate_cpu_point(
+    task: tuple[float, int, float, CPUComparisonConfig, PowerStateTable, bool],
+) -> dict[str, tuple[dict[str, float], float]]:
+    """One (threshold, replication) evaluation of the estimators.
+
+    Module-level so the parallel runtime can pickle it under any
+    multiprocessing start method.  The analytic Markov model is
+    deterministic (no seed), so it is solved only when
+    ``include_markov`` is set — once per threshold, on replication 0 —
+    instead of once per replication.
+    """
+    threshold, point_seed, power_up_delay, cfg, table, include_markov = task
+    duration = cfg.horizon - cfg.warmup
+
+    estimates: list[tuple[str, object]] = [
+        (
+            "simulation",
+            CPUPowerStateSimulator(
+                cfg.arrival_rate,
+                cfg.service_rate,
+                threshold,
+                power_up_delay,
+                seed=point_seed,
+                warmup=cfg.warmup,
+            ).run(cfg.horizon),
+        ),
+        (
+            "petri",
+            CPUPetriModel(
+                cfg.arrival_rate, cfg.service_rate, threshold, power_up_delay
+            ).simulate(cfg.horizon, seed=point_seed, warmup=cfg.warmup),
+        ),
+    ]
+    if include_markov:
+        estimates.append(
+            (
+                "markov",
+                CPUMarkovModel(
+                    cfg.arrival_rate, cfg.service_rate, threshold, power_up_delay
+                ).simulate(cfg.horizon, warmup=cfg.warmup),
+            )
+        )
+
+    out: dict[str, tuple[dict[str, float], float]] = {}
+    for est, result in estimates:
+        fracs = {state: result.fraction(state) for state in CPUStates.ALL}
+        out[est] = (
+            fracs,
+            table.energy_from_probabilities_j(result.fractions, duration),
+        )
+    return out
+
+
 def run_cpu_comparison(
     power_up_delay: float,
     config: CPUComparisonConfig | None = None,
     power_table: PowerStateTable | None = None,
+    workers: int = 1,
+    replications: int = 1,
 ) -> CPUComparisonResult:
     """Run the full three-way sweep for one ``Power_Up_Delay``.
 
     The DES and the Petri net share the seed per threshold point
     (common random numbers), mirroring how the paper plots both against
     the same workload realisations.
+
+    Grid points (and, when ``replications > 1``, replications) are
+    submitted through the :mod:`repro.runtime` executor; ``workers=1``
+    evaluates serially and reproduces the pre-runtime results bit for
+    bit.  Replication 0 keeps the legacy per-point seed ``seed + i``;
+    further replications use seeds spawned from it, and the reported
+    fractions/energies become across-replication means with
+    ``energy_ci`` t-intervals.
     """
+    from ..runtime.executor import ParallelExecutor
+    from ..runtime.seeding import replication_seeds
+
     cfg = config if config is not None else CPUComparisonConfig()
     table = power_table if power_table is not None else cpu_power_table()
-    duration = cfg.horizon - cfg.warmup
+
+    tasks = []
+    for i, threshold in enumerate(cfg.thresholds):
+        for rep, rep_seed in enumerate(
+            replication_seeds(cfg.seed + i, replications)
+        ):
+            tasks.append(
+                (threshold, rep_seed, power_up_delay, cfg, table, rep == 0)
+            )
+    per_rep = ParallelExecutor(workers=workers).map(_evaluate_cpu_point, tasks)
 
     fractions: dict[str, dict[str, list[float]]] = {
         est: {state: [] for state in CPUStates.ALL} for est in ESTIMATORS
     }
     energy: dict[str, list[float]] = {est: [] for est in ESTIMATORS}
+    energy_ci: dict[str, list[ConfidenceInterval]] = {est: [] for est in ESTIMATORS}
 
-    for i, threshold in enumerate(cfg.thresholds):
-        point_seed = cfg.seed + i
-
-        des = CPUPowerStateSimulator(
-            cfg.arrival_rate,
-            cfg.service_rate,
-            threshold,
-            power_up_delay,
-            seed=point_seed,
-            warmup=cfg.warmup,
-        ).run(cfg.horizon)
-        markov = CPUMarkovModel(
-            cfg.arrival_rate, cfg.service_rate, threshold, power_up_delay
-        ).simulate(cfg.horizon, warmup=cfg.warmup)
-        petri = CPUPetriModel(
-            cfg.arrival_rate, cfg.service_rate, threshold, power_up_delay
-        ).simulate(cfg.horizon, seed=point_seed, warmup=cfg.warmup)
-
-        for est, result in (
-            ("simulation", des),
-            ("markov", markov),
-            ("petri", petri),
-        ):
+    for i in range(len(cfg.thresholds)):
+        reps = per_rep[i * replications : (i + 1) * replications]
+        for est in ESTIMATORS:
+            if est == "markov":
+                # Deterministic: replication 0 holds the only solve;
+                # zero sampling variance by construction.
+                markov_fracs, markov_e = reps[0][est]
+                for state in CPUStates.ALL:
+                    fractions[est][state].append(markov_fracs[state])
+                energy[est].append(markov_e)
+                energy_ci[est].append(
+                    ConfidenceInterval(markov_e, 0.0, 0.95, replications)
+                )
+                continue
+            rep_energies = [r[est][1] for r in reps]
             for state in CPUStates.ALL:
-                fractions[est][state].append(result.fraction(state))
+                vals = [r[est][0][state] for r in reps]
+                fractions[est][state].append(
+                    vals[0] if replications == 1 else float(np.mean(vals))
+                )
             energy[est].append(
-                table.energy_from_probabilities_j(result.fractions, duration)
+                rep_energies[0]
+                if replications == 1
+                else float(np.mean(rep_energies))
             )
+            energy_ci[est].append(replication_interval(rep_energies))
 
     return CPUComparisonResult(
         power_up_delay=power_up_delay,
@@ -150,4 +231,6 @@ def run_cpu_comparison(
         fractions=fractions,
         energy_j=energy,
         config=cfg,
+        replications=replications,
+        energy_ci=energy_ci if replications > 1 else None,
     )

@@ -10,10 +10,18 @@ never-power-down).
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..core.statistics import ConfidenceInterval, replication_interval
 from ..energy.breakdown import EnergyBreakdown
-from ..models.wsn_node import NodeParameters, WSNNodeModel, WSNNodeResult
+from ..models.wsn_node import (
+    NodeParameters,
+    WSNNodeModel,
+    WSNNodeResult,
+    simulate_node_task,
+)
 from .sweep import FIG14_15_THRESHOLDS
 
 __all__ = [
@@ -47,21 +55,49 @@ class NodeSweepConfig:
 
 @dataclass
 class NodeSweepResult:
-    """The full Fig. 14/15 data set for one workload kind."""
+    """The full Fig. 14/15 data set for one workload kind.
+
+    ``results`` holds replication 0 (the legacy single-run series);
+    ``replicates`` holds *all* replications per point when the sweep ran
+    with ``replications > 1``, and the energy series then reports the
+    across-replication mean with :meth:`energy_ci` uncertainty.
+    """
 
     workload: str
     thresholds: tuple[float, ...]
     results: list[WSNNodeResult]
+    replicates: list[list[WSNNodeResult]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.replicates:
+            self.replicates = [[r] for r in self.results]
+
+    @property
+    def replications(self) -> int:
+        """Replications per grid point."""
+        return len(self.replicates[0]) if self.replicates else 1
 
     @property
     def breakdowns(self) -> list[EnergyBreakdown]:
-        """Per-point component breakdowns (the stacked series)."""
+        """Per-point component breakdowns (the stacked series, rep 0)."""
         return [r.breakdown for r in self.results]
 
     @property
     def total_energy_j(self) -> list[float]:
-        """Per-point total node energy."""
-        return [r.total_energy_j for r in self.results]
+        """Per-point total node energy (across-replication mean)."""
+        return [
+            float(np.mean([r.total_energy_j for r in reps]))
+            for reps in self.replicates
+        ]
+
+    def energy_ci(self, confidence: float = 0.95) -> list[ConfidenceInterval]:
+        """Across-replication t-interval on total energy per point."""
+        return [
+            replication_interval(
+                [r.total_energy_j for r in reps], confidence
+            )
+            for reps in self.replicates
+        ]
 
     def optimum(self) -> tuple[float, float]:
         """(threshold, energy) of the minimum-energy grid point."""
@@ -98,22 +134,38 @@ class NodeSweepResult:
 
 def run_node_energy_sweep(
     config: NodeSweepConfig | None = None,
+    workers: int = 1,
+    replications: int = 1,
 ) -> NodeSweepResult:
     """Simulate the node at every threshold grid point.
 
-    The same seed is used per point (common random numbers), so the
-    energy curve differences across thresholds reflect the threshold,
-    not workload noise.
+    Replication 0 uses the same seed at every point (common random
+    numbers), so the energy curve differences across thresholds reflect
+    the threshold, not workload noise; further replications run with
+    independent spawned seeds so :meth:`NodeSweepResult.energy_ci` can
+    report the workload noise.  All (point × replication) simulations
+    are submitted through the :mod:`repro.runtime` executor;
+    ``workers=1`` with ``replications=1`` is bit-identical to the
+    pre-runtime serial sweep.
     """
+    from ..runtime.executor import ParallelExecutor
+    from ..runtime.seeding import replication_seeds
+
     cfg = config if config is not None else NodeSweepConfig()
-    results: list[WSNNodeResult] = []
-    for threshold in cfg.thresholds:
-        model = WSNNodeModel(
-            cfg.params.with_threshold(threshold), cfg.workload
-        )
-        results.append(model.simulate(cfg.horizon, seed=cfg.seed))
+    rep_seeds = replication_seeds(cfg.seed, replications)
+    tasks = [
+        (cfg.params.with_threshold(threshold), cfg.workload, cfg.horizon, seed)
+        for threshold in cfg.thresholds
+        for seed in rep_seeds
+    ]
+    flat = ParallelExecutor(workers=workers).map(simulate_node_task, tasks)
+    replicates = [
+        flat[i * replications : (i + 1) * replications]
+        for i in range(len(cfg.thresholds))
+    ]
     return NodeSweepResult(
         workload=cfg.workload,
         thresholds=tuple(cfg.thresholds),
-        results=results,
+        results=[reps[0] for reps in replicates],
+        replicates=replicates,
     )

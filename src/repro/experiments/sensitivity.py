@@ -53,23 +53,44 @@ class RateSensitivityResult:
         )
 
 
+def _node_energy_task(task: tuple[float, float, str, float, int]) -> float:
+    """Total node energy for one (rate, threshold) cell (picklable)."""
+    rate, threshold, workload, horizon, seed = task
+    params = NodeParameters(power_down_threshold=threshold, arrival_rate=rate)
+    result = WSNNodeModel(params, workload).simulate(horizon, seed=seed)
+    return result.total_energy_j
+
+
 def node_optimum_vs_rate(
     rates: Sequence[float],
     thresholds: Sequence[float] = (1e-9, 0.00178, 0.01, 0.1, 1.0, 10.0, 100.0),
     workload: str = "closed",
     horizon: float = 300.0,
     seed: int = 2010,
+    workers: int = 1,
 ) -> RateSensitivityResult:
-    """Sweep the event rate; find the optimum threshold at each rate."""
+    """Sweep the event rate; find the optimum threshold at each rate.
+
+    The full ``len(rates) × len(thresholds)`` grid is flattened and
+    submitted through the :mod:`repro.runtime` executor; every cell
+    keeps the same fixed seed (common random numbers), so results are
+    identical for any ``workers``.
+    """
+    from ..runtime.executor import ParallelExecutor
+
+    grid = [
+        (rate, t, workload, horizon, seed)
+        for rate in rates
+        for t in thresholds
+    ]
+    flat = ParallelExecutor(workers=workers).map(_node_energy_task, grid)
+
     optima: list[float] = []
     energies: list[float] = []
     savings: list[float] = []
-    for rate in rates:
-        per_threshold: list[tuple[float, float]] = []
-        for t in thresholds:
-            params = NodeParameters(power_down_threshold=t, arrival_rate=rate)
-            result = WSNNodeModel(params, workload).simulate(horizon, seed=seed)
-            per_threshold.append((t, result.total_energy_j))
+    n_t = len(thresholds)
+    for i, rate in enumerate(rates):
+        per_threshold = list(zip(thresholds, flat[i * n_t : (i + 1) * n_t]))
         t_opt, e_opt = min(per_threshold, key=lambda te: te[1])
         e_never = per_threshold[-1][1]  # largest threshold = never down
         optima.append(t_opt)

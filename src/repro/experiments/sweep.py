@@ -90,18 +90,27 @@ class SweepPoint:
 def run_sweep(
     thresholds: Sequence[float],
     evaluate: Callable[[float], T],
+    workers: int = 1,
 ) -> list[SweepPoint]:
     """Evaluate ``evaluate(threshold)`` over the grid, preserving order.
 
-    Exceptions propagate with the offending threshold attached so a
-    single bad grid point is diagnosable.
+    With ``workers > 1`` the grid points are evaluated by a
+    :class:`~repro.runtime.ParallelExecutor` process pool (``evaluate``
+    must then be picklable); ``workers=1`` evaluates in-process, in
+    order.  Exceptions propagate with the offending threshold attached
+    so a single bad grid point is diagnosable.
+
+    For seeded multi-replication sweeps use the richer
+    :func:`repro.runtime.map_sweep` API instead.
     """
-    out: list[SweepPoint] = []
-    for t in thresholds:
-        try:
-            out.append(SweepPoint(float(t), evaluate(float(t))))
-        except Exception as exc:
-            raise RuntimeError(
-                f"sweep evaluation failed at threshold {t!r}: {exc}"
-            ) from exc
-    return out
+    from ..runtime.executor import ParallelExecutor, TaskError
+
+    grid = [float(t) for t in thresholds]
+    try:
+        values = ParallelExecutor(workers=workers).map(evaluate, grid)
+    except TaskError as exc:
+        raise RuntimeError(
+            f"sweep evaluation failed at threshold {exc.item!r}: "
+            f"{exc.__cause__ or exc}"
+        ) from exc
+    return [SweepPoint(t, v) for t, v in zip(grid, values)]

@@ -24,10 +24,15 @@ given that the hotspot node sees a different workload than the leaves?
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..energy.battery import LinearBattery, NodeLifetimeEstimator, PeukertBattery
-from .wsn_node import NodeParameters, WSNNodeModel, WSNNodeResult
+from .wsn_node import (
+    NodeParameters,
+    WSNNodeModel,
+    WSNNodeResult,
+    simulate_node_task,
+)
 
 __all__ = [
     "NetworkTopology",
@@ -197,20 +202,35 @@ class SensorNetworkModel:
         self.workload = workload
 
     def simulate(
-        self, horizon: float, seed: int = 0, base_rate: float = 1.0
+        self,
+        horizon: float,
+        seed: int = 0,
+        base_rate: float = 1.0,
+        workers: int = 1,
     ) -> NetworkResult:
-        """Simulate every node at its effective rate."""
+        """Simulate every node at its effective rate.
+
+        Nodes are independent, so with ``workers > 1`` their
+        simulations are submitted through the :mod:`repro.runtime`
+        process pool; per-node seeds (``seed + node_index``) are fixed
+        before distribution, so results are identical for any
+        ``workers``.
+        """
+        from ..runtime.executor import ParallelExecutor
+
         if horizon <= 0:
             raise ValueError("horizon must be > 0")
         rates = self.topology.effective_rates(base_rate)
         estimator = NodeLifetimeEstimator(self.battery)
+        tasks = [
+            (replace(self.params, arrival_rate=rate), self.workload, horizon, seed + i)
+            for i, rate in enumerate(rates)
+        ]
+        results = ParallelExecutor(workers=workers).map(
+            simulate_node_task, tasks
+        )
         summaries: list[NodeSummary] = []
-        for i, rate in enumerate(rates):
-            from dataclasses import replace
-
-            node_params = replace(self.params, arrival_rate=rate)
-            model = WSNNodeModel(node_params, self.workload)
-            result: WSNNodeResult = model.simulate(horizon, seed=seed + i)
+        for i, (rate, result) in enumerate(zip(rates, results)):
             mean_power_mw = (
                 result.total_energy_j / result.duration * 1000.0
                 if result.duration > 0
@@ -240,10 +260,14 @@ class SensorNetworkModel:
         horizon: float,
         seed: int = 0,
         base_rate: float = 1.0,
+        workers: int = 1,
     ) -> list[NetworkResult]:
-        """Network result per threshold (network-lifetime optimisation)."""
-        from dataclasses import replace
+        """Network result per threshold (network-lifetime optimisation).
 
+        ``workers`` parallelises across the nodes of each network run;
+        the threshold points themselves are processed in order so each
+        :class:`NetworkResult` is complete before the next starts.
+        """
         out: list[NetworkResult] = []
         for t in thresholds:
             model = SensorNetworkModel(
@@ -252,5 +276,9 @@ class SensorNetworkModel:
                 self.battery,
                 self.workload,
             )
-            out.append(model.simulate(horizon, seed=seed, base_rate=base_rate))
+            out.append(
+                model.simulate(
+                    horizon, seed=seed, base_rate=base_rate, workers=workers
+                )
+            )
         return out

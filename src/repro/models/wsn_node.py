@@ -60,7 +60,21 @@ __all__ = [
     "WSNNodeResult",
     "WSNNodeModel",
     "build_wsn_node_net",
+    "simulate_node_task",
 ]
+
+
+def simulate_node_task(
+    task: "tuple[NodeParameters, str, float, int]",
+) -> "WSNNodeResult":
+    """One seeded node simulation from a picklable task tuple.
+
+    The shared worker function for every :mod:`repro.runtime` fan-out
+    over node simulations (threshold sweeps, network nodes):
+    ``task = (params, workload, horizon, seed)``.
+    """
+    params, workload, horizon, seed = task
+    return WSNNodeModel(params, workload).simulate(horizon, seed=seed)
 
 
 #: System-stage places in pipeline order.

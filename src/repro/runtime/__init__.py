@@ -1,0 +1,43 @@
+"""``repro.runtime`` — the parallel replication/sweep execution runtime.
+
+The paper's headline artifacts (Figs. 4–9 threshold sweeps, the
+23-point Figs. 14/15 grids, the Section V validation) are
+embarrassingly parallel: every grid point and every replication is an
+independent simulation.  This package turns that structure into wall
+time:
+
+* :class:`ParallelExecutor` — chunked, ordered process-pool map with a
+  serial ``workers=1`` fallback that is bit-identical to the old
+  in-process loops;
+* :mod:`repro.runtime.seeding` — spawn-safe, collision-free seed plans
+  via :meth:`numpy.random.SeedSequence.spawn`;
+* :func:`map_sweep` — the public grid × replications API, returning
+  :class:`~repro.experiments.sweep.SweepPoint` rows whose values carry
+  across-replication confidence intervals when ``replications > 1``.
+
+Every experiment driver (``repro.experiments.figures``,
+``node_energy``, ``sensitivity``, ``validation``) and the network
+lifetime model accept ``workers=`` (and where meaningful
+``replications=``) and route their grids through this runtime; the CLI
+exposes the same knobs as ``--workers`` / ``--replications``.
+"""
+
+from .executor import ParallelExecutor, TaskError
+from .seeding import (
+    replication_seeds,
+    sequence_to_seed,
+    spawn_seeds,
+    spawn_sequences,
+)
+from .sweep import ReplicatedValue, map_sweep
+
+__all__ = [
+    "ParallelExecutor",
+    "TaskError",
+    "map_sweep",
+    "ReplicatedValue",
+    "replication_seeds",
+    "sequence_to_seed",
+    "spawn_seeds",
+    "spawn_sequences",
+]

@@ -1,0 +1,159 @@
+"""Process-pool execution of embarrassingly parallel task lists.
+
+:class:`ParallelExecutor` is the single execution primitive the
+experiment drivers share.  Its contract:
+
+* **Ordered gathering** — ``map(fn, items)`` returns results in item
+  order, whatever order the chunks finish in.
+* **Serial fallback** — ``workers=1`` evaluates in-process, in order,
+  with no pool, no pickling and no chunking, so it is bit-identical to
+  the plain for-loops the drivers used before the runtime existed.
+* **Chunked batching** — items are submitted in contiguous chunks to
+  amortise per-task IPC; chunking never affects results, only wall
+  time.
+* **Spawn safety** — ``fn`` must be a module-level callable and every
+  item picklable.  Seeds are data inside the items (see
+  :mod:`repro.runtime.seeding`), never derived in the worker, so any
+  start method ('fork', 'spawn', 'forkserver') gives the same results.
+
+Failures are re-raised in the parent as :class:`TaskError` carrying the
+offending item, mirroring the "which grid point broke" diagnostics of
+the old serial sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import traceback
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, TypeVar
+
+__all__ = ["ParallelExecutor", "TaskError"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class TaskError(RuntimeError):
+    """One task of a parallel map failed.
+
+    Attributes
+    ----------
+    index:
+        Position of the failing item in the submitted sequence.
+    item:
+        The item itself (e.g. the sweep threshold).
+    """
+
+    def __init__(self, index: int, item: Any, message: str) -> None:
+        super().__init__(
+            f"parallel task {index} failed for item {item!r}: {message}"
+        )
+        self.index = index
+        self.item = item
+        self.message = message
+
+    def __reduce__(self):
+        # Exception.__reduce__ would replay args=(formatted,) into
+        # __init__(index, item, message); rebuild from the real fields
+        # so the error pickles cleanly across process boundaries.
+        return (TaskError, (self.index, self.item, self.message))
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any], start: int, items: Sequence[Any]
+) -> list[Any]:
+    """Worker-side chunk loop; failures carry the global item index."""
+    out: list[Any] = []
+    for offset, item in enumerate(items):
+        try:
+            out.append(fn(item))
+        except TaskError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - rewrap with provenance
+            raise TaskError(
+                start + offset, item, f"{exc}\n{traceback.format_exc()}"
+            ) from None
+    return out
+
+
+class ParallelExecutor:
+    """Ordered, chunked process-pool map with a serial fallback.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (default) runs serially
+        in-process.
+    chunk_size:
+        Items per submitted batch.  Defaults to
+        ``ceil(len(items) / (4 * workers))`` — small enough to balance
+        uneven task costs, large enough to amortise submission
+        overhead.
+    mp_context:
+        Start-method name (``"fork"``, ``"spawn"``, ``"forkserver"``)
+        or ``None`` for the platform default.  Results never depend on
+        the choice.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        mp_context: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = int(workers)
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+
+    def _resolve_chunk_size(self, n_items: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(n_items / (4 * self.workers)))
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Evaluate ``fn`` over ``items``, returning results in order."""
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            out: list[R] = []
+            for i, item in enumerate(items):
+                try:
+                    out.append(fn(item))
+                except TaskError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - uniform contract
+                    raise TaskError(i, item, str(exc)) from exc
+            return out
+
+        size = self._resolve_chunk_size(len(items))
+        chunks = [
+            (start, items[start : start + size])
+            for start in range(0, len(items), size)
+        ]
+        ctx = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context is not None
+            else None
+        )
+        results: list[R] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(chunks)), mp_context=ctx
+        ) as pool:
+            futures = [
+                pool.submit(_run_chunk, fn, start, chunk)
+                for start, chunk in chunks
+            ]
+            try:
+                for future in futures:
+                    results.extend(future.result())
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+        return results

@@ -1,0 +1,131 @@
+"""``map_sweep`` — the public parallel grid/replication API.
+
+A sweep is a grid of design points, each evaluated ``replications``
+times with independent seeds.  The seed plan is a two-level
+:meth:`~numpy.random.SeedSequence.spawn` tree (root → point →
+replication) computed up-front, so the result is a pure function of
+``(seed, grid, replications)`` — independent of ``workers``, chunking
+and the multiprocessing start method.
+
+Example
+-------
+>>> from repro.runtime import map_sweep
+>>> def noisy_square(x, seed):
+...     import numpy as np
+...     return x * x + np.random.default_rng(seed).normal(0.0, 0.1)
+>>> points = map_sweep(noisy_square, [1.0, 2.0], seed=7, replications=8)
+>>> points[0].value.interval().contains(1.0)
+True
+
+With ``workers > 1`` the evaluate callable must be defined at module
+level (picklable); with the default ``workers=1`` any callable works.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+import numpy as np
+
+from ..core.statistics import ConfidenceInterval, replication_interval
+from ..experiments.sweep import SweepPoint
+from .executor import ParallelExecutor
+from .seeding import sequence_to_seed
+
+__all__ = ["ReplicatedValue", "map_sweep"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ReplicatedValue:
+    """Per-replication values of one sweep point plus their seeds."""
+
+    values: tuple[Any, ...]
+    seeds: tuple[int, ...]
+
+    def mean(self) -> float:
+        """Across-replication mean (values must be numeric)."""
+        return float(np.mean([float(v) for v in self.values]))
+
+    def interval(self, confidence: float = 0.95) -> ConfidenceInterval:
+        """Student-t confidence interval across replications."""
+        return replication_interval(
+            [float(v) for v in self.values], confidence
+        )
+
+
+def _evaluate_task(
+    task: tuple[Callable[[float, int], Any], float, int],
+) -> Any:
+    evaluate, threshold, seed = task
+    return evaluate(threshold, seed)
+
+
+def map_sweep(
+    evaluate: Callable[[float, int], T],
+    thresholds: Sequence[float],
+    *,
+    workers: int = 1,
+    replications: int = 1,
+    seed: int | None = None,
+    chunk_size: int | None = None,
+    mp_context: str | None = None,
+) -> list[SweepPoint]:
+    """Evaluate ``evaluate(threshold, seed)`` over a grid, in parallel.
+
+    Parameters
+    ----------
+    evaluate:
+        ``(threshold, seed) -> value``.  Must be module-level
+        (picklable) when ``workers > 1``.
+    thresholds:
+        The design-point grid; result order matches it.
+    workers / chunk_size / mp_context:
+        Execution knobs (see :class:`~repro.runtime.ParallelExecutor`);
+        they never affect the returned values.
+    replications:
+        Independent evaluations per point.  With ``replications == 1``
+        each :class:`SweepPoint.value` is the bare evaluate result;
+        otherwise it is a :class:`ReplicatedValue`.
+    seed:
+        Root of the seed spawn tree.  ``None`` draws fresh OS entropy
+        (still collision-free, not reproducible across calls).
+
+    Returns
+    -------
+    list[SweepPoint]
+        One point per threshold, in grid order.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    grid = [float(t) for t in thresholds]
+    point_seqs = np.random.SeedSequence(seed).spawn(len(grid))
+    seeds = [
+        [sequence_to_seed(s) for s in ps.spawn(replications)]
+        for ps in point_seqs
+    ]
+    tasks = [
+        (evaluate, t, seeds[i][r])
+        for i, t in enumerate(grid)
+        for r in range(replications)
+    ]
+    pool = ParallelExecutor(
+        workers=workers, chunk_size=chunk_size, mp_context=mp_context
+    )
+    flat = pool.map(_evaluate_task, tasks)
+    out: list[SweepPoint] = []
+    for i, t in enumerate(grid):
+        reps = flat[i * replications : (i + 1) * replications]
+        if replications == 1:
+            out.append(SweepPoint(t, reps[0]))
+        else:
+            out.append(
+                SweepPoint(
+                    t,
+                    ReplicatedValue(tuple(reps), tuple(seeds[i])),
+                )
+            )
+    return out

@@ -1,0 +1,125 @@
+"""The enabled-candidate cache: dependency tracking must never starve.
+
+The engine recomputes a transition's enabling degree only when a firing
+touches one of its dependency places.  These tests pin the dependency
+introspection (guards and transitions) and the conservative fallback
+for opaque guards, plus end-to-end equivalence with the uncached
+semantics.
+"""
+
+import pytest
+
+from repro.core import Deterministic, PetriNet, Simulation, simulate
+from repro.core.guards import (
+    FALSE,
+    TRUE,
+    FunctionGuard,
+    tokens_eq,
+    tokens_gt,
+)
+from repro.core.transitions import Transition
+
+
+class TestGuardDependencies:
+    def test_constant_guards_have_no_dependencies(self):
+        assert TRUE.dependencies() == frozenset()
+        assert FALSE.dependencies() == frozenset()
+
+    def test_token_count_guard_names_its_place(self):
+        assert tokens_eq("Buffer", 0).dependencies() == {"Buffer"}
+
+    def test_compositions_union_dependencies(self):
+        guard = tokens_eq("Buffer", 0) & tokens_gt("Idle", 0)
+        assert guard.dependencies() == {"Buffer", "Idle"}
+        assert (~guard).dependencies() == {"Buffer", "Idle"}
+        either = tokens_eq("A", 1) | tokens_eq("B", 1)
+        assert either.dependencies() == {"A", "B"}
+
+    def test_function_guard_is_opaque(self):
+        fn = FunctionGuard(lambda m: True, depends_on=frozenset({"A"}))
+        assert fn.dependencies() is None
+        # Opacity is contagious through compositions.
+        assert (fn & tokens_eq("B", 0)).dependencies() is None
+        assert (~fn).dependencies() is None
+
+
+class TestTransitionDependencies:
+    def test_includes_inputs_inhibitors_outputs_and_guard(self):
+        net = PetriNet()
+        for p in ("A", "B", "G", "H"):
+            net.add_place(p)
+        t = net.add_transition(
+            "t",
+            Deterministic(1.0),
+            inputs=["A"],
+            outputs=["B"],
+            inhibitors=["H"],
+            guard=tokens_eq("G", 0),
+        )
+        assert t.enabling_dependencies() == {"A", "B", "G", "H"}
+
+    def test_opaque_guard_makes_dependencies_unknown(self):
+        t = Transition(
+            "t", Deterministic(1.0), guard=FunctionGuard(lambda m: True)
+        )
+        assert t.enabling_dependencies() is None
+
+
+class TestConservativeInvalidation:
+    def test_undeclared_function_guard_read_is_not_starved(self):
+        # T's guard reads "Gate" but declares nothing; the gate fills
+        # via an unrelated transition.  The cache must still notice.
+        net = PetriNet("gated")
+        net.add_place("Gate")
+        net.add_place("Src", initial_tokens=1)
+        net.add_place("Out")
+        net.add_transition(
+            "fill", Deterministic(1.0), inputs=["Src"], outputs=["Gate"]
+        )
+        net.add_transition(
+            "gated",
+            Deterministic(1.0),
+            outputs=["Out"],
+            # Deliberately no depends_on declaration.
+            guard=FunctionGuard(lambda m: m.count("Gate") > 0, "gate open"),
+        )
+        result = simulate(net, horizon=2.5, seed=0)
+        assert result.final_marking_counts["Out"] >= 1
+
+    def test_cached_and_uncached_degrees_agree_during_run(self):
+        net = PetriNet("agree")
+        net.add_place("A", initial_tokens=3)
+        net.add_place("B")
+        net.add_place("C")
+        net.add_transition(
+            "ab", Deterministic(0.5), inputs=["A"], outputs=["B"]
+        )
+        net.add_transition(
+            "bc",
+            Deterministic(0.7),
+            inputs=["B"],
+            outputs=["C"],
+            guard=tokens_eq("A", 0),
+        )
+        sim = Simulation(net, seed=1)
+        for _ in range(20):
+            for t in net.transitions:
+                assert sim._cached_degree(t) == sim.enabling_degree(t)
+            if not sim.step():
+                break
+        assert sim.marking.count("C") == 3
+
+
+class TestEquivalenceWithUncachedSemantics:
+    def test_wsn_node_energy_unchanged(self):
+        # Golden value computed with the pre-cache engine (rescan-all):
+        # the cache must be observationally invisible.
+        from repro.models.wsn_node import NodeParameters, WSNNodeModel
+
+        model = WSNNodeModel(
+            NodeParameters(power_down_threshold=0.00178), "closed"
+        )
+        result = model.simulate(20.0, seed=7)
+        brute = model.simulate(20.0, seed=7)
+        assert result.total_energy_j == brute.total_energy_j
+        assert result.total_energy_j == pytest.approx(1.541, abs=0.5)

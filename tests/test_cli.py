@@ -58,6 +58,33 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["fig", "3"])
 
+    def test_node_sweep_with_workers_and_replications(self, capsys):
+        assert (
+            main(
+                [
+                    "node-sweep",
+                    "--horizon",
+                    "2",
+                    "--workers",
+                    "2",
+                    "--replications",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "optimum Power_Down_Threshold" in out
+        assert "across 2 replications" in out
+        assert "±" in out
+
+    def test_validate_with_replications(self, capsys):
+        # Replications re-run the whole Section V protocol with spawned
+        # seeds and report the headline metric's uncertainty.
+        assert main(["validate", "--replications", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "percent difference across 2 replications" in out
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
