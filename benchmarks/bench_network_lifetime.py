@@ -5,7 +5,9 @@ Composes the node model into a 5-node relay chain and optimises the
 node death) — the deployment-level version of the paper's Section VII
 question.  Asserts the energy-hole structure (sink-adjacent hotspot)
 and that the single-node optimum band carries over to the network
-metric.
+metric.  The sweep runs through the sharded path (``shards=2``), which
+is numerically identical to the serial one by construction — see
+``bench_parallel_scaling.py`` for the shard-scaling timings.
 """
 
 import pytest
@@ -28,7 +30,7 @@ def test_network_lifetime_sweep(benchmark):
     results = once(
         benchmark,
         lambda: network.sweep_thresholds(
-            THRESHOLDS, horizon=300.0, seed=2010, base_rate=0.5
+            THRESHOLDS, horizon=300.0, seed=2010, base_rate=0.5, shards=2
         ),
     )
 

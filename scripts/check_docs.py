@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Docs checker: intra-repo links resolve and code snippets run.
+
+Scans ``README.md`` and ``docs/*.md`` for
+
+* **relative markdown links** ``[text](path)`` — each target must
+  exist in the repo (external ``http(s):``/``mailto:`` links and
+  in-page ``#`` anchors are skipped);
+* **fenced ``python`` code blocks** — each block is executed in its
+  own namespace, in file order, with ``src/`` importable.  Blocks
+  fenced as ``text``/``console`` are documentation-only and skipped.
+
+Exit code 0 when everything passes; non-zero with a per-failure report
+otherwise.  Run from anywhere::
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+import traceback
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files() -> list[pathlib.Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links(path: pathlib.Path, text: str) -> list[str]:
+    failures = []
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        target_path = (path.parent / target.split("#")[0]).resolve()
+        if not target_path.exists():
+            failures.append(
+                f"{path.relative_to(REPO_ROOT)}: broken link -> {target}"
+            )
+    return failures
+
+
+def run_snippets(path: pathlib.Path, text: str) -> list[str]:
+    failures = []
+    for i, match in enumerate(FENCE_RE.finditer(text), start=1):
+        language, code = match.group(1), match.group(2)
+        if language != "python":
+            continue
+        line = text[: match.start()].count("\n") + 2  # first code line
+        try:
+            exec(  # noqa: S102 - the whole point of the checker
+                compile(code, f"{path.name}:snippet-{i}", "exec"), {}
+            )
+        except Exception:
+            tail = traceback.format_exc().strip().splitlines()[-1]
+            failures.append(
+                f"{path.relative_to(REPO_ROOT)}:{line}: "
+                f"snippet {i} failed: {tail}"
+            )
+    return failures
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    failures: list[str] = []
+    files = doc_files()
+    n_snippets = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        failures.extend(check_links(path, text))
+        n_snippets += sum(
+            1 for m in FENCE_RE.finditer(text) if m.group(1) == "python"
+        )
+        failures.extend(run_snippets(path, text))
+    if failures:
+        print(f"docs check FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"docs check OK: {len(files)} file(s), {n_snippets} python "
+        "snippet(s) executed, all links resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

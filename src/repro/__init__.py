@@ -20,16 +20,18 @@ Subpackages
 ``repro.models``
     The paper's four models: the Fig. 3 CPU Petri net, the Markov CPU
     model, the Fig. 10 simple node, and the Figs. 12/13 closed/open
-    WSN node models.
+    WSN node models — plus the multi-node network layer (line, star
+    and hundreds-of-node grid topologies).
 ``repro.experiments``
-    Harness regenerating every table and figure of the evaluation.
+    Harness regenerating every table and figure of the evaluation,
+    plus network-level lifetime scenarios.
 ``repro.runtime``
     Parallel replication/sweep execution runtime (process pools with
-    spawn-safe seeding); every experiment driver routes its grid
-    through it.
+    spawn-safe seeding, node-set sharding into worker groups); every
+    experiment driver routes its grid through it.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "core",

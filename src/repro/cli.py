@@ -9,13 +9,19 @@ Usage::
     python -m repro.cli node-sweep --workers 4 --replications 8
     python -m repro.cli validate --replications 16 --workers 4
     python -m repro.cli lifetime --threshold 0.00178 --capacity-mah 1000
+    python -m repro.cli network --topology grid --grid 10x10 --shards 8
+    python -m repro.cli network --topology line --nodes 5 --sweep
 
 Each subcommand prints the same rows the corresponding benchmark
 persists, so quick what-if runs don't require pytest.  ``--workers N``
 fans grid points and replications out over a process pool
 (:mod:`repro.runtime`); ``--replications R`` re-runs every stochastic
 point with independent spawned seeds and reports mean ± 95 % t-interval
-uncertainty alongside the point estimates.
+uncertainty alongside the point estimates.  The ``network`` subcommand
+additionally accepts ``--shards K`` to partition a topology's node set
+into coarse worker-group tasks (:mod:`repro.runtime.sharding`) — the
+scaling knob for hundreds-of-node grids; no worker/shard setting ever
+changes the reported numbers.
 """
 
 from __future__ import annotations
@@ -24,7 +30,12 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from .energy import format_breakdown_sweep, format_energy_series, format_state_percentages
+from .energy import (
+    format_breakdown_sweep,
+    format_energy_series,
+    format_state_percentages,
+    format_table,
+)
 from .energy.battery import LinearBattery, NodeLifetimeEstimator
 from .experiments import (
     CPUComparisonConfig,
@@ -39,6 +50,13 @@ from .experiments import (
     run_simple_node_validation,
 )
 from .models import NodeParameters, WSNNodeModel
+from .experiments.network import (
+    NetworkScenarioConfig,
+    format_network_summary,
+    make_topology,
+    run_network_lifetime_sweep,
+    run_network_scenario,
+)
 
 _FIG_TO_PUD = {4: 0.001, 5: 0.3, 6: 10.0, 7: 0.001, 8: 0.3, 9: 10.0}
 _TABLE_TO_PUD = {4: 0.001, 5: 0.3, 6: 10.0}
@@ -50,6 +68,22 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _grid_spec(text: str) -> tuple[int, int]:
+    """Parse a ``WIDTHxHEIGHT`` grid spec like ``10x10``."""
+    try:
+        width_text, height_text = text.lower().split("x")
+        width, height = int(width_text), int(height_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected WIDTHxHEIGHT (e.g. 10x10), got {text!r}"
+        ) from None
+    if width < 1 or height < 1:
+        raise argparse.ArgumentTypeError(
+            f"grid dimensions must be >= 1, got {text!r}"
+        )
+    return width, height
 
 
 def _add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
@@ -100,6 +134,63 @@ def _build_parser() -> argparse.ArgumentParser:
     val.add_argument("--seed", type=int, default=2010)
     _add_runtime_args(val)
 
+    network = sub.add_parser(
+        "network", help="sharded multi-node network scenario"
+    )
+    network.add_argument(
+        "--topology", choices=["line", "star", "grid"], default="line"
+    )
+    network.add_argument(
+        "--nodes",
+        type=_positive_int,
+        default=5,
+        help="chain length (line) or leaf count (star); ignored for grid",
+    )
+    network.add_argument(
+        "--grid",
+        type=_grid_spec,
+        default=(10, 10),
+        metavar="WxH",
+        help="grid dimensions for --topology grid (default 10x10)",
+    )
+    network.add_argument(
+        "--threshold",
+        type=float,
+        default=0.01,
+        help="Power_Down_Threshold for the single run (default 0.01 s)",
+    )
+    network.add_argument(
+        "--sweep",
+        action="store_true",
+        help="sweep the network threshold grid instead of one run",
+    )
+    network.add_argument("--horizon", type=float, default=300.0)
+    network.add_argument(
+        "--base-rate",
+        type=float,
+        default=0.5,
+        help="events/s sensed by each node before relaying (default 0.5)",
+    )
+    network.add_argument("--seed", type=int, default=2010)
+    network.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="process-pool size for node/shard tasks (default 1)",
+    )
+    network.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="worker-group shards over the node set (default 1 = unsharded)",
+    )
+    network.add_argument(
+        "--shard-strategy",
+        choices=["contiguous", "round-robin"],
+        default="contiguous",
+        help="node partition strategy for --shards > 1",
+    )
+
     life = sub.add_parser("lifetime", help="battery lifetime at a threshold")
     life.add_argument("--threshold", type=float, default=0.00178)
     life.add_argument("--workload", choices=["closed", "open"], default="closed")
@@ -115,7 +206,7 @@ def _cmd_list() -> int:
     print(
         "figures: 4 5 6 (state shares) 7 8 9 (energy) 14 15 (node sweeps)\n"
         "tables:  4 5 6 (delta energy) + validate (VIII-X)\n"
-        "extras:  node-sweep, lifetime"
+        "extras:  node-sweep, lifetime, network (sharded multi-node)"
     )
     return 0
 
@@ -273,6 +364,60 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_network(args: argparse.Namespace) -> int:
+    width, height = args.grid
+    topology = make_topology(
+        args.topology, nodes=args.nodes, width=width, height=height
+    )
+    config = NetworkScenarioConfig(
+        topology=topology,
+        horizon=args.horizon,
+        base_rate=args.base_rate,
+        seed=args.seed,
+        params=NodeParameters(power_down_threshold=args.threshold),
+    )
+    run_info = (
+        f"(workers={args.workers}, shards={args.shards}, "
+        f"{args.shard_strategy})"
+    )
+    if args.sweep:
+        sweep = run_network_lifetime_sweep(
+            config,
+            workers=args.workers,
+            shards=args.shards,
+            shard_strategy=args.shard_strategy,
+        )
+        print(
+            format_table(
+                [
+                    "PDT (s)",
+                    "network energy (J)",
+                    "network lifetime (d)",
+                    "hotspot node",
+                    "imbalance (x)",
+                ],
+                sweep.rows(),
+                title=f"Network lifetime sweep: {sweep.topology} {run_info}",
+            )
+        )
+        best = sweep.best()
+        print(
+            f"\nbest threshold for the network: "
+            f"{best.power_down_threshold:g} s -> "
+            f"{best.network_lifetime_days:.2f} days"
+        )
+        return 0
+    result = run_network_scenario(
+        config,
+        workers=args.workers,
+        shards=args.shards,
+        shard_strategy=args.shard_strategy,
+    )
+    print(f"network scenario {run_info}")
+    print(format_network_summary(result))
+    return 0
+
+
 def _cmd_lifetime(args: argparse.Namespace) -> int:
     params = NodeParameters(power_down_threshold=args.threshold)
     result = WSNNodeModel(params, args.workload).simulate(
@@ -304,6 +449,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_node_sweep(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "network":
+        return _cmd_network(args)
     if args.command == "lifetime":
         return _cmd_lifetime(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -5,6 +5,8 @@
 * :mod:`repro.experiments.deltas` — Tables IV–VI Δ-energy statistics;
 * :mod:`repro.experiments.node_energy` — Figs. 14/15 node sweeps with
   optimum-threshold detection;
+* :mod:`repro.experiments.network` — sharded multi-node network
+  scenarios (line/star/grid) on the network-lifetime metric;
 * :mod:`repro.experiments.validation` — the Section V IMote2
   validation (Tables VIII–X);
 * :mod:`repro.experiments.sweep` / :mod:`repro.experiments.tables` —
@@ -17,6 +19,14 @@ from .figures import (
     CPUComparisonConfig,
     CPUComparisonResult,
     run_cpu_comparison,
+)
+from .network import (
+    NetworkScenarioConfig,
+    NetworkSweepResult,
+    format_network_summary,
+    make_topology,
+    run_network_lifetime_sweep,
+    run_network_scenario,
 )
 from .node_energy import (
     PAPER_NODE_HORIZON_S,
@@ -33,6 +43,7 @@ from .sensitivity import (
 from .sweep import (
     FIG4_TO_9_THRESHOLDS,
     FIG14_15_THRESHOLDS,
+    NETWORK_THRESHOLDS,
     SweepPoint,
     linear_thresholds,
     run_sweep,
@@ -62,6 +73,13 @@ __all__ = [
     "NodeSweepResult",
     "run_node_energy_sweep",
     "PAPER_NODE_HORIZON_S",
+    "NetworkScenarioConfig",
+    "NetworkSweepResult",
+    "make_topology",
+    "run_network_scenario",
+    "run_network_lifetime_sweep",
+    "format_network_summary",
+    "NETWORK_THRESHOLDS",
     "ValidationConfig",
     "ValidationResult",
     "run_simple_node_validation",

@@ -1,0 +1,196 @@
+"""Network-scenario driver: sharded multi-node lifetime experiments.
+
+The deployment-level companion of the Figs. 14/15 sweeps: build a
+topology (line, star, or a hundreds-of-node grid), simulate every node
+at its relay-inflated event rate through the
+:mod:`repro.runtime.sharding` worker groups, and report the network
+metrics — time to first node death, the hotspot node, total energy and
+the lifetime imbalance that motivates location-aware power management.
+
+Two entry points:
+
+* :func:`run_network_scenario` — one :class:`~repro.models.network.NetworkResult`
+  at the configured threshold;
+* :func:`run_network_lifetime_sweep` — a :class:`NetworkSweepResult`
+  over a threshold grid (default :data:`~repro.experiments.sweep.NETWORK_THRESHOLDS`),
+  answering "which ``Power_Down_Threshold`` maximises *network* lifetime?".
+
+Both accept ``workers`` (process-pool size) and ``shards``
+(worker-group count); neither knob ever changes the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..energy.battery import IMOTE2_3xAAA, LinearBattery, PeukertBattery
+from ..models.network import (
+    GridTopology,
+    LineTopology,
+    NetworkResult,
+    NetworkTopology,
+    SensorNetworkModel,
+    StarTopology,
+)
+from ..models.wsn_node import NodeParameters
+from .sweep import NETWORK_THRESHOLDS
+
+__all__ = [
+    "NetworkScenarioConfig",
+    "NetworkSweepResult",
+    "make_topology",
+    "run_network_scenario",
+    "run_network_lifetime_sweep",
+    "format_network_summary",
+]
+
+
+def make_topology(
+    kind: str, nodes: int = 5, width: int = 10, height: int = 10
+) -> NetworkTopology:
+    """Build a topology from CLI-style arguments.
+
+    ``kind`` is ``"line"`` (``nodes`` chain links), ``"star"``
+    (``nodes`` counts the leaves; the hub is added) or ``"grid"``
+    (``width × height`` nodes, corner sink).
+    """
+    if kind == "line":
+        return LineTopology(nodes)
+    if kind == "star":
+        return StarTopology(nodes)
+    if kind == "grid":
+        return GridTopology(width, height)
+    raise ValueError(f"kind must be 'line', 'star' or 'grid', got {kind!r}")
+
+
+@dataclass(frozen=True)
+class NetworkScenarioConfig:
+    """One network scenario: topology, workload intensity, run length."""
+
+    topology: NetworkTopology = LineTopology(5)
+    horizon: float = 300.0
+    base_rate: float = 0.5
+    seed: int = 2010
+    thresholds: tuple[float, ...] = NETWORK_THRESHOLDS
+    params: NodeParameters = NodeParameters(power_down_threshold=0.01)
+    battery: LinearBattery | PeukertBattery = IMOTE2_3xAAA
+    workload: str = "open"
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("horizon must be > 0")
+        if self.base_rate <= 0:
+            raise ValueError("base_rate must be > 0")
+        if not self.thresholds:
+            raise ValueError("thresholds must be non-empty")
+
+    def model(self) -> SensorNetworkModel:
+        """The configured network model."""
+        return SensorNetworkModel(
+            self.topology, self.params, self.battery, self.workload
+        )
+
+
+@dataclass
+class NetworkSweepResult:
+    """Per-threshold network results plus the optimisation verdicts."""
+
+    topology: str
+    thresholds: tuple[float, ...]
+    results: list[NetworkResult]
+
+    @property
+    def lifetimes_days(self) -> list[float]:
+        """Network lifetime (first node death) per threshold."""
+        return [r.network_lifetime_days for r in self.results]
+
+    @property
+    def energies_j(self) -> list[float]:
+        """Total network energy per threshold."""
+        return [r.total_energy_j for r in self.results]
+
+    def best(self) -> NetworkResult:
+        """The threshold point with the longest network lifetime."""
+        return max(self.results, key=lambda r: r.network_lifetime_days)
+
+    def rows(self) -> list[list[float]]:
+        """Table rows: threshold, energy, lifetime, hotspot, imbalance."""
+        return [
+            [
+                r.power_down_threshold,
+                r.total_energy_j,
+                r.network_lifetime_days,
+                r.hotspot.node_id,
+                r.lifetime_imbalance(),
+            ]
+            for r in self.results
+        ]
+
+
+def run_network_scenario(
+    config: NetworkScenarioConfig | None = None,
+    threshold: float | None = None,
+    workers: int = 1,
+    shards: int = 1,
+    shard_strategy: str = "contiguous",
+) -> NetworkResult:
+    """Simulate one network at one ``Power_Down_Threshold``.
+
+    ``threshold`` overrides ``config.params.power_down_threshold`` when
+    given.  ``shards`` partitions the node set into worker-group tasks
+    (see :mod:`repro.runtime.sharding`); results are identical for any
+    ``(workers, shards, shard_strategy)``.
+    """
+    cfg = config if config is not None else NetworkScenarioConfig()
+    if threshold is not None:
+        cfg = replace(cfg, params=cfg.params.with_threshold(threshold))
+    return cfg.model().simulate(
+        cfg.horizon,
+        seed=cfg.seed,
+        base_rate=cfg.base_rate,
+        workers=workers,
+        shards=shards,
+        shard_strategy=shard_strategy,
+    )
+
+
+def run_network_lifetime_sweep(
+    config: NetworkScenarioConfig | None = None,
+    workers: int = 1,
+    shards: int = 1,
+    shard_strategy: str = "contiguous",
+) -> NetworkSweepResult:
+    """Sweep ``config.thresholds`` on the network-lifetime metric."""
+    cfg = config if config is not None else NetworkScenarioConfig()
+    results = cfg.model().sweep_thresholds(
+        cfg.thresholds,
+        cfg.horizon,
+        seed=cfg.seed,
+        base_rate=cfg.base_rate,
+        workers=workers,
+        shards=shards,
+        shard_strategy=shard_strategy,
+    )
+    return NetworkSweepResult(
+        topology=cfg.topology.describe(),
+        thresholds=tuple(cfg.thresholds),
+        results=results,
+    )
+
+
+def format_network_summary(result: NetworkResult) -> str:
+    """Human-readable one-run summary (hotspot, lifetime, energy)."""
+    hotspot = result.hotspot
+    return "\n".join(
+        [
+            f"topology            : {result.topology}",
+            f"Power_Down_Threshold: {result.power_down_threshold:g} s",
+            f"simulated horizon   : {result.horizon_s:g} s",
+            f"total energy        : {result.total_energy_j:.4f} J",
+            f"network lifetime    : {result.network_lifetime_days:.2f} days "
+            f"(first death: node {hotspot.node_id} "
+            f"at {hotspot.event_rate:g} events/s)",
+            f"lifetime imbalance  : {result.lifetime_imbalance():.2f}x "
+            "(max/min node lifetime)",
+        ]
+    )

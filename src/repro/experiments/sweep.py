@@ -20,6 +20,7 @@ import numpy as np
 __all__ = [
     "FIG4_TO_9_THRESHOLDS",
     "FIG14_15_THRESHOLDS",
+    "NETWORK_THRESHOLDS",
     "SweepPoint",
     "run_sweep",
     "linear_thresholds",
@@ -65,6 +66,19 @@ FIG14_15_THRESHOLDS: tuple[float, ...] = (
     1.1,
     5.0,
     10.0,
+)
+
+#: Default grid for network-lifetime sweeps: the Figs. 14/15 regimes
+#: (immediate power-down, the 0.00177 s radio-phase crossover, the flat
+#: basin, never-power-down) at network-sized cost — every point is a
+#: full multi-node simulation, so the grid is deliberately coarse.
+NETWORK_THRESHOLDS: tuple[float, ...] = (
+    1.00e-09,
+    0.00178,
+    0.01,
+    0.1,
+    1.0,
+    100.0,
 )
 
 T = TypeVar("T")

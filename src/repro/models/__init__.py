@@ -22,6 +22,7 @@ from .dvs import (
     DVSClass,
 )
 from .network import (
+    GridTopology,
     LineTopology,
     NetworkResult,
     NetworkTopology,
@@ -68,6 +69,7 @@ __all__ = [
     "NetworkTopology",
     "LineTopology",
     "StarTopology",
+    "GridTopology",
     "NetworkResult",
     "NodeSummary",
 ]

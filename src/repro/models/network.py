@@ -10,7 +10,9 @@ node model into that network view:
   rate* — its own sensing events plus the traffic it relays toward the
   sink.  A line (chain) topology gives the classic hotspot: the node
   next to the sink relays everyone's traffic and dies first.  A star
-  gives one hub doing all relaying;
+  gives one hub doing all relaying.  A :class:`GridTopology` scales the
+  same structure to hundreds of nodes routed along a
+  column-then-row tree to a corner sink;
 * :class:`SensorNetworkModel` simulates each node at its effective
   rate (nodes are simulated independently — radio contention between
   nodes is out of scope and documented), accounts per-node energy, and
@@ -20,10 +22,18 @@ node model into that network view:
 This turns the single-node ``Power_Down_Threshold`` question into the
 deployment-level one: which threshold maximises the *network* lifetime,
 given that the hotspot node sees a different workload than the leaves?
+
+Because nodes are independent, the node set shards cleanly:
+``simulate(..., shards=K)`` partitions the nodes via
+:mod:`repro.runtime.sharding`, runs each shard as one worker-group
+task, and merges the per-shard results with :meth:`NetworkResult.merge`
+— per-node seeds are keyed by node index, so every ``(workers,
+shards, strategy)`` combination is bit-identical to the serial run.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
 from ..energy.battery import LinearBattery, NodeLifetimeEstimator, PeukertBattery
@@ -38,6 +48,7 @@ __all__ = [
     "NetworkTopology",
     "LineTopology",
     "StarTopology",
+    "GridTopology",
     "NodeSummary",
     "NetworkResult",
     "SensorNetworkModel",
@@ -114,6 +125,67 @@ class StarTopology(NetworkTopology):
 
 
 @dataclass(frozen=True)
+class GridTopology(NetworkTopology):
+    """A ``width × height`` grid routed to a mains-powered corner sink.
+
+    Node ``(x, y)`` (0-indexed, ``x`` along the sink row) forwards to
+    ``(x, y-1)`` within its column and, on the sink row ``y = 0``, to
+    ``(x-1, 0)`` — the standard column-then-row convergecast tree.  Its
+    effective rate is ``base × subtree size``:
+
+    * interior node ``(x, y>0)`` drains the ``height - y`` nodes above
+      it in its column;
+    * sink-row node ``(x, 0)`` drains the ``(width - x) × height``
+      nodes of every column at or beyond ``x``.
+
+    Node 1 — grid position ``(0, 0)``, adjacent to the sink — carries
+    the whole deployment (``width × height × base``) and is the
+    hotspot, scaling the line topology's energy hole to
+    hundreds-of-node scenarios.  Nodes are numbered column-major from
+    the sink: index ``i`` is position ``(i // height, i % height)``.
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("width and height must be >= 1")
+
+    @property
+    def n_nodes(self) -> int:  # type: ignore[override]
+        return self.width * self.height
+
+    def position(self, node_index: int) -> tuple[int, int]:
+        """Grid coordinates ``(x, y)`` of a 0-based node index."""
+        if not 0 <= node_index < self.n_nodes:
+            raise ValueError(
+                f"node_index must be in [0, {self.n_nodes}), got {node_index}"
+            )
+        return divmod(node_index, self.height)
+
+    def subtree_size(self, node_index: int) -> int:
+        """Nodes drained through this node, itself included."""
+        x, y = self.position(node_index)
+        if y > 0:
+            return self.height - y
+        return (self.width - x) * self.height
+
+    def effective_rates(self, base_rate: float) -> list[float]:
+        if base_rate <= 0:
+            raise ValueError("base_rate must be > 0")
+        return [
+            base_rate * self.subtree_size(i) for i in range(self.n_nodes)
+        ]
+
+    def describe(self) -> str:
+        return (
+            f"{self.width}x{self.height} grid of {self.n_nodes} nodes "
+            "(corner sink next to node 1)"
+        )
+
+
+@dataclass(frozen=True)
 class NodeSummary:
     """Per-node outcome of a network run."""
 
@@ -128,12 +200,60 @@ class NodeSummary:
 
 @dataclass
 class NetworkResult:
-    """Outcome of one network simulation."""
+    """Outcome of one network simulation (or a merged set of shards).
+
+    The aggregate metrics are all shard-decomposable, which is what
+    makes :meth:`merge` exact rather than approximate: total energy is
+    a sum over nodes, network lifetime is a min, and the hotspot is the
+    argmin node — each distributes over any partition of the node set.
+    """
 
     topology: str
     power_down_threshold: float
     horizon_s: float
     nodes: list[NodeSummary]
+
+    @classmethod
+    def merge(cls, results: Sequence["NetworkResult"]) -> "NetworkResult":
+        """Combine per-shard results into one network-wide result.
+
+        Requires every part to describe the same run (topology label,
+        threshold, horizon) and the node ids to be disjoint; nodes are
+        re-sorted by id so the merged result is independent of shard
+        order and strategy, making ``merge`` associative and
+        commutative.  The aggregates follow from the node list:
+        lifetime = min over shards, hotspot = the argmin node, energy =
+        sum of shard energies.
+        """
+        results = list(results)
+        if not results:
+            raise ValueError("merge needs at least one NetworkResult")
+        first = results[0]
+        for r in results[1:]:
+            if (
+                r.topology != first.topology
+                or r.power_down_threshold != first.power_down_threshold
+                or r.horizon_s != first.horizon_s
+            ):
+                raise ValueError(
+                    "cannot merge results from different runs: "
+                    f"({r.topology!r}, {r.power_down_threshold}, "
+                    f"{r.horizon_s}) vs ({first.topology!r}, "
+                    f"{first.power_down_threshold}, {first.horizon_s})"
+                )
+        nodes = sorted(
+            (n for r in results for n in r.nodes), key=lambda n: n.node_id
+        )
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            duplicates = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate node ids across shards: {duplicates}")
+        return cls(
+            topology=first.topology,
+            power_down_threshold=first.power_down_threshold,
+            horizon_s=first.horizon_s,
+            nodes=nodes,
+        )
 
     @property
     def total_energy_j(self) -> float:
@@ -181,6 +301,20 @@ class SensorNetworkModel:
     already includes its own receive + transmit phases per handled
     event).  This matches the granularity of the paper's single-node
     model while exposing the network-level workload gradient.
+
+    Example
+    -------
+    >>> from repro.models import GridTopology, NodeParameters, SensorNetworkModel
+    >>> net = SensorNetworkModel(
+    ...     GridTopology(5, 4), NodeParameters(power_down_threshold=0.01)
+    ... )
+    >>> result = net.simulate(horizon=5.0, seed=7, base_rate=0.2, shards=4)
+    >>> len(result.nodes)
+    20
+    >>> result.nodes[0].event_rate  # the sink-adjacent corner relays all 20
+    4.0
+    >>> result.total_energy_j == sum(n.energy_j for n in result.nodes)
+    True
     """
 
     def __init__(
@@ -201,58 +335,106 @@ class SensorNetworkModel:
             raise ValueError(f"workload must be open or closed, got {workload!r}")
         self.workload = workload
 
+    def _summarise(
+        self,
+        node_index: int,
+        rate: float,
+        result: WSNNodeResult,
+        estimator: NodeLifetimeEstimator,
+    ) -> NodeSummary:
+        """Fold one node run into its :class:`NodeSummary` row."""
+        mean_power_mw = (
+            result.total_energy_j / result.duration * 1000.0
+            if result.duration > 0
+            else 0.0
+        )
+        return NodeSummary(
+            node_id=node_index + 1,
+            event_rate=rate,
+            mean_power_mw=mean_power_mw,
+            energy_j=result.total_energy_j,
+            lifetime_days=estimator.lifetime_days(mean_power_mw),
+            cpu_wakeups=result.cpu_wakeups,
+            events_completed=result.events_completed,
+        )
+
     def simulate(
         self,
         horizon: float,
         seed: int = 0,
         base_rate: float = 1.0,
         workers: int = 1,
+        shards: int = 1,
+        shard_strategy: str = "contiguous",
+        seed_mode: str = "legacy",
     ) -> NetworkResult:
         """Simulate every node at its effective rate.
 
         Nodes are independent, so with ``workers > 1`` their
         simulations are submitted through the :mod:`repro.runtime`
-        process pool; per-node seeds (``seed + node_index``) are fixed
-        before distribution, so results are identical for any
-        ``workers``.
+        process pool.  With ``shards > 1`` the node set is partitioned
+        by :func:`repro.runtime.sharding.partition_indices` and each
+        shard runs as one coarse worker-group task whose
+        :class:`NetworkResult` is folded in via
+        :meth:`NetworkResult.merge` — the scaling path for
+        hundreds-of-node topologies, where per-node task dispatch
+        overhead would dominate.
+
+        Per-node seeds are fixed *before* distribution and keyed by
+        node index (``seed + node_index`` in the default ``"legacy"``
+        mode, :meth:`~numpy.random.SeedSequence.spawn` children with
+        ``seed_mode="spawn"``), so results are identical for any
+        ``workers``, ``shards`` and ``shard_strategy``; ``shards=1``
+        is bit-identical to the historical serial path.
         """
         from ..runtime.executor import ParallelExecutor
+        from ..runtime.sharding import (
+            map_shards,
+            partition_indices,
+            shard_node_seeds,
+        )
 
         if horizon <= 0:
             raise ValueError("horizon must be > 0")
         rates = self.topology.effective_rates(base_rate)
         estimator = NodeLifetimeEstimator(self.battery)
+        seeds = shard_node_seeds(seed, len(rates), mode=seed_mode)
         tasks = [
-            (replace(self.params, arrival_rate=rate), self.workload, horizon, seed + i)
+            (replace(self.params, arrival_rate=rate), self.workload, horizon, seeds[i])
             for i, rate in enumerate(rates)
         ]
-        results = ParallelExecutor(workers=workers).map(
-            simulate_node_task, tasks
-        )
-        summaries: list[NodeSummary] = []
-        for i, (rate, result) in enumerate(zip(rates, results)):
-            mean_power_mw = (
-                result.total_energy_j / result.duration * 1000.0
-                if result.duration > 0
-                else 0.0
+        if shards == 1:
+            results = ParallelExecutor(workers=workers).map(
+                simulate_node_task, tasks
             )
-            summaries.append(
-                NodeSummary(
-                    node_id=i + 1,
-                    event_rate=rate,
-                    mean_power_mw=mean_power_mw,
-                    energy_j=result.total_energy_j,
-                    lifetime_days=estimator.lifetime_days(mean_power_mw),
-                    cpu_wakeups=result.cpu_wakeups,
-                    events_completed=result.events_completed,
-                )
+            summaries = [
+                self._summarise(i, rate, result, estimator)
+                for i, (rate, result) in enumerate(zip(rates, results))
+            ]
+            return NetworkResult(
+                topology=self.topology.describe(),
+                power_down_threshold=self.params.power_down_threshold,
+                horizon_s=horizon,
+                nodes=summaries,
             )
-        return NetworkResult(
-            topology=self.topology.describe(),
-            power_down_threshold=self.params.power_down_threshold,
-            horizon_s=horizon,
-            nodes=summaries,
+
+        plan = partition_indices(len(tasks), shards, shard_strategy)
+        per_shard = map_shards(
+            simulate_node_task, tasks, plan, workers=workers
         )
+        shard_results = [
+            NetworkResult(
+                topology=self.topology.describe(),
+                power_down_threshold=self.params.power_down_threshold,
+                horizon_s=horizon,
+                nodes=[
+                    self._summarise(i, rates[i], result, estimator)
+                    for i, result in zip(shard.node_indices, results)
+                ],
+            )
+            for shard, results in zip(plan.shards, per_shard)
+        ]
+        return NetworkResult.merge(shard_results)
 
     def sweep_thresholds(
         self,
@@ -261,11 +443,15 @@ class SensorNetworkModel:
         seed: int = 0,
         base_rate: float = 1.0,
         workers: int = 1,
+        shards: int = 1,
+        shard_strategy: str = "contiguous",
+        seed_mode: str = "legacy",
     ) -> list[NetworkResult]:
         """Network result per threshold (network-lifetime optimisation).
 
-        ``workers`` parallelises across the nodes of each network run;
-        the threshold points themselves are processed in order so each
+        ``workers`` parallelises across the nodes (or, with
+        ``shards > 1``, the shards) of each network run; the threshold
+        points themselves are processed in order so each
         :class:`NetworkResult` is complete before the next starts.
         """
         out: list[NetworkResult] = []
@@ -278,7 +464,13 @@ class SensorNetworkModel:
             )
             out.append(
                 model.simulate(
-                    horizon, seed=seed, base_rate=base_rate, workers=workers
+                    horizon,
+                    seed=seed,
+                    base_rate=base_rate,
+                    workers=workers,
+                    shards=shards,
+                    shard_strategy=shard_strategy,
+                    seed_mode=seed_mode,
                 )
             )
         return out

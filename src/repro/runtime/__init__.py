@@ -13,7 +13,13 @@ time:
   via :meth:`numpy.random.SeedSequence.spawn`;
 * :func:`map_sweep` — the public grid × replications API, returning
   :class:`~repro.experiments.sweep.SweepPoint` rows whose values carry
-  across-replication confidence intervals when ``replications > 1``.
+  across-replication confidence intervals when ``replications > 1``;
+* :mod:`repro.runtime.sharding` — coarse-grained worker groups for
+  hundreds-of-item task sets: :func:`partition_indices` plans
+  contiguous or round-robin :class:`ShardPlan` partitions,
+  :func:`map_shards` / :func:`run_sharded` run one executor task per
+  shard, and :func:`shard_node_seeds` keys seeds by global item index
+  so no shard count or strategy can change the numbers.
 
 Every experiment driver (``repro.experiments.figures``,
 ``node_energy``, ``sensitivity``, ``validation``) and the network
@@ -29,6 +35,15 @@ from .seeding import (
     spawn_seeds,
     spawn_sequences,
 )
+from .sharding import (
+    SHARD_STRATEGIES,
+    Shard,
+    ShardPlan,
+    map_shards,
+    partition_indices,
+    run_sharded,
+    shard_node_seeds,
+)
 from .sweep import ReplicatedValue, map_sweep
 
 __all__ = [
@@ -40,4 +55,11 @@ __all__ = [
     "sequence_to_seed",
     "spawn_seeds",
     "spawn_sequences",
+    "Shard",
+    "ShardPlan",
+    "SHARD_STRATEGIES",
+    "partition_indices",
+    "shard_node_seeds",
+    "map_shards",
+    "run_sharded",
 ]

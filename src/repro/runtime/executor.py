@@ -96,6 +96,17 @@ class ParallelExecutor:
         Start-method name (``"fork"``, ``"spawn"``, ``"forkserver"``)
         or ``None`` for the platform default.  Results never depend on
         the choice.
+
+    Example
+    -------
+    ``fn`` must be module-level (picklable) for ``workers > 1``; with
+    the serial default any callable works:
+
+    >>> from repro.runtime import ParallelExecutor
+    >>> ParallelExecutor().map(abs, [-2, -1, 3])
+    [2, 1, 3]
+    >>> ParallelExecutor(workers=2, chunk_size=2).map(abs, [-2, -1, 3])
+    [2, 1, 3]
     """
 
     def __init__(

@@ -1,0 +1,89 @@
+"""Tests for the sharded network-scenario experiment driver."""
+
+import pytest
+
+from repro.experiments import (
+    NETWORK_THRESHOLDS,
+    NetworkScenarioConfig,
+    format_network_summary,
+    make_topology,
+    run_network_lifetime_sweep,
+    run_network_scenario,
+)
+from repro.models import GridTopology, LineTopology, StarTopology
+
+
+class TestMakeTopology:
+    def test_kinds(self):
+        assert make_topology("line", nodes=4) == LineTopology(4)
+        assert make_topology("star", nodes=3) == StarTopology(3)
+        assert make_topology("grid", width=4, height=2) == GridTopology(4, 2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_topology("ring")
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = NetworkScenarioConfig()
+        assert cfg.topology == LineTopology(5)
+        assert cfg.thresholds == NETWORK_THRESHOLDS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkScenarioConfig(horizon=0.0)
+        with pytest.raises(ValueError):
+            NetworkScenarioConfig(base_rate=0.0)
+        with pytest.raises(ValueError):
+            NetworkScenarioConfig(thresholds=())
+
+
+class TestRunScenario:
+    def config(self, topology=None):
+        return NetworkScenarioConfig(
+            topology=topology if topology is not None else LineTopology(3),
+            horizon=10.0,
+            base_rate=0.5,
+            seed=11,
+        )
+
+    def test_single_run_summary(self):
+        result = run_network_scenario(self.config(), shards=2)
+        assert len(result.nodes) == 3
+        text = format_network_summary(result)
+        assert "network lifetime" in text
+        assert "first death: node 1" in text
+
+    def test_threshold_override(self):
+        result = run_network_scenario(self.config(), threshold=0.5)
+        assert result.power_down_threshold == 0.5
+
+    def test_shards_do_not_change_results(self):
+        serial = run_network_scenario(self.config())
+        sharded = run_network_scenario(
+            self.config(), shards=3, shard_strategy="round-robin"
+        )
+        assert sharded == serial
+
+
+class TestRunSweep:
+    def test_sweep_shape_and_best(self):
+        cfg = NetworkScenarioConfig(
+            topology=LineTopology(3),
+            horizon=10.0,
+            base_rate=0.5,
+            seed=11,
+            thresholds=(1e-9, 0.01, 100.0),
+        )
+        sweep = run_network_lifetime_sweep(cfg, shards=2)
+        assert sweep.thresholds == (1e-9, 0.01, 100.0)
+        assert len(sweep.results) == 3
+        assert len(sweep.rows()) == 3
+        assert sweep.best() in sweep.results
+        assert sweep.best().network_lifetime_days == max(
+            sweep.lifetimes_days
+        )
+        assert sweep.energies_j == [
+            r.total_energy_j for r in sweep.results
+        ]

@@ -4,7 +4,9 @@ import pytest
 
 from repro.energy import LinearBattery
 from repro.models import (
+    GridTopology,
     LineTopology,
+    NetworkResult,
     NodeParameters,
     SensorNetworkModel,
     StarTopology,
@@ -32,6 +34,45 @@ class TestTopologies:
     def test_describe(self):
         assert "line" in LineTopology(3).describe()
         assert "star" in StarTopology(2).describe()
+        assert "grid" in GridTopology(3, 2).describe()
+
+
+class TestGridTopology:
+    def test_node_count_and_positions(self):
+        topo = GridTopology(4, 3)
+        assert topo.n_nodes == 12
+        assert topo.position(0) == (0, 0)
+        assert topo.position(3) == (1, 0)
+        assert topo.position(11) == (3, 2)
+        with pytest.raises(ValueError):
+            topo.position(12)
+
+    def test_corner_node_carries_everything(self):
+        topo = GridTopology(5, 4)
+        rates = topo.effective_rates(1.0)
+        # node (0, 0) drains the whole 20-node deployment
+        assert rates[0] == 20.0
+        assert max(rates) == rates[0]
+
+    def test_column_then_row_tree_conserves_traffic(self):
+        # Each sink-row node drains its own column plus all columns
+        # beyond it; interior nodes drain the rest of their column.
+        topo = GridTopology(3, 3)
+        rates = topo.effective_rates(1.0)
+        # columns are [x*3 .. x*3+2]; sink row is indices 0, 3, 6
+        assert [rates[i] for i in (0, 3, 6)] == [9.0, 6.0, 3.0]
+        assert [rates[i] for i in (1, 2)] == [2.0, 1.0]
+        # every node's inflow equals the sum of its children plus itself
+        assert rates[0] == 1 + rates[1] + rates[3]
+        assert rates[3] == 1 + rates[4] + rates[6]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridTopology(0, 3)
+        with pytest.raises(ValueError):
+            GridTopology(3, 0)
+        with pytest.raises(ValueError):
+            GridTopology(2, 2).effective_rates(0.0)
 
 
 class TestNetworkSimulation:
@@ -96,3 +137,128 @@ class TestNetworkSimulation:
         a = self.network().simulate(horizon=60.0, seed=5, base_rate=0.5)
         b = self.network().simulate(horizon=60.0, seed=5, base_rate=0.5)
         assert a.total_energy_j == pytest.approx(b.total_energy_j)
+
+
+class TestNetworkResultMerge:
+    def run_parts(self, n=4, horizon=30.0):
+        """One serial run plus the same run split into per-node parts."""
+        net = SensorNetworkModel(
+            LineTopology(n), NodeParameters(power_down_threshold=0.01)
+        )
+        whole = net.simulate(horizon=horizon, seed=2, base_rate=0.5)
+        parts = [
+            NetworkResult(
+                topology=whole.topology,
+                power_down_threshold=whole.power_down_threshold,
+                horizon_s=whole.horizon_s,
+                nodes=[node],
+            )
+            for node in whole.nodes
+        ]
+        return whole, parts
+
+    def test_merge_recovers_whole(self):
+        whole, parts = self.run_parts()
+        assert NetworkResult.merge(parts) == whole
+        # order independence
+        assert NetworkResult.merge(parts[::-1]) == whole
+
+    def test_merge_associative(self):
+        whole, parts = self.run_parts()
+        left = NetworkResult.merge(
+            [NetworkResult.merge(parts[:2]), NetworkResult.merge(parts[2:])]
+        )
+        right = NetworkResult.merge(
+            [parts[0], NetworkResult.merge(parts[1:])]
+        )
+        assert left == right == NetworkResult.merge(parts)
+
+    def test_merged_aggregates_decompose_over_shards(self):
+        whole, parts = self.run_parts()
+        merged = NetworkResult.merge(parts)
+        assert merged.total_energy_j == pytest.approx(
+            sum(p.total_energy_j for p in parts)
+        )
+        assert merged.network_lifetime_days == min(
+            p.network_lifetime_days for p in parts
+        )
+        assert merged.hotspot == min(
+            (p.hotspot for p in parts), key=lambda n: n.lifetime_days
+        )
+
+    def test_merge_validation(self):
+        whole, parts = self.run_parts()
+        with pytest.raises(ValueError):
+            NetworkResult.merge([])
+        with pytest.raises(ValueError):
+            NetworkResult.merge([parts[0], parts[0]])  # duplicate node id
+        mismatched = NetworkResult(
+            topology=parts[0].topology,
+            power_down_threshold=0.5,
+            horizon_s=parts[0].horizon_s,
+            nodes=parts[1].nodes,
+        )
+        with pytest.raises(ValueError):
+            NetworkResult.merge([parts[0], mismatched])
+
+
+class TestShardedSimulation:
+    def network(self, topology):
+        return SensorNetworkModel(
+            topology, NodeParameters(power_down_threshold=0.01)
+        )
+
+    def test_shards_bit_identical_to_serial(self):
+        # shards=1 runs the historical serial code path; every shard
+        # count and strategy must reproduce it exactly.
+        net = self.network(LineTopology(5))
+        serial = net.simulate(horizon=20.0, seed=7, base_rate=0.5)
+        for shards in (2, 4, 5):
+            for strategy in ("contiguous", "round-robin"):
+                sharded = net.simulate(
+                    horizon=20.0,
+                    seed=7,
+                    base_rate=0.5,
+                    shards=shards,
+                    shard_strategy=strategy,
+                )
+                assert sharded == serial
+
+    def test_spawn_seed_mode_shard_invariant(self):
+        net = self.network(LineTopology(4))
+        runs = [
+            net.simulate(
+                horizon=10.0, seed=3, base_rate=0.5,
+                shards=shards, seed_mode="spawn",
+            )
+            for shards in (1, 2, 4)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_sweep_thresholds_sharded(self):
+        net = self.network(LineTopology(3))
+        serial = net.sweep_thresholds(
+            (1e-9, 0.01), horizon=10.0, seed=4, base_rate=0.5
+        )
+        sharded = net.sweep_thresholds(
+            (1e-9, 0.01), horizon=10.0, seed=4, base_rate=0.5, shards=3
+        )
+        assert sharded == serial
+
+    def test_hundred_node_grid_through_sharded_path(self):
+        # The ISSUE acceptance scenario: a >= 100-node grid completes
+        # through the sharded path and the merged result's total energy
+        # equals the sum over shard node sets.
+        net = self.network(GridTopology(10, 10))
+        result = net.simulate(
+            horizon=40.0, seed=1, base_rate=0.004, shards=8
+        )
+        assert len(result.nodes) == 100
+        assert [n.node_id for n in result.nodes] == list(range(1, 101))
+        assert result.total_energy_j == pytest.approx(
+            sum(n.energy_j for n in result.nodes)
+        )
+        # energy-hole structure survives the merge: the sink-adjacent
+        # corner relays all 100 nodes' traffic
+        assert result.nodes[0].event_rate == pytest.approx(0.4)
+        assert result.hotspot.node_id == 1

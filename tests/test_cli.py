@@ -85,6 +85,76 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "percent difference across 2 replications" in out
 
+    def test_network_single_run(self, capsys):
+        assert (
+            main(
+                [
+                    "network",
+                    "--topology",
+                    "line",
+                    "--nodes",
+                    "3",
+                    "--horizon",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "network lifetime" in out
+        assert "shards=1" in out
+
+    def test_network_sharded_grid(self, capsys):
+        assert (
+            main(
+                [
+                    "network",
+                    "--topology",
+                    "grid",
+                    "--grid",
+                    "4x3",
+                    "--horizon",
+                    "5",
+                    "--base-rate",
+                    "0.05",
+                    "--shards",
+                    "3",
+                    "--shard-strategy",
+                    "round-robin",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4x3 grid of 12 nodes" in out
+        assert "shards=3" in out
+
+    def test_network_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "network",
+                    "--topology",
+                    "star",
+                    "--nodes",
+                    "2",
+                    "--horizon",
+                    "5",
+                    "--sweep",
+                    "--shards",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Network lifetime sweep" in out
+        assert "best threshold for the network" in out
+
+    def test_network_bad_grid_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["network", "--topology", "grid", "--grid", "10by10"])
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
