@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli table 6
     python -m repro.cli node-sweep --workload open --horizon 900
     python -m repro.cli node-sweep --workers 4 --replications 8
+    python -m repro.cli node-sweep --ci-target 0.05 --max-replications 32
     python -m repro.cli validate --replications 16 --workers 4
     python -m repro.cli lifetime --threshold 0.00178 --capacity-mah 1000
     python -m repro.cli network --topology grid --grid 10x10 --shards 8
@@ -17,7 +18,12 @@ persists, so quick what-if runs don't require pytest.  ``--workers N``
 fans grid points and replications out over a process pool
 (:mod:`repro.runtime`); ``--replications R`` re-runs every stochastic
 point with independent spawned seeds and reports mean ± 95 % t-interval
-uncertainty alongside the point estimates.  The ``network`` subcommand
+uncertainty alongside the point estimates.  ``--ci-target REL``
+switches the replication count to adaptive control
+(:mod:`repro.runtime.adaptive`): each point replicates in rounds until
+its interval's relative half-width is ≤ REL (capped at
+``--max-replications``), and the output reports each point's
+replication count and convergence.  The ``network`` subcommand
 additionally accepts ``--shards K`` to partition a topology's node set
 into coarse worker-group tasks (:mod:`repro.runtime.sharding`) — the
 scaling knob for hundreds-of-node grids; no worker/shard setting ever
@@ -27,6 +33,7 @@ changes the reported numbers.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from collections.abc import Sequence
 
@@ -70,6 +77,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _ci_target(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
 def _grid_spec(text: str) -> tuple[int, int]:
     """Parse a ``WIDTHxHEIGHT`` grid spec like ``10x10``."""
     try:
@@ -86,6 +100,26 @@ def _grid_spec(text: str) -> tuple[int, int]:
     return width, height
 
 
+def _add_adaptive_args(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--ci-target",
+        type=_ci_target,
+        default=None,
+        metavar="REL",
+        help=(
+            "adaptive replication control: replicate each point until its "
+            "95%% interval's relative half-width is <= REL (e.g. 0.05), "
+            "then stop that point"
+        ),
+    )
+    sub_parser.add_argument(
+        "--max-replications",
+        type=_positive_int,
+        default=64,
+        help="per-point replication cap under --ci-target (default 64)",
+    )
+
+
 def _add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--workers",
@@ -97,8 +131,12 @@ def _add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
         "--replications",
         type=_positive_int,
         default=1,
-        help="independent replications per stochastic point (default 1)",
+        help=(
+            "independent replications per stochastic point (default 1); "
+            "with --ci-target this is the minimum per point"
+        ),
     )
+    _add_adaptive_args(sub_parser)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -190,6 +228,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="contiguous",
         help="node partition strategy for --shards > 1",
     )
+    _add_adaptive_args(network)
 
     life = sub.add_parser("lifetime", help="battery lifetime at a threshold")
     life.add_argument("--threshold", type=float, default=0.00178)
@@ -219,6 +258,8 @@ def _cmd_fig(args: argparse.Namespace) -> int:
             NodeSweepConfig(workload=workload, horizon=horizon, seed=args.seed),
             workers=args.workers,
             replications=args.replications,
+            ci_target=args.ci_target,
+            max_replications=args.max_replications,
         )
         print(
             format_breakdown_sweep(
@@ -243,6 +284,8 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         CPUComparisonConfig(horizon=horizon, seed=args.seed),
         workers=args.workers,
         replications=args.replications,
+        ci_target=args.ci_target,
+        max_replications=args.max_replications,
     )
     if args.number <= 6:
         for est in ("simulation", "markov", "petri"):
@@ -270,8 +313,47 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_pm(ci) -> str:
+    """``± width`` for a usable interval, ``n/a`` for an R=1 one.
+
+    A single replication has an infinite half-width; printing ``± inf``
+    reads like a formatting bug, so say what it is instead.
+    """
+    if not math.isfinite(ci.half_width):
+        n = ci.batches
+        return f"n/a ({n} replication{'s' if n != 1 else ''})"
+    return f"± {ci.half_width:.4f}"
+
+
+def _convergence_tag(replications: int, converged: bool) -> str:
+    """The per-point adaptive outcome, e.g. ``[ 4 reps, converged]``."""
+    status = "converged" if converged else "hit max"
+    return f"[{replications:3d} reps, {status}]"
+
+
+def _print_adaptive_point_cis(sweep, metric_label: str) -> None:
+    """Per-point adaptive outcome lines shared by every sweep command."""
+    print(
+        f"\nadaptive replications (ci-target {sweep.ci_target:g}, "
+        f"{metric_label}, 95% t-interval):"
+    )
+    for threshold, ci, n, ok in zip(
+        sweep.thresholds,
+        sweep.energy_ci(),
+        sweep.replication_counts,
+        sweep.converged,
+    ):
+        print(
+            f"  PDT {threshold:<12g} {ci.mean:10.4f} J "
+            f"{_format_pm(ci)}  {_convergence_tag(n, ok)}"
+        )
+
+
 def _print_replication_ci(sweep) -> None:
     """Print per-point mean ± t-interval rows for a replicated sweep."""
+    if sweep.ci_target is not None:
+        _print_adaptive_point_cis(sweep, "total energy")
+        return
     if sweep.replications <= 1:
         return
     print(
@@ -281,7 +363,7 @@ def _print_replication_ci(sweep) -> None:
     for threshold, ci in zip(sweep.thresholds, sweep.energy_ci()):
         print(
             f"  PDT {threshold:<12g} {ci.mean:10.4f} J "
-            f"± {ci.half_width:.4f}"
+            f"{_format_pm(ci)}"
         )
 
 
@@ -289,16 +371,29 @@ def _print_cpu_replication_ci(result) -> None:
     """Print per-point energy t-intervals for a replicated CPU sweep."""
     if result.replications <= 1 or result.energy_ci is None:
         return
-    print(
-        f"\nacross {result.replications} replications "
-        "(energy, 95% t-interval; printed values above are means):"
-    )
+    if result.ci_target is not None:
+        print(
+            f"\nadaptive replications (ci-target {result.ci_target:g}, "
+            "energy, 95% t-interval; printed values above are means):"
+        )
+    else:
+        print(
+            f"\nacross {result.replications} replications "
+            "(energy, 95% t-interval; printed values above are means):"
+        )
     for est in ("simulation", "petri"):
         print(f"  {est}:")
-        for threshold, ci in zip(result.thresholds, result.energy_ci[est]):
+        for i, (threshold, ci) in enumerate(
+            zip(result.thresholds, result.energy_ci[est])
+        ):
+            tag = (
+                f"  {_convergence_tag(result.replication_counts[i], result.converged[i])}"
+                if result.ci_target is not None
+                else ""
+            )
             print(
                 f"    PDT {threshold:<8g} {ci.mean:10.4f} J "
-                f"± {ci.half_width:.4f}"
+                f"{_format_pm(ci)}{tag}"
             )
     print("  markov: deterministic (no sampling variance)")
 
@@ -310,6 +405,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         CPUComparisonConfig(horizon=args.horizon, seed=args.seed),
         workers=args.workers,
         replications=args.replications,
+        ci_target=args.ci_target,
+        max_replications=args.max_replications,
     )
     print(
         format_delta_table(
@@ -327,6 +424,8 @@ def _cmd_node_sweep(args: argparse.Namespace) -> int:
         ),
         workers=args.workers,
         replications=args.replications,
+        ci_target=args.ci_target,
+        max_replications=args.max_replications,
     )
     print(
         format_breakdown_sweep(
@@ -351,16 +450,24 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         ValidationConfig(seed=args.seed),
         workers=args.workers,
         replications=args.replications,
+        ci_target=args.ci_target,
+        max_replications=args.max_replications,
     )
     print(format_steady_state_table(result.petri.stage_probabilities))
     print()
     print(format_validation_table(result.table_rows()))
-    if args.replications > 1:
+    n = result.replications
+    if n > 1:
         ci = result.percent_difference_ci()
-        print(
-            f"\npercent difference across {args.replications} replications: "
-            f"{ci.mean:.2f}% ± {ci.half_width:.2f} (95% t-interval)"
+        line = (
+            f"\npercent difference across {n} replications: "
+            f"{ci.mean:.2f}% {_format_pm(ci)} (95% t-interval)"
         )
+        if result.converged is not None:
+            line += f"  {_convergence_tag(n, result.converged)}"
+        print(line)
+    else:
+        print("\npercent difference uncertainty: n/a (1 replication)")
     return 0
 
 
@@ -386,6 +493,8 @@ def _cmd_network(args: argparse.Namespace) -> int:
             workers=args.workers,
             shards=args.shards,
             shard_strategy=args.shard_strategy,
+            ci_target=args.ci_target,
+            max_replications=args.max_replications,
         )
         print(
             format_table(
@@ -400,6 +509,8 @@ def _cmd_network(args: argparse.Namespace) -> int:
                 title=f"Network lifetime sweep: {sweep.topology} {run_info}",
             )
         )
+        if sweep.ci_target is not None:
+            _print_adaptive_point_cis(sweep, "network energy")
         best = sweep.best()
         print(
             f"\nbest threshold for the network: "
@@ -412,8 +523,24 @@ def _cmd_network(args: argparse.Namespace) -> int:
         workers=args.workers,
         shards=args.shards,
         shard_strategy=args.shard_strategy,
+        ci_target=args.ci_target,
+        max_replications=args.max_replications,
     )
     print(f"network scenario {run_info}")
+    if args.ci_target is not None:
+        print(format_network_summary(result.result))
+        energy_ci = result.energy_ci()
+        lifetime_ci = result.lifetime_ci()
+        print(
+            f"adaptive replication   : "
+            f"{_convergence_tag(result.replications, result.converged)} "
+            f"at ci-target {result.ci_target:g}\n"
+            f"energy across reps     : {energy_ci.mean:.4f} J "
+            f"{_format_pm(energy_ci)}\n"
+            f"lifetime across reps   : {lifetime_ci.mean:.2f} days "
+            f"{_format_pm(lifetime_ci)}"
+        )
+        return 0
     print(format_network_summary(result))
     return 0
 
@@ -438,7 +565,17 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if (
+        getattr(args, "ci_target", None) is not None
+        and getattr(args, "replications", 1) > args.max_replications
+    ):
+        parser.error(
+            f"--replications {args.replications} is the per-point floor "
+            f"under --ci-target and must be <= --max-replications "
+            f"{args.max_replications}"
+        )
     if args.command == "list":
         return _cmd_list()
     if args.command == "fig":

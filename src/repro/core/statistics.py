@@ -152,20 +152,17 @@ class PredicateStatistic:
 class TransitionCounter:
     """Firing counts and throughput for one transition."""
 
-    __slots__ = ("warmup", "count", "_first_counted_time", "_last_time")
+    __slots__ = ("warmup", "count", "_last_time")
 
     def __init__(self, warmup: float = 0.0) -> None:
         self.warmup = float(warmup)
         self.count = 0
-        self._first_counted_time: float | None = None
         self._last_time = 0.0
 
     def record(self, now: float) -> None:
         """Record one firing at ``now``."""
         self._last_time = max(self._last_time, now)
         if now >= self.warmup:
-            if self._first_counted_time is None:
-                self._first_counted_time = self.warmup
             self.count += 1
 
     def throughput(self, end_time: float) -> float:
@@ -200,7 +197,15 @@ class ConfidenceInterval:
         return self.low <= value <= self.high
 
     def relative_half_width(self) -> float:
-        """Half-width / |mean| (inf when mean is 0)."""
+        """Half-width / |mean|.
+
+        The degenerate 0 ± 0 interval (a constant-zero metric) is
+        perfectly precise, so it reports 0.0 — any relative-width
+        stopping rule is immediately satisfied.  Only a genuinely
+        undefined ratio (zero mean with nonzero half-width) is ``inf``.
+        """
+        if self.half_width == 0:
+            return 0.0
         if self.mean == 0:
             return math.inf
         return abs(self.half_width / self.mean)
@@ -278,17 +283,32 @@ class BatchMeans:
                 break
 
     def batch_means(self) -> np.ndarray:
-        """Per-batch time averages (NaN-free; empty batches give 0)."""
-        out = np.zeros(self.n_batches)
-        for i in range(self.n_batches):
-            if self._batch_durations[i] > 0:
-                out[i] = self._batch_integrals[i] / self._batch_durations[i]
-        return out
+        """Time averages of the batches that observed any time.
+
+        A run that ends before the horizon leaves zero-duration
+        trailing batches; treating those as 0.0 samples would drag the
+        mean toward 0 *and* shrink the interval with fabricated
+        observations, so empty batches are dropped — the returned array
+        has one entry per batch with ``duration > 0``.
+        """
+        out = [
+            self._batch_integrals[i] / self._batch_durations[i]
+            for i in range(self.n_batches)
+            if self._batch_durations[i] > 0
+        ]
+        return np.asarray(out, dtype=float)
 
     def interval(self, confidence: float = 0.95) -> ConfidenceInterval:
-        """Point estimate and Student-t confidence interval."""
+        """Point estimate and Student-t confidence interval.
+
+        ``batches`` in the returned interval counts the *non-empty*
+        batches actually backing the estimate, which can be fewer than
+        ``n_batches`` for a run truncated before the horizon.
+        """
         means = self.batch_means()
         n = len(means)
+        if n == 0:
+            return ConfidenceInterval(0.0, math.inf, confidence, 0)
         mean = float(np.mean(means))
         if n < 2:
             return ConfidenceInterval(mean, math.inf, confidence, n)

@@ -76,6 +76,12 @@ class CPUComparisonResult:
     #: Across-replication t-intervals on energy, per estimator, aligned
     #: with ``thresholds``; ``None`` for single-replication runs.
     energy_ci: dict[str, list[ConfidenceInterval]] | None = None
+    #: Adaptive-control outcome per threshold point (``None`` for
+    #: fixed-count runs): replications executed and whether the point
+    #: met ``ci_target`` before ``max_replications``.
+    replication_counts: list[int] | None = None
+    converged: list[bool] | None = None
+    ci_target: float | None = None
 
     def delta_energy(self) -> dict[str, DeltaStats]:
         """The Tables IV–VI statistics for this scenario."""
@@ -161,6 +167,9 @@ def run_cpu_comparison(
     power_table: PowerStateTable | None = None,
     workers: int = 1,
     replications: int = 1,
+    ci_target: float | None = None,
+    max_replications: int = 64,
+    min_replications: int = 2,
 ) -> CPUComparisonResult:
     """Run the full three-way sweep for one ``Power_Up_Delay``.
 
@@ -175,31 +184,74 @@ def run_cpu_comparison(
     further replications use seeds spawned from it, and the reported
     fractions/energies become across-replication means with
     ``energy_ci`` t-intervals.
+
+    With ``ci_target`` set, each threshold point replicates adaptively
+    (:mod:`repro.runtime.adaptive`) until *both* stochastic estimators'
+    energy intervals meet the relative half-width target (the analytic
+    Markov solve is deterministic and exempt), or ``max_replications``
+    is hit.  The seed plan per point is prefix-stable, so the executed
+    replications are a bit-identical prefix of the fixed
+    ``replications=max_replications`` run; ``replications`` acts as a
+    floor on ``min_replications``.
     """
+    from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
 
     cfg = config if config is not None else CPUComparisonConfig()
     table = power_table if power_table is not None else cpu_power_table()
 
-    tasks = []
-    for i, threshold in enumerate(cfg.thresholds):
-        for rep, rep_seed in enumerate(
-            replication_seeds(cfg.seed + i, replications)
-        ):
-            tasks.append(
-                (threshold, rep_seed, power_up_delay, cfg, table, rep == 0)
-            )
-    per_rep = ParallelExecutor(workers=workers).map(_evaluate_cpu_point, tasks)
+    converged: list[bool] | None = None
+    if ci_target is not None:
+        seed_plans = [
+            replication_seeds(cfg.seed + i, max_replications)
+            for i in range(len(cfg.thresholds))
+        ]
+        runs = run_adaptive_rounds(
+            _evaluate_cpu_point,
+            lambda i, r: (
+                cfg.thresholds[i],
+                seed_plans[i][r],
+                power_up_delay,
+                cfg,
+                table,
+                r == 0,
+            ),
+            len(cfg.thresholds),
+            AdaptiveSettings(
+                ci_target=ci_target,
+                min_replications=max(min_replications, replications),
+                max_replications=max_replications,
+            ),
+            metrics=lambda out: (out["simulation"][1], out["petri"][1]),
+            executor=ParallelExecutor(workers=workers),
+        )
+        per_point = [run.values for run in runs]
+        converged = [run.converged for run in runs]
+    else:
+        tasks = []
+        for i, threshold in enumerate(cfg.thresholds):
+            for rep, rep_seed in enumerate(
+                replication_seeds(cfg.seed + i, replications)
+            ):
+                tasks.append(
+                    (threshold, rep_seed, power_up_delay, cfg, table, rep == 0)
+                )
+        flat = ParallelExecutor(workers=workers).map(_evaluate_cpu_point, tasks)
+        per_point = [
+            flat[i * replications : (i + 1) * replications]
+            for i in range(len(cfg.thresholds))
+        ]
 
     fractions: dict[str, dict[str, list[float]]] = {
         est: {state: [] for state in CPUStates.ALL} for est in ESTIMATORS
     }
     energy: dict[str, list[float]] = {est: [] for est in ESTIMATORS}
     energy_ci: dict[str, list[ConfidenceInterval]] = {est: [] for est in ESTIMATORS}
+    multi_replicated = any(len(reps) > 1 for reps in per_point)
 
-    for i in range(len(cfg.thresholds)):
-        reps = per_rep[i * replications : (i + 1) * replications]
+    for reps in per_point:
+        n_reps = len(reps)
         for est in ESTIMATORS:
             if est == "markov":
                 # Deterministic: replication 0 holds the only solve;
@@ -209,18 +261,18 @@ def run_cpu_comparison(
                     fractions[est][state].append(markov_fracs[state])
                 energy[est].append(markov_e)
                 energy_ci[est].append(
-                    ConfidenceInterval(markov_e, 0.0, 0.95, replications)
+                    ConfidenceInterval(markov_e, 0.0, 0.95, n_reps)
                 )
                 continue
             rep_energies = [r[est][1] for r in reps]
             for state in CPUStates.ALL:
                 vals = [r[est][0][state] for r in reps]
                 fractions[est][state].append(
-                    vals[0] if replications == 1 else float(np.mean(vals))
+                    vals[0] if n_reps == 1 else float(np.mean(vals))
                 )
             energy[est].append(
                 rep_energies[0]
-                if replications == 1
+                if n_reps == 1
                 else float(np.mean(rep_energies))
             )
             energy_ci[est].append(replication_interval(rep_energies))
@@ -231,6 +283,11 @@ def run_cpu_comparison(
         fractions=fractions,
         energy_j=energy,
         config=cfg,
-        replications=replications,
-        energy_ci=energy_ci if replications > 1 else None,
+        replications=max((len(r) for r in per_point), default=replications),
+        energy_ci=energy_ci if multi_replicated else None,
+        replication_counts=(
+            [len(r) for r in per_point] if ci_target is not None else None
+        ),
+        converged=converged,
+        ci_target=ci_target,
     )

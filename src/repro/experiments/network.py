@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..core.statistics import ConfidenceInterval, replication_interval
 from ..energy.battery import IMOTE2_3xAAA, LinearBattery, PeukertBattery
 from ..models.network import (
     GridTopology,
@@ -38,6 +39,7 @@ from .sweep import NETWORK_THRESHOLDS
 __all__ = [
     "NetworkScenarioConfig",
     "NetworkSweepResult",
+    "ReplicatedNetworkResult",
     "make_topology",
     "run_network_scenario",
     "run_network_lifetime_sweep",
@@ -92,12 +94,73 @@ class NetworkScenarioConfig:
 
 
 @dataclass
+class ReplicatedNetworkResult:
+    """One network scenario replicated to a CI-width target.
+
+    ``result`` is replication 0 (bit-identical to the unreplicated
+    scenario at the same seed); ``replicates`` holds every executed
+    replication in seed-plan order, a reproducible prefix of the fixed
+    ``max_replications`` run.
+    """
+
+    result: NetworkResult
+    replicates: list[NetworkResult]
+    converged: bool
+    ci_target: float
+
+    @property
+    def replications(self) -> int:
+        """Network replications executed."""
+        return len(self.replicates)
+
+    def energy_ci(self, confidence: float = 0.95) -> ConfidenceInterval:
+        """Across-replication t-interval on total network energy."""
+        return replication_interval(
+            [r.total_energy_j for r in self.replicates], confidence
+        )
+
+    def lifetime_ci(self, confidence: float = 0.95) -> ConfidenceInterval:
+        """Across-replication t-interval on network lifetime (days)."""
+        return replication_interval(
+            [r.network_lifetime_days for r in self.replicates], confidence
+        )
+
+
+@dataclass
 class NetworkSweepResult:
-    """Per-threshold network results plus the optimisation verdicts."""
+    """Per-threshold network results plus the optimisation verdicts.
+
+    ``results`` holds replication 0 per threshold.  Under adaptive
+    replication control (``ci_target``), ``replicates`` keeps every
+    executed replication per point and ``converged`` whether the point
+    met the target before ``max_replications``; both stay ``None`` for
+    single-run sweeps.
+    """
 
     topology: str
     thresholds: tuple[float, ...]
     results: list[NetworkResult]
+    replicates: list[list[NetworkResult]] | None = None
+    converged: list[bool] | None = None
+    ci_target: float | None = None
+
+    @property
+    def replication_counts(self) -> list[int]:
+        """Replications executed per threshold point (1s when fixed)."""
+        if self.replicates is None:
+            return [1] * len(self.results)
+        return [len(reps) for reps in self.replicates]
+
+    def energy_ci(self, confidence: float = 0.95) -> list[ConfidenceInterval]:
+        """Across-replication t-interval on total energy per point."""
+        if self.replicates is None:
+            raise ValueError("energy_ci requires an adaptive (replicated) sweep")
+        return [
+            replication_interval(
+                [r.total_energy_j for r in reps], confidence
+            )
+            for reps in self.replicates
+        ]
 
     @property
     def lifetimes_days(self) -> list[float]:
@@ -127,23 +190,109 @@ class NetworkSweepResult:
         ]
 
 
+def _adaptive_network_runs(
+    cfg: NetworkScenarioConfig,
+    thresholds: tuple[float, ...],
+    ci_target: float,
+    max_replications: int,
+    min_replications: int,
+    workers: int,
+    shards: int,
+    shard_strategy: str,
+):
+    """Adaptively replicate whole network runs, one point per threshold.
+
+    Each replication is a full (possibly sharded) network simulation;
+    the controller runs replications in-process so ``workers`` and
+    ``shards`` keep parallelising *inside* each network run, exactly as
+    on the unreplicated path.  The per-replication seed plan
+    (``replication_seeds``) is prefix-stable, so replication 0 is
+    bit-identical to the single-run scenario and an adaptive run is a
+    prefix of the fixed ``max_replications`` run.  The stopping metric
+    is total network energy (network lifetime quantises to the hotspot
+    node's battery and is reported with its own CI instead).
+    """
+    from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
+    from ..runtime.seeding import replication_seeds
+
+    models = [
+        SensorNetworkModel(
+            cfg.topology,
+            cfg.params.with_threshold(t),
+            cfg.battery,
+            cfg.workload,
+        )
+        for t in thresholds
+    ]
+    rep_seeds = replication_seeds(cfg.seed, max_replications)
+
+    def _simulate(task: tuple[int, int]) -> NetworkResult:
+        point, rep = task
+        return models[point].simulate(
+            cfg.horizon,
+            seed=rep_seeds[rep],
+            base_rate=cfg.base_rate,
+            workers=workers,
+            shards=shards,
+            shard_strategy=shard_strategy,
+        )
+
+    return run_adaptive_rounds(
+        _simulate,
+        lambda i, r: (i, r),
+        len(thresholds),
+        AdaptiveSettings(
+            ci_target=ci_target,
+            min_replications=min_replications,
+            max_replications=max_replications,
+        ),
+        metrics=lambda result: result.total_energy_j,
+    )
+
+
 def run_network_scenario(
     config: NetworkScenarioConfig | None = None,
     threshold: float | None = None,
     workers: int = 1,
     shards: int = 1,
     shard_strategy: str = "contiguous",
-) -> NetworkResult:
+    ci_target: float | None = None,
+    max_replications: int = 64,
+    min_replications: int = 2,
+) -> NetworkResult | ReplicatedNetworkResult:
     """Simulate one network at one ``Power_Down_Threshold``.
 
     ``threshold`` overrides ``config.params.power_down_threshold`` when
     given.  ``shards`` partitions the node set into worker-group tasks
     (see :mod:`repro.runtime.sharding`); results are identical for any
     ``(workers, shards, shard_strategy)``.
+
+    With ``ci_target`` set, the whole scenario replicates with spawned
+    seeds until the total-energy interval's relative half-width meets
+    the target (or ``max_replications``), returning a
+    :class:`ReplicatedNetworkResult` whose ``result`` (replication 0)
+    is bit-identical to the unreplicated scenario.
     """
     cfg = config if config is not None else NetworkScenarioConfig()
     if threshold is not None:
         cfg = replace(cfg, params=cfg.params.with_threshold(threshold))
+    if ci_target is not None:
+        [run] = _adaptive_network_runs(
+            cfg,
+            (cfg.params.power_down_threshold,),
+            ci_target,
+            max_replications,
+            min_replications,
+            workers,
+            shards,
+            shard_strategy,
+        )
+        return ReplicatedNetworkResult(
+            result=run.values[0],
+            replicates=run.values,
+            converged=run.converged,
+            ci_target=ci_target,
+        )
     return cfg.model().simulate(
         cfg.horizon,
         seed=cfg.seed,
@@ -159,9 +308,38 @@ def run_network_lifetime_sweep(
     workers: int = 1,
     shards: int = 1,
     shard_strategy: str = "contiguous",
+    ci_target: float | None = None,
+    max_replications: int = 64,
+    min_replications: int = 2,
 ) -> NetworkSweepResult:
-    """Sweep ``config.thresholds`` on the network-lifetime metric."""
+    """Sweep ``config.thresholds`` on the network-lifetime metric.
+
+    With ``ci_target`` set, every threshold point replicates adaptively
+    on its total-energy interval and stops independently; ``results``
+    still holds the replication-0 series (bit-identical to the
+    single-run sweep), with per-point counts, ``converged`` flags and
+    :meth:`NetworkSweepResult.energy_ci` uncertainty on top.
+    """
     cfg = config if config is not None else NetworkScenarioConfig()
+    if ci_target is not None:
+        runs = _adaptive_network_runs(
+            cfg,
+            tuple(cfg.thresholds),
+            ci_target,
+            max_replications,
+            min_replications,
+            workers,
+            shards,
+            shard_strategy,
+        )
+        return NetworkSweepResult(
+            topology=cfg.topology.describe(),
+            thresholds=tuple(cfg.thresholds),
+            results=[run.values[0] for run in runs],
+            replicates=[run.values for run in runs],
+            converged=[run.converged for run in runs],
+            ci_target=ci_target,
+        )
     results = cfg.model().sweep_thresholds(
         cfg.thresholds,
         cfg.horizon,

@@ -61,12 +61,19 @@ class NodeSweepResult:
     ``replicates`` holds *all* replications per point when the sweep ran
     with ``replications > 1``, and the energy series then reports the
     across-replication mean with :meth:`energy_ci` uncertainty.
+
+    Under adaptive replication control (``ci_target``) the per-point
+    replication counts differ — ``replication_counts`` reports them and
+    ``converged`` records which points met the target before
+    ``max_replications``; both stay ``None`` for fixed-count sweeps.
     """
 
     workload: str
     thresholds: tuple[float, ...]
     results: list[WSNNodeResult]
     replicates: list[list[WSNNodeResult]] = field(default_factory=list)
+    converged: list[bool] | None = None
+    ci_target: float | None = None
 
     def __post_init__(self) -> None:
         if not self.replicates:
@@ -74,8 +81,13 @@ class NodeSweepResult:
 
     @property
     def replications(self) -> int:
-        """Replications per grid point."""
-        return len(self.replicates[0]) if self.replicates else 1
+        """Replications per grid point (the maximum, when adaptive)."""
+        return max((len(reps) for reps in self.replicates), default=1)
+
+    @property
+    def replication_counts(self) -> list[int]:
+        """Replications executed per grid point."""
+        return [len(reps) for reps in self.replicates]
 
     @property
     def breakdowns(self) -> list[EnergyBreakdown]:
@@ -136,6 +148,9 @@ def run_node_energy_sweep(
     config: NodeSweepConfig | None = None,
     workers: int = 1,
     replications: int = 1,
+    ci_target: float | None = None,
+    max_replications: int = 64,
+    min_replications: int = 2,
 ) -> NodeSweepResult:
     """Simulate the node at every threshold grid point.
 
@@ -147,25 +162,59 @@ def run_node_energy_sweep(
     are submitted through the :mod:`repro.runtime` executor;
     ``workers=1`` with ``replications=1`` is bit-identical to the
     pre-runtime serial sweep.
+
+    With ``ci_target`` set, replication counts are chosen per point by
+    the :mod:`repro.runtime.adaptive` controller on the total-energy
+    metric: each point stops once its 95 % interval's relative
+    half-width crosses the target (or at ``max_replications``).  The
+    per-point seed plan is always sized at ``max_replications``
+    (``replication_seeds`` is prefix-stable), so an adaptive run's
+    replicates are a bit-identical prefix of the fixed
+    ``replications=max_replications`` run; ``replications`` acts as a
+    floor on ``min_replications``.
     """
+    from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
 
     cfg = config if config is not None else NodeSweepConfig()
-    rep_seeds = replication_seeds(cfg.seed, replications)
-    tasks = [
-        (cfg.params.with_threshold(threshold), cfg.workload, cfg.horizon, seed)
-        for threshold in cfg.thresholds
-        for seed in rep_seeds
-    ]
-    flat = ParallelExecutor(workers=workers).map(simulate_node_task, tasks)
-    replicates = [
-        flat[i * replications : (i + 1) * replications]
-        for i in range(len(cfg.thresholds))
-    ]
+    converged: list[bool] | None = None
+    if ci_target is not None:
+        rep_seeds = replication_seeds(cfg.seed, max_replications)
+        point_params = [
+            cfg.params.with_threshold(t) for t in cfg.thresholds
+        ]
+        runs = run_adaptive_rounds(
+            simulate_node_task,
+            lambda i, r: (point_params[i], cfg.workload, cfg.horizon, rep_seeds[r]),
+            len(cfg.thresholds),
+            AdaptiveSettings(
+                ci_target=ci_target,
+                min_replications=max(min_replications, replications),
+                max_replications=max_replications,
+            ),
+            metrics=lambda result: result.total_energy_j,
+            executor=ParallelExecutor(workers=workers),
+        )
+        replicates = [run.values for run in runs]
+        converged = [run.converged for run in runs]
+    else:
+        rep_seeds = replication_seeds(cfg.seed, replications)
+        tasks = [
+            (cfg.params.with_threshold(threshold), cfg.workload, cfg.horizon, seed)
+            for threshold in cfg.thresholds
+            for seed in rep_seeds
+        ]
+        flat = ParallelExecutor(workers=workers).map(simulate_node_task, tasks)
+        replicates = [
+            flat[i * replications : (i + 1) * replications]
+            for i in range(len(cfg.thresholds))
+        ]
     return NodeSweepResult(
         workload=cfg.workload,
         thresholds=tuple(cfg.thresholds),
         results=[reps[0] for reps in replicates],
         replicates=replicates,
+        converged=converged,
+        ci_target=ci_target,
     )

@@ -39,18 +39,33 @@ __all__ = [
 
 @dataclass
 class RateSensitivityResult:
-    """Optimum threshold and savings per event rate."""
+    """Optimum threshold and savings per event rate.
+
+    Under adaptive replication control (``ci_target``),
+    ``cell_replications[i][j]`` / ``cell_converged[i][j]`` report the
+    controller outcome for the ``(rates[i], thresholds[j])`` cell; both
+    stay ``None`` for single-run sweeps.
+    """
 
     rates: tuple[float, ...]
     optima: list[float]
     optimum_energies_j: list[float]
     savings_vs_never: list[float]
+    cell_replications: list[list[int]] | None = None
+    cell_converged: list[list[bool]] | None = None
+    ci_target: float | None = None
 
     def rows(self) -> list[tuple[float, float, float, float]]:
         """(rate, optimum PDT, energy J, saving) table rows."""
         return list(
             zip(self.rates, self.optima, self.optimum_energies_j, self.savings_vs_never)
         )
+
+    def all_converged(self) -> bool:
+        """True when every adaptive cell met the target (False if fixed)."""
+        if self.cell_converged is None:
+            return False
+        return all(ok for row in self.cell_converged for ok in row)
 
 
 def _node_energy_task(task: tuple[float, float, str, float, int]) -> float:
@@ -68,6 +83,9 @@ def node_optimum_vs_rate(
     horizon: float = 300.0,
     seed: int = 2010,
     workers: int = 1,
+    ci_target: float | None = None,
+    max_replications: int = 64,
+    min_replications: int = 2,
 ) -> RateSensitivityResult:
     """Sweep the event rate; find the optimum threshold at each rate.
 
@@ -75,20 +93,54 @@ def node_optimum_vs_rate(
     submitted through the :mod:`repro.runtime` executor; every cell
     keeps the same fixed seed (common random numbers), so results are
     identical for any ``workers``.
-    """
-    from ..runtime.executor import ParallelExecutor
 
-    grid = [
-        (rate, t, workload, horizon, seed)
-        for rate in rates
-        for t in thresholds
-    ]
-    flat = ParallelExecutor(workers=workers).map(_node_energy_task, grid)
+    With ``ci_target`` set, each cell is replicated adaptively
+    (:mod:`repro.runtime.adaptive`) on its energy until the interval's
+    relative half-width crosses the target (replication 0 keeps the
+    common-random-numbers base seed; spawned seeds follow, and the cell
+    energies become across-replication means).  Cells stop
+    independently, so cheap low-variance cells don't pay for noisy
+    ones.
+    """
+    from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
+    from ..runtime.executor import ParallelExecutor
+    from ..runtime.seeding import replication_seeds
+
+    cells = [(rate, t) for rate in rates for t in thresholds]
+    cell_replications: list[list[int]] | None = None
+    cell_converged: list[list[bool]] | None = None
+    n_t = len(thresholds)
+    if ci_target is not None:
+        rep_seeds = replication_seeds(seed, max_replications)
+        runs = run_adaptive_rounds(
+            _node_energy_task,
+            lambda i, r: (*cells[i], workload, horizon, rep_seeds[r]),
+            len(cells),
+            AdaptiveSettings(
+                ci_target=ci_target,
+                min_replications=min_replications,
+                max_replications=max_replications,
+            ),
+            executor=ParallelExecutor(workers=workers),
+        )
+        flat = [float(np.mean(run.values)) for run in runs]
+        cell_replications = [
+            [runs[i * n_t + j].replications for j in range(n_t)]
+            for i in range(len(rates))
+        ]
+        cell_converged = [
+            [runs[i * n_t + j].converged for j in range(n_t)]
+            for i in range(len(rates))
+        ]
+    else:
+        grid = [
+            (rate, t, workload, horizon, seed) for rate, t in cells
+        ]
+        flat = ParallelExecutor(workers=workers).map(_node_energy_task, grid)
 
     optima: list[float] = []
     energies: list[float] = []
     savings: list[float] = []
-    n_t = len(thresholds)
     for i, rate in enumerate(rates):
         per_threshold = list(zip(thresholds, flat[i * n_t : (i + 1) * n_t]))
         t_opt, e_opt = min(per_threshold, key=lambda te: te[1])
@@ -101,6 +153,9 @@ def node_optimum_vs_rate(
         optima=optima,
         optimum_energies_j=energies,
         savings_vs_never=savings,
+        cell_replications=cell_replications,
+        cell_converged=cell_converged,
+        ci_target=ci_target,
     )
 
 

@@ -64,6 +64,16 @@ class ValidationResult:
     petri: SimpleNodeResult
     petri_energy_j: float
     replicate_percent_differences: list[float] = field(default_factory=list)
+    #: Adaptive-control outcome (``None`` for fixed-count runs):
+    #: whether the percent-difference interval met ``ci_target`` before
+    #: ``max_replications``.
+    converged: bool | None = None
+    ci_target: float | None = None
+
+    @property
+    def replications(self) -> int:
+        """Replications backing the percent-difference estimate."""
+        return max(1, len(self.replicate_percent_differences))
 
     def percent_difference_ci(
         self, confidence: float = 0.95
@@ -130,10 +140,19 @@ def _run_validation_rep(
     return hardware, petri, petri.energy_over(hardware.duration_s)
 
 
+def _percent_difference(rep: tuple[IMote2RunResult, SimpleNodeResult, float]) -> float:
+    hardware, _petri, petri_energy = rep
+    actual = hardware.energy_j
+    return abs(actual - petri_energy) / actual * 100.0 if actual else 0.0
+
+
 def run_simple_node_validation(
     config: ValidationConfig | None = None,
     workers: int = 1,
     replications: int = 1,
+    ci_target: float | None = None,
+    max_replications: int = 64,
+    min_replications: int = 2,
 ) -> ValidationResult:
     """Execute the full Section V protocol.
 
@@ -142,26 +161,50 @@ def run_simple_node_validation(
     with independent spawned seeds, submitted through the
     :mod:`repro.runtime` executor, so the headline percent difference
     gets an across-replication confidence interval.
+
+    With ``ci_target`` set, the replication count is chosen adaptively
+    (:mod:`repro.runtime.adaptive`) on the percent-difference metric:
+    the protocol re-runs in rounds until the interval's relative
+    half-width crosses the target or ``max_replications`` is reached.
+    The seed plan is prefix-stable, so the executed replications are a
+    bit-identical prefix of the fixed ``replications=max_replications``
+    run; ``replications`` acts as a floor on ``min_replications``.
     """
+    from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
 
     cfg = config if config is not None else ValidationConfig()
-    tasks = [
-        (cfg, seed) for seed in replication_seeds(cfg.seed, replications)
-    ]
-    reps = ParallelExecutor(workers=workers).map(_run_validation_rep, tasks)
-
-    differences: list[float] = []
-    for hardware, _petri, petri_energy in reps:
-        actual = hardware.energy_j
-        differences.append(
-            abs(actual - petri_energy) / actual * 100.0 if actual else 0.0
+    converged: bool | None = None
+    if ci_target is not None:
+        seeds = replication_seeds(cfg.seed, max_replications)
+        [run] = run_adaptive_rounds(
+            _run_validation_rep,
+            lambda _i, r: (cfg, seeds[r]),
+            1,
+            AdaptiveSettings(
+                ci_target=ci_target,
+                min_replications=max(min_replications, replications),
+                max_replications=max_replications,
+            ),
+            metrics=_percent_difference,
+            executor=ParallelExecutor(workers=workers),
         )
+        reps = run.values
+        converged = run.converged
+    else:
+        tasks = [
+            (cfg, seed) for seed in replication_seeds(cfg.seed, replications)
+        ]
+        reps = ParallelExecutor(workers=workers).map(_run_validation_rep, tasks)
+
+    differences = [_percent_difference(rep) for rep in reps]
     hardware, petri, petri_energy_j = reps[0]
     return ValidationResult(
         hardware=hardware,
         petri=petri,
         petri_energy_j=petri_energy_j,
         replicate_percent_differences=differences,
+        converged=converged,
+        ci_target=ci_target,
     )

@@ -14,6 +14,12 @@ time:
 * :func:`map_sweep` — the public grid × replications API, returning
   :class:`~repro.experiments.sweep.SweepPoint` rows whose values carry
   across-replication confidence intervals when ``replications > 1``;
+* :mod:`repro.runtime.adaptive` — sequential replication control:
+  :func:`run_adaptive_rounds` evaluates every open point in rounds and
+  stops each one independently once its interval's relative half-width
+  crosses an :class:`AdaptiveSettings` target, consuming a prefix of
+  the fixed-count seed plan so converged runs stay bit-reproducible
+  (``map_sweep(..., ci_target=...)`` is the sweep-level entry point);
 * :mod:`repro.runtime.sharding` — coarse-grained worker groups for
   hundreds-of-item task sets: :func:`partition_indices` plans
   contiguous or round-robin :class:`ShardPlan` partitions,
@@ -28,6 +34,7 @@ lifetime model accept ``workers=`` (and where meaningful
 exposes the same knobs as ``--workers`` / ``--replications``.
 """
 
+from .adaptive import AdaptivePointRun, AdaptiveSettings, run_adaptive_rounds
 from .executor import ParallelExecutor, TaskError
 from .seeding import (
     replication_seeds,
@@ -51,6 +58,9 @@ __all__ = [
     "TaskError",
     "map_sweep",
     "ReplicatedValue",
+    "AdaptiveSettings",
+    "AdaptivePointRun",
+    "run_adaptive_rounds",
     "replication_seeds",
     "sequence_to_seed",
     "spawn_seeds",

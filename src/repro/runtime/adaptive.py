@@ -1,0 +1,193 @@
+"""Adaptive replication control: run each point until its CI is tight.
+
+A fixed ``--replications`` count spends the same effort on every sweep
+point — wasteful on low-variance points, under-powered on noisy ones.
+This module replaces the fixed count with a *sequential, rounds-based
+stopping rule*: evaluate every still-open point a batch of replications
+at a time through the shared :class:`~repro.runtime.ParallelExecutor`,
+recompute each point's across-replication
+:func:`~repro.core.statistics.replication_interval` after the round,
+and close a point once ``relative_half_width() <= ci_target`` (or it
+hits ``max_replications``).  Points stop independently, so
+heterogeneous sweeps finish in the time of their noisiest point's need,
+not ``n_points × max_replications``.
+
+Reproducibility contract
+------------------------
+Per-point seed plans are fixed *before* any work runs and always cover
+the full ``max_replications``; the controller merely consumes a prefix.
+:meth:`numpy.random.SeedSequence.spawn` hands out the same first ``k``
+children regardless of how many siblings are eventually spawned, so the
+replications an adaptive run executes are a **bit-identical prefix** of
+the fixed ``max_replications`` run at the same seed — for every
+``workers`` setting, chunking and start method.  Convergence decisions
+are made in the parent from the gathered values only, so they cannot
+depend on execution order either.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.statistics import replication_interval
+from .executor import ParallelExecutor
+
+__all__ = ["AdaptiveSettings", "AdaptivePointRun", "run_adaptive_rounds"]
+
+
+@dataclass(frozen=True)
+class AdaptiveSettings:
+    """Stopping rule of a sequential replication controller.
+
+    Parameters
+    ----------
+    ci_target:
+        Target relative CI half-width: a point is converged once
+        ``interval.relative_half_width() <= ci_target`` for every
+        tracked metric.
+    min_replications:
+        Replications every point runs before the rule is first checked
+        (at least 2 — a single replication has an infinite half-width).
+    max_replications:
+        Hard cap per point; a point reaching it closes unconverged.
+    batch_size:
+        Replications added to every open point per subsequent round
+        (default: ``min_replications``).
+    confidence:
+        Confidence level of the stopping intervals.
+    """
+
+    ci_target: float
+    min_replications: int = 2
+    max_replications: int = 64
+    batch_size: int | None = None
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.ci_target <= 0:
+            raise ValueError(f"ci_target must be > 0, got {self.ci_target}")
+        if self.min_replications < 2:
+            raise ValueError(
+                "min_replications must be >= 2 (one replication has an "
+                f"infinite half-width), got {self.min_replications}"
+            )
+        if self.max_replications < self.min_replications:
+            raise ValueError(
+                f"max_replications {self.max_replications} must be >= "
+                f"min_replications {self.min_replications}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not 0 < self.confidence < 1:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+
+    @property
+    def round_size(self) -> int:
+        """Replications added per round after the first."""
+        return self.batch_size if self.batch_size is not None else self.min_replications
+
+
+@dataclass
+class AdaptivePointRun:
+    """One point's outcome under the adaptive controller.
+
+    ``values`` holds the raw evaluation results in replication order —
+    by the seed-plan contract, a bit-identical prefix of the fixed
+    ``max_replications`` run.
+    """
+
+    values: list[Any]
+    converged: bool
+
+    @property
+    def replications(self) -> int:
+        """Replications actually executed for this point."""
+        return len(self.values)
+
+
+def _metric_values(
+    metrics: Callable[[Any], float | Sequence[float]], value: Any
+) -> tuple[float, ...]:
+    out = metrics(value)
+    if isinstance(out, (tuple, list)):
+        return tuple(float(v) for v in out)
+    return (float(out),)
+
+
+def run_adaptive_rounds(
+    fn: Callable[[Any], Any],
+    task_for: Callable[[int, int], Any],
+    n_points: int,
+    settings: AdaptiveSettings,
+    metrics: Callable[[Any], float | Sequence[float]] = float,
+    executor: ParallelExecutor | None = None,
+) -> list[AdaptivePointRun]:
+    """Drive ``fn`` over ``(point, replication)`` tasks until CIs close.
+
+    Parameters
+    ----------
+    fn:
+        The task evaluator (module-level/picklable when the executor
+        runs with ``workers > 1``).
+    task_for:
+        ``(point_index, replication_index) -> item`` — called in the
+        parent, so it may close over local state; the returned items
+        must be picklable for a multi-process executor.  It must be a
+        pure function of its indices: the controller relies on task
+        ``(i, r)`` being identical whenever it is requested, which is
+        what makes the executed replications a prefix of the fixed run.
+    n_points:
+        Number of independent design points.
+    settings:
+        The stopping rule (:class:`AdaptiveSettings`).
+    metrics:
+        Maps one evaluation result to the float (or several floats)
+        whose interval must tighten; a point converges only when
+        *every* metric meets ``ci_target``.  Applied in the parent.
+    executor:
+        The :class:`ParallelExecutor` each round's batch is submitted
+        through (default: serial).
+
+    Returns
+    -------
+    list[AdaptivePointRun]
+        One entry per point, in point order.
+    """
+    if n_points < 0:
+        raise ValueError(f"n_points must be >= 0, got {n_points}")
+    pool = executor if executor is not None else ParallelExecutor()
+    runs = [AdaptivePointRun(values=[], converged=False) for _ in range(n_points)]
+    open_points = list(range(n_points))
+    while open_points:
+        tasks: list[Any] = []
+        spans: list[tuple[int, int]] = []  # (point, new replication count)
+        for i in open_points:
+            done = len(runs[i].values)
+            want = settings.min_replications if done == 0 else settings.round_size
+            n_new = min(want, settings.max_replications - done)
+            tasks.extend(task_for(i, done + r) for r in range(n_new))
+            spans.append((i, n_new))
+        flat = pool.map(fn, tasks)
+        cursor = 0
+        for i, n_new in spans:
+            runs[i].values.extend(flat[cursor : cursor + n_new])
+            cursor += n_new
+        still_open: list[int] = []
+        for i in open_points:
+            run = runs[i]
+            samples = [_metric_values(metrics, v) for v in run.values]
+            run.converged = all(
+                replication_interval(
+                    [s[m] for s in samples], settings.confidence
+                ).relative_half_width()
+                <= settings.ci_target
+                for m in range(len(samples[0]))
+            )
+            if not run.converged and run.replications < settings.max_replications:
+                still_open.append(i)
+        open_points = still_open
+    return runs

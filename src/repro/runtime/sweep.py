@@ -31,6 +31,7 @@ import numpy as np
 
 from ..core.statistics import ConfidenceInterval, replication_interval
 from ..experiments.sweep import SweepPoint
+from .adaptive import AdaptiveSettings, run_adaptive_rounds
 from .executor import ParallelExecutor
 from .seeding import sequence_to_seed
 
@@ -41,10 +42,21 @@ T = TypeVar("T")
 
 @dataclass(frozen=True)
 class ReplicatedValue:
-    """Per-replication values of one sweep point plus their seeds."""
+    """Per-replication values of one sweep point plus their seeds.
+
+    ``converged`` is ``None`` for fixed-count sweeps; under adaptive
+    replication control (``ci_target=``) it records whether the point
+    met the relative half-width target before ``max_replications``.
+    """
 
     values: tuple[Any, ...]
     seeds: tuple[int, ...]
+    converged: bool | None = None
+
+    @property
+    def replications(self) -> int:
+        """Replications backing this point."""
+        return len(self.values)
 
     def mean(self) -> float:
         """Across-replication mean (values must be numeric)."""
@@ -73,6 +85,10 @@ def map_sweep(
     seed: int | None = None,
     chunk_size: int | None = None,
     mp_context: str | None = None,
+    ci_target: float | None = None,
+    max_replications: int = 64,
+    min_replications: int = 2,
+    confidence: float = 0.95,
 ) -> list[SweepPoint]:
     """Evaluate ``evaluate(threshold, seed)`` over a grid, in parallel.
 
@@ -93,6 +109,22 @@ def map_sweep(
     seed:
         Root of the seed spawn tree.  ``None`` draws fresh OS entropy
         (still collision-free, not reproducible across calls).
+    ci_target:
+        When set, switches to *adaptive replication control*
+        (:mod:`repro.runtime.adaptive`): every point runs rounds of
+        replications until its across-replication interval satisfies
+        ``relative_half_width() <= ci_target`` or ``max_replications``
+        is reached.  ``replications`` then acts as a floor on
+        ``min_replications``, values must be float-convertible, and
+        every :class:`SweepPoint.value` is a :class:`ReplicatedValue`
+        whose ``converged`` flag and length report the outcome.  Seeds
+        still come from the same two-level spawn tree, always sized at
+        ``max_replications`` per point, so an adaptive run is a
+        bit-identical prefix of ``map_sweep(...,
+        replications=max_replications)`` at the same seed.
+    max_replications / min_replications / confidence:
+        Adaptive stopping-rule knobs; ignored unless ``ci_target`` is
+        set.
 
     Returns
     -------
@@ -102,6 +134,21 @@ def map_sweep(
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
     grid = [float(t) for t in thresholds]
+    if ci_target is not None:
+        return _adaptive_sweep(
+            evaluate,
+            grid,
+            seed=seed,
+            settings=AdaptiveSettings(
+                ci_target=ci_target,
+                min_replications=max(min_replications, replications),
+                max_replications=max_replications,
+                confidence=confidence,
+            ),
+            executor=ParallelExecutor(
+                workers=workers, chunk_size=chunk_size, mp_context=mp_context
+            ),
+        )
     point_seqs = np.random.SeedSequence(seed).spawn(len(grid))
     seeds = [
         [sequence_to_seed(s) for s in ps.spawn(replications)]
@@ -129,3 +176,42 @@ def map_sweep(
                 )
             )
     return out
+
+
+def _adaptive_sweep(
+    evaluate: Callable[[float, int], T],
+    grid: list[float],
+    seed: int | None,
+    settings: AdaptiveSettings,
+    executor: ParallelExecutor,
+) -> list[SweepPoint]:
+    """The ``ci_target`` path of :func:`map_sweep`.
+
+    The seed plan is the *same* two-level spawn tree as the fixed-count
+    path, always spanning ``max_replications`` per point; the
+    controller consumes a prefix of it, which is what makes a converged
+    run a reproducible prefix of the fixed run.
+    """
+    point_seqs = np.random.SeedSequence(seed).spawn(len(grid))
+    seeds = [
+        [sequence_to_seed(s) for s in ps.spawn(settings.max_replications)]
+        for ps in point_seqs
+    ]
+    runs = run_adaptive_rounds(
+        _evaluate_task,
+        lambda i, r: (evaluate, grid[i], seeds[i][r]),
+        len(grid),
+        settings,
+        executor=executor,
+    )
+    return [
+        SweepPoint(
+            t,
+            ReplicatedValue(
+                tuple(run.values),
+                tuple(seeds[i][: run.replications]),
+                converged=run.converged,
+            ),
+        )
+        for i, (t, run) in enumerate(zip(grid, runs))
+    ]

@@ -1,10 +1,13 @@
 """Unit tests for time-weighted statistics and batch means."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.core.statistics import (
     BatchMeans,
+    ConfidenceInterval,
     PredicateStatistic,
     StatisticsCollector,
     TimeWeightedAccumulator,
@@ -98,6 +101,26 @@ class TestTransitionCounter:
         assert c.throughput(0.0) == 0.0
 
 
+class TestConfidenceInterval:
+    def test_relative_half_width_ordinary(self):
+        ci = ConfidenceInterval(mean=4.0, half_width=1.0, confidence=0.95, batches=8)
+        assert ci.relative_half_width() == pytest.approx(0.25)
+
+    def test_degenerate_zero_interval_is_perfectly_precise(self):
+        # 0 ± 0 (a constant-zero metric) must satisfy any relative-width
+        # stopping rule, not report inf.
+        ci = ConfidenceInterval(mean=0.0, half_width=0.0, confidence=0.95, batches=8)
+        assert ci.relative_half_width() == 0.0
+
+    def test_zero_half_width_nonzero_mean(self):
+        ci = ConfidenceInterval(mean=5.0, half_width=0.0, confidence=0.95, batches=8)
+        assert ci.relative_half_width() == 0.0
+
+    def test_zero_mean_nonzero_half_width_still_inf(self):
+        ci = ConfidenceInterval(mean=0.0, half_width=1.0, confidence=0.95, batches=8)
+        assert ci.relative_half_width() == math.inf
+
+
 class TestBatchMeans:
     def test_constant_signal_zero_variance(self):
         bm = BatchMeans(horizon=100.0, n_batches=10)
@@ -139,6 +162,33 @@ class TestBatchMeans:
             BatchMeans(horizon=10.0, n_batches=1)
         with pytest.raises(ValueError):
             BatchMeans(horizon=5.0, warmup=5.0)
+
+    def test_truncated_run_drops_empty_batches(self):
+        # A run that dies at t=4 of a 10 s horizon leaves the last
+        # three batches unobserved; they must not enter the estimate as
+        # fabricated 0.0 samples (which dragged the mean to 1.2 and
+        # fabricated variance before the fix).
+        bm = BatchMeans(horizon=10.0, n_batches=5)
+        bm.update(0.0, 3.0)
+        bm.update(4.0, 3.0)
+        assert bm.batch_means().tolist() == pytest.approx([3.0, 3.0])
+        ci = bm.interval()
+        assert ci.mean == pytest.approx(3.0)
+        assert ci.batches == 2
+
+    def test_all_batches_empty_gives_unknown_interval(self):
+        bm = BatchMeans(horizon=10.0, n_batches=5)
+        ci = bm.interval()
+        assert ci.batches == 0
+        assert ci.mean == 0.0
+        assert math.isinf(ci.half_width)
+
+    def test_full_run_still_reports_all_batches(self):
+        bm = BatchMeans(horizon=10.0, n_batches=5)
+        bm.update(0.0, 1.0)
+        bm.finalize()
+        assert len(bm.batch_means()) == 5
+        assert bm.interval().batches == 5
 
     def test_confidence_interval_width_shrinks_with_confidence(self):
         rng = np.random.default_rng(0)

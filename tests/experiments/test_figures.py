@@ -78,3 +78,37 @@ class TestScaledPaperShape:
         for est in ("simulation", "petri"):
             e = r.energy_j[est]
             assert e[-1] < e[0], est
+
+
+class TestAdaptiveReplication:
+    """ci_target comparisons: adaptive runs are prefixes of fixed ones."""
+
+    CFG = CPUComparisonConfig(horizon=60.0, thresholds=(0.001, 1.0))
+
+    def test_cap_run_matches_fixed_run_bit_for_bit(self):
+        # An impossible target forces every point to max_replications,
+        # at which length the adaptive run IS the fixed run.
+        fixed = run_cpu_comparison(0.3, self.CFG, replications=3)
+        adaptive = run_cpu_comparison(
+            0.3, self.CFG, ci_target=1e-9, max_replications=3
+        )
+        assert adaptive.energy_j == fixed.energy_j
+        assert adaptive.fractions == fixed.fractions
+        assert adaptive.converged == [False, False]
+        assert adaptive.replication_counts == [3, 3]
+
+    def test_adaptive_reports_energy_ci_and_flags(self):
+        adaptive = run_cpu_comparison(
+            0.3, self.CFG, ci_target=0.5, max_replications=4
+        )
+        assert adaptive.energy_ci is not None
+        assert all(n >= 2 for n in adaptive.replication_counts)
+        for est in ("simulation", "petri"):
+            assert len(adaptive.energy_ci[est]) == 2
+        # The analytic Markov model never replicates: zero variance.
+        assert all(ci.half_width == 0.0 for ci in adaptive.energy_ci["markov"])
+
+    def test_fixed_run_reports_no_convergence_fields(self):
+        fixed = run_cpu_comparison(0.3, self.CFG, replications=2)
+        assert fixed.converged is None
+        assert fixed.replication_counts is None

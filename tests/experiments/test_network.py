@@ -87,3 +87,59 @@ class TestRunSweep:
         assert sweep.energies_j == [
             r.total_energy_j for r in sweep.results
         ]
+
+
+class TestAdaptiveReplication:
+    """ci_target network runs: replication 0 stays bit-identical and
+    shard/worker settings never change adaptive decisions."""
+
+    CFG = NetworkScenarioConfig(
+        topology=LineTopology(3),
+        horizon=5.0,
+        thresholds=(1e-9, 1.0),
+        seed=9,
+    )
+
+    def test_scenario_replication0_bit_identical(self):
+        single = run_network_scenario(self.CFG)
+        replicated = run_network_scenario(
+            self.CFG, ci_target=0.5, max_replications=4
+        )
+        assert replicated.result.total_energy_j == single.total_energy_j
+        assert [n.energy_j for n in replicated.result.nodes] == [
+            n.energy_j for n in single.nodes
+        ]
+        assert 2 <= replicated.replications <= 4
+        assert replicated.energy_ci().batches == replicated.replications
+
+    def test_sweep_adaptive_sharding_invariant(self):
+        plain = run_network_lifetime_sweep(
+            self.CFG, ci_target=0.5, max_replications=3
+        )
+        sharded = run_network_lifetime_sweep(
+            self.CFG,
+            ci_target=0.5,
+            max_replications=3,
+            shards=2,
+            shard_strategy="round-robin",
+        )
+        assert [
+            [r.total_energy_j for r in reps] for reps in plain.replicates
+        ] == [[r.total_energy_j for r in reps] for reps in sharded.replicates]
+        assert plain.converged == sharded.converged
+        assert plain.replication_counts == sharded.replication_counts
+
+    def test_sweep_cap_reports_unconverged_points(self):
+        sweep = run_network_lifetime_sweep(
+            self.CFG, ci_target=1e-12, max_replications=2
+        )
+        assert sweep.converged == [False, False]
+        assert sweep.replication_counts == [2, 2]
+        assert all(ci.batches == 2 for ci in sweep.energy_ci())
+
+    def test_fixed_sweep_has_no_replicates(self):
+        sweep = run_network_lifetime_sweep(self.CFG)
+        assert sweep.replicates is None
+        assert sweep.replication_counts == [1, 1]
+        with pytest.raises(ValueError):
+            sweep.energy_ci()

@@ -61,3 +61,42 @@ class TestScaledPaperShape:
         t_opt, _ = r.optimum()
         assert t_opt in (0.0018, 0.01)
         assert r.savings_vs_immediate() > 0.1
+
+
+class TestAdaptiveReplication:
+    """ci_target sweeps: reproducible prefixes of the fixed-count run."""
+
+    CFG = NodeSweepConfig(
+        workload="closed", horizon=5.0, thresholds=(1e-9, 0.01), seed=5
+    )
+
+    def test_adaptive_is_prefix_of_fixed(self):
+        fixed = run_node_energy_sweep(self.CFG, replications=6)
+        adaptive = run_node_energy_sweep(
+            self.CFG, ci_target=0.3, max_replications=6
+        )
+        for fixed_reps, adaptive_reps in zip(
+            fixed.replicates, adaptive.replicates
+        ):
+            k = len(adaptive_reps)
+            assert [r.total_energy_j for r in adaptive_reps] == [
+                r.total_energy_j for r in fixed_reps[:k]
+            ]
+        assert adaptive.ci_target == 0.3
+        assert len(adaptive.converged) == 2
+        assert all(2 <= n <= 6 for n in adaptive.replication_counts)
+
+    def test_replication0_series_unchanged(self):
+        single = run_node_energy_sweep(self.CFG)
+        adaptive = run_node_energy_sweep(
+            self.CFG, ci_target=0.3, max_replications=4
+        )
+        assert [r.total_energy_j for r in adaptive.results] == [
+            r.total_energy_j for r in single.results
+        ]
+
+    def test_fixed_sweep_reports_no_convergence_fields(self):
+        fixed = run_node_energy_sweep(self.CFG, replications=2)
+        assert fixed.converged is None
+        assert fixed.ci_target is None
+        assert fixed.replication_counts == [2, 2]

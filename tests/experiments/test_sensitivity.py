@@ -86,3 +86,25 @@ class TestNodeOptimumVsRate:
         rows = result.rows()
         assert len(rows) == 1
         assert len(rows[0]) == 4
+
+
+class TestAdaptiveReplication:
+    """ci_target rate sweeps: per-cell adaptive replication control."""
+
+    KW = dict(thresholds=(1e-9, 100.0), horizon=5.0, seed=3)
+
+    def test_adaptive_cells_report_counts_and_flags(self):
+        r = node_optimum_vs_rate(
+            [1.0], ci_target=0.5, max_replications=4, **self.KW
+        )
+        assert len(r.cell_replications) == 1
+        assert len(r.cell_replications[0]) == 2
+        assert all(2 <= n <= 4 for n in r.cell_replications[0])
+        assert all(ok in (True, False) for ok in r.cell_converged[0])
+        assert r.ci_target == 0.5
+
+    def test_fixed_sweep_reports_no_convergence_fields(self):
+        r = node_optimum_vs_rate([1.0], **self.KW)
+        assert r.cell_replications is None
+        assert r.cell_converged is None
+        assert not r.all_converged()

@@ -74,3 +74,35 @@ class TestTableRendering:
         assert "0.00177" in text
         assert "35%" in text
         assert "29%" in text
+
+
+class TestAdaptiveReplication:
+    """ci_target validation: adaptive protocol re-runs, prefix-stable."""
+
+    CFG = ValidationConfig(
+        n_events=10, petri_horizon=500.0, petri_warmup=10.0, seed=7
+    )
+
+    def test_adaptive_is_prefix_of_fixed(self):
+        fixed = run_simple_node_validation(self.CFG, replications=8)
+        adaptive = run_simple_node_validation(
+            self.CFG, ci_target=5.0, max_replications=8
+        )
+        k = adaptive.replications
+        assert (
+            adaptive.replicate_percent_differences
+            == fixed.replicate_percent_differences[:k]
+        )
+        assert adaptive.converged is True
+
+    def test_cap_hit_reports_unconverged(self):
+        adaptive = run_simple_node_validation(
+            self.CFG, ci_target=1e-12, max_replications=3
+        )
+        assert adaptive.converged is False
+        assert adaptive.replications == 3
+
+    def test_fixed_run_reports_no_convergence_fields(self):
+        fixed = run_simple_node_validation(self.CFG, replications=2)
+        assert fixed.converged is None
+        assert fixed.ci_target is None

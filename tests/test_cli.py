@@ -85,6 +85,79 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "percent difference across 2 replications" in out
 
+    def test_validate_single_replication_prints_na_not_inf(self, capsys):
+        # An R=1 interval has infinite half-width; the CLI must say so
+        # instead of printing "± inf".
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "n/a (1 replication)" in out
+        assert "inf" not in out
+
+    def test_node_sweep_adaptive(self, capsys):
+        assert (
+            main(
+                [
+                    "node-sweep",
+                    "--horizon",
+                    "2",
+                    "--ci-target",
+                    "0.5",
+                    "--max-replications",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "adaptive replications (ci-target 0.5" in out
+        assert "reps," in out
+
+    def test_network_sweep_adaptive(self, capsys):
+        assert (
+            main(
+                [
+                    "network",
+                    "--topology",
+                    "star",
+                    "--nodes",
+                    "2",
+                    "--horizon",
+                    "5",
+                    "--sweep",
+                    "--ci-target",
+                    "0.5",
+                    "--max-replications",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "adaptive replications (ci-target 0.5" in out
+        assert "best threshold for the network" in out
+
+    def test_bad_ci_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["node-sweep", "--ci-target", "0"])
+
+    def test_replications_floor_above_cap_rejected(self, capsys):
+        # --replications acts as the per-point floor under --ci-target,
+        # so it must fit below the cap — a clean argparse error, not a
+        # traceback from the adaptive controller.
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "node-sweep",
+                    "--ci-target",
+                    "0.5",
+                    "--replications",
+                    "100",
+                    "--max-replications",
+                    "64",
+                ]
+            )
+        assert "per-point floor" in capsys.readouterr().err
+
     def test_network_single_run(self, capsys):
         assert (
             main(
