@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from conftest import once, write_result
+from conftest import once, paper_claim, scaled, write_result
 from repro.analysis import spn_to_ctmc
 from repro.core import Exponential, PetriNet, simulate, tokens_eq, tokens_gt
 from repro.energy import format_table
@@ -57,7 +57,12 @@ def test_ablation_ctmc_vs_simulation(benchmark):
         t_exact = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        sim = simulate(build(), horizon=40_000.0, seed=17, warmup=400.0)
+        sim = simulate(
+            build(),
+            horizon=scaled(40_000.0, 2_000.0),
+            seed=17,
+            warmup=scaled(400.0, 50.0),
+        )
         t_sim = time.perf_counter() - t0
         return {
             "states": ctmc.n_states,
@@ -84,5 +89,11 @@ def test_ablation_ctmc_vs_simulation(benchmark):
         precision=5,
     )
     write_result("ablation_ctmc_vs_sim", text)
-    assert r["sim_on"] == pytest.approx(r["exact_on"], abs=0.02)
-    assert r["sim_q"] == pytest.approx(r["exact_q"], rel=0.10)
+    paper_claim(r["sim_on"] == pytest.approx(r["exact_on"], abs=0.02))
+    paper_claim(r["sim_q"] == pytest.approx(r["exact_q"], rel=0.10))
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    raise SystemExit(bench_main(__file__))

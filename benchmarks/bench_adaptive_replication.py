@@ -26,12 +26,12 @@ import time
 
 import pytest
 
-from conftest import once, write_result
+from conftest import once, paper_claim, scaled, write_result
 from repro.experiments import NodeSweepConfig, run_node_energy_sweep
 
-HORIZON_S = 60.0
-CI_TARGET = 0.10
-MAX_R = 16
+HORIZON_S = scaled(60.0, 4.0)
+CI_TARGET = scaled(0.10, 0.5)
+MAX_R = scaled(16, 4)
 CONFIG = NodeSweepConfig(workload="closed", horizon=HORIZON_S, seed=2010)
 
 
@@ -66,7 +66,7 @@ def test_adaptive_vs_fixed_replication_budget(benchmark):
     fixed_total = n_points * MAX_R
     adaptive_total = sum(adaptive.replication_counts)
     assert adaptive_total <= fixed_total
-    assert min(adaptive.replication_counts) < MAX_R
+    paper_claim(min(adaptive.replication_counts) < MAX_R)
 
     n_converged = sum(adaptive.converged)
     text = "\n".join(
@@ -92,3 +92,9 @@ def test_adaptive_vs_fixed_replication_budget(benchmark):
         ]
     )
     write_result("adaptive_replication", text)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    raise SystemExit(bench_main(__file__))

@@ -10,6 +10,7 @@ substrate.
 
 import pytest
 
+from conftest import scaled
 from repro.core import Exponential, PetriNet, Simulation
 from repro.models import NodeParameters, build_cpu_petri_net, build_wsn_node_net
 from repro.models.workload import ClosedWorkload
@@ -20,11 +21,11 @@ def test_throughput_cpu_net(benchmark):
     def run():
         net = build_cpu_petri_net(1.0, 10.0, 0.1, 0.3)
         sim = Simulation(net, seed=1)
-        result = sim.run(2000.0)
+        result = sim.run(scaled(2000.0, 100.0))
         return result.firings
 
     firings = benchmark(run)
-    assert firings > 1000
+    assert firings > scaled(1000, 10)
 
 
 @pytest.mark.benchmark(group="engine-throughput")
@@ -34,11 +35,11 @@ def test_throughput_node_net(benchmark):
             NodeParameters(power_down_threshold=0.01), ClosedWorkload(1.0)
         )
         sim = Simulation(net, seed=1)
-        result = sim.run(200.0)
+        result = sim.run(scaled(200.0, 20.0))
         return result.firings
 
     firings = benchmark(run)
-    assert firings > 1000
+    assert firings > scaled(1000, 10)
 
 
 @pytest.mark.benchmark(group="engine-throughput")
@@ -61,7 +62,13 @@ def test_throughput_wide_net(benchmark):
 
     def run():
         sim = Simulation(build(), seed=2)
-        return sim.run(100.0).firings
+        return sim.run(scaled(100.0, 10.0)).firings
 
     firings = benchmark(run)
-    assert firings > 1000
+    assert firings > scaled(1000, 10)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    raise SystemExit(bench_main(__file__))

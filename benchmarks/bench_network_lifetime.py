@@ -12,7 +12,7 @@ is numerically identical to the serial one by construction — see
 
 import pytest
 
-from conftest import once, write_result
+from conftest import once, paper_claim, scaled, write_result
 from repro.energy import IMOTE2_3xAAA, format_table
 from repro.models import LineTopology, NodeParameters, SensorNetworkModel
 
@@ -30,7 +30,11 @@ def test_network_lifetime_sweep(benchmark):
     results = once(
         benchmark,
         lambda: network.sweep_thresholds(
-            THRESHOLDS, horizon=300.0, seed=2010, base_rate=0.5, shards=2
+            THRESHOLDS,
+            horizon=scaled(300.0, 20.0),
+            seed=2010,
+            base_rate=0.5,
+            shards=2,
         ),
     )
 
@@ -59,10 +63,16 @@ def test_network_lifetime_sweep(benchmark):
     write_result("network_lifetime_sweep", text)
 
     # Energy hole: the sink-adjacent node is always the hotspot.
-    assert all(r.hotspot.node_id == 1 for r in results)
+    paper_claim(all(r.hotspot.node_id == 1 for r in results))
     # The single-node optimum band carries over to the network metric.
     best = max(results, key=lambda r: r.network_lifetime_days)
-    assert best.power_down_threshold in (0.00178, 0.01)
+    paper_claim(best.power_down_threshold in (0.00178, 0.01))
     # Lifetimes are materially imbalanced (the motivation for
     # location-aware power management in the WSN literature).
-    assert results[2].lifetime_imbalance() > 1.3
+    paper_claim(results[2].lifetime_imbalance() > 1.3)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    raise SystemExit(bench_main(__file__))

@@ -24,17 +24,17 @@ import time
 
 import pytest
 
-from conftest import once, write_result
+from conftest import once, scaled, write_result
 from repro.experiments import NodeSweepConfig, run_node_energy_sweep
 from repro.models import GridTopology, NodeParameters, SensorNetworkModel
 
-HORIZON_S = 60.0
-WORKERS = 4
+HORIZON_S = scaled(60.0, 4.0)
+WORKERS = scaled(4, 2)
 CONFIG = NodeSweepConfig(workload="closed", horizon=HORIZON_S, seed=2010)
 
-SHARDS = 4
-GRID = GridTopology(10, 10)
-GRID_HORIZON_S = 30.0
+SHARDS = scaled(4, 2)
+GRID = GridTopology(*scaled((10, 10), (3, 3)))
+GRID_HORIZON_S = scaled(30.0, 4.0)
 GRID_BASE_RATE = 0.004  # hotspot at 0.4 events/s stays unsaturated
 
 
@@ -123,3 +123,9 @@ def test_shard_scaling_network_grid(benchmark):
         ]
     )
     write_result("shard_scaling", text)
+
+
+if __name__ == "__main__":
+    from conftest import bench_main
+
+    raise SystemExit(bench_main(__file__))

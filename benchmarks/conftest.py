@@ -4,22 +4,99 @@ Every benchmark regenerates one paper artifact (table or figure series)
 at the paper's own scale, times it with pytest-benchmark, prints the
 regenerated rows, and persists them under ``benchmarks/results/`` so
 EXPERIMENTS.md can reference stable artifacts.
+
+Smoke mode
+----------
+Every ``bench_*.py`` is also a script with a ``--smoke`` flag::
+
+    python benchmarks/bench_fig14_closed_sweep.py --smoke
+
+Smoke mode (used by the CI ``bench-smoke`` job) runs the same code
+paths at tiny horizons so the scripts can't silently rot, with three
+differences: constants wrapped in :func:`scaled` shrink to
+benchmark-sized values, :func:`paper_claim` assertions (claims that
+only hold at paper scale) are skipped, and :func:`write_result` does
+**not** persist — the recorded artifacts under ``results/`` always
+come from paper-scale runs.  Scale-free assertions (bit-identity,
+prefix reproducibility) stay active in both modes.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Environment switch for tiny-horizon smoke runs (set by ``--smoke``).
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def smoke_mode() -> bool:
+    """True when running under ``--smoke`` (tiny-horizon CI mode)."""
+    return os.environ.get(SMOKE_ENV) == "1"
+
+
+def scaled(paper_value, smoke_value):
+    """``paper_value``, or ``smoke_value`` under ``--smoke``."""
+    return smoke_value if smoke_mode() else paper_value
+
+
+def paper_claim(condition: bool, label: str = "") -> None:
+    """Assert a claim that only holds at paper scale.
+
+    Skipped in smoke mode, where horizons are far too short for the
+    paper's quantitative claims; hard scale-free gates (bit-identity,
+    prefix reproducibility) must use plain ``assert`` instead.
+    """
+    if smoke_mode():
+        return
+    assert condition, label
+
 
 def write_result(name: str, text: str) -> pathlib.Path:
-    """Persist a regenerated table under benchmarks/results/ and echo it."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    """Persist a regenerated table under benchmarks/results/ and echo it.
+
+    In smoke mode the table is only echoed: tiny-horizon numbers must
+    never overwrite the recorded paper-scale artifacts.
+    """
     path = RESULTS_DIR / f"{name}.txt"
+    if smoke_mode():
+        print(f"\n{text}\n[smoke mode: {path} left untouched]")
+        return path
+    RESULTS_DIR.mkdir(exist_ok=True)
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}\n[written to {path}]")
     return path
+
+
+def bench_main(path: str, argv: list[str] | None = None) -> int:
+    """Script entry point shared by every ``bench_*.py``.
+
+    Parses ``--smoke``, exports :data:`SMOKE_ENV` *before* pytest
+    imports the benchmark module (so :func:`scaled` constants see it),
+    and runs the file under pytest.  Smoke runs disable benchmark
+    timing — they verify the script still works, not how fast it is.
+    """
+    import argparse
+
+    import pytest
+
+    parser = argparse.ArgumentParser(
+        description="Run this benchmark script standalone."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny-horizon smoke run: exercise the code paths, skip "
+        "paper-scale claims, never overwrite results/",
+    )
+    args = parser.parse_args(argv)
+    pytest_args = [str(path), "-q", "-p", "no:cacheprovider"]
+    if args.smoke:
+        os.environ[SMOKE_ENV] = "1"
+        pytest_args.append("--benchmark-disable")
+    return pytest.main(pytest_args)
 
 
 def once(benchmark, fn):

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# CLI smoke groups shared by the CI jobs (and runnable locally).
+#
+# Usage: scripts/ci_smoke.sh [group...]
+#
+# Groups:
+#   runtime   parallel runtime on a tiny grid (workers + replications)
+#   adaptive  adaptive replication control (--ci-target)
+#   sharded   sharded multi-node network scenarios
+#   socket    multi-host backend: 2 localhost workers, sharded sweep,
+#             output asserted bit-identical to --backend local
+#   all       every group above (default)
+#
+# Each group exercises the CLI exactly as a user would — tiny horizons,
+# full code paths.  The socket group is the acceptance gate for the
+# execution-backend layer: it starts two `repro.cli worker` processes
+# on ephemeral ports, runs the same sharded `network --sweep` through
+# `--backend socket` and `--backend local`, and diffs the output.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+CLI="python -m repro.cli"
+
+# Background workers started by the socket group.  Killed on any exit
+# path — an EXIT trap also fires when `set -e` aborts mid-function
+# (a RETURN trap would not).
+WORKER_PIDS=()
+cleanup_workers() {
+    if [ "${#WORKER_PIDS[@]}" -gt 0 ]; then
+        kill "${WORKER_PIDS[@]}" 2>/dev/null || true
+        WORKER_PIDS=()
+    fi
+}
+trap cleanup_workers EXIT
+
+smoke_runtime() {
+    echo "--- smoke: parallel runtime (tiny grid) ---"
+    $CLI node-sweep --horizon 2 --workers 2 --replications 2
+    $CLI validate
+}
+
+smoke_adaptive() {
+    echo "--- smoke: adaptive replication control ---"
+    $CLI node-sweep --horizon 2 --workers 2 --ci-target 0.5 --max-replications 4
+    $CLI network --topology line --nodes 3 --horizon 5 --sweep \
+        --ci-target 0.5 --max-replications 2
+}
+
+smoke_sharded() {
+    echo "--- smoke: sharded network scenarios ---"
+    $CLI network --topology grid --grid 5x4 --horizon 5 --base-rate 0.05 \
+        --shards 4 --workers 2
+    $CLI network --topology line --nodes 3 --horizon 5 --sweep \
+        --shards 2 --shard-strategy round-robin
+}
+
+# Start one worker on an ephemeral port, logging to $1.  Runs in the
+# *parent* shell (no command substitution) so WORKER_PIDS really
+# accumulates the pids the cleanup trap must kill.
+start_worker() {
+    $CLI worker --serve 0 --max-sessions 64 >"$1" 2>&1 &
+    WORKER_PIDS+=("$!")
+}
+
+# Poll a worker log for the announced port; prints it.
+worker_port() {
+    local port=""
+    for _ in $(seq 1 120); do
+        port="$(sed -n 's/.*listening on [^:]*:\([0-9]*\)$/\1/p' "$1")"
+        [ -n "$port" ] && break
+        sleep 0.5
+    done
+    if [ -z "$port" ]; then
+        echo "worker failed to start; log:" >&2
+        cat "$1" >&2
+        return 1
+    fi
+    echo "$port"
+}
+
+smoke_socket() {
+    echo "--- smoke: socket backend (2 localhost workers) ---"
+    local log_a log_b port_a port_b
+    log_a="$(mktemp)"
+    log_b="$(mktemp)"
+    start_worker "$log_a"
+    start_worker "$log_b"
+    port_a="$(worker_port "$log_a")"
+    port_b="$(worker_port "$log_b")"
+    echo "workers on ports $port_a, $port_b"
+
+    local args=(network --topology line --nodes 4 --horizon 5 --sweep --shards 2)
+    local out_local out_socket
+    out_local="$(mktemp)"
+    out_socket="$(mktemp)"
+    $CLI "${args[@]}" --backend local >"$out_local"
+    $CLI "${args[@]}" --backend socket \
+        --connect "127.0.0.1:$port_a" --connect "127.0.0.1:$port_b" \
+        >"$out_socket"
+    if diff "$out_local" "$out_socket"; then
+        echo "socket backend output is bit-identical to local"
+    else
+        echo "FAIL: socket backend output differs from local" >&2
+        return 1
+    fi
+    cleanup_workers
+}
+
+groups=("${@:-all}")
+for group in "${groups[@]}"; do
+    case "$group" in
+        runtime)  smoke_runtime ;;
+        adaptive) smoke_adaptive ;;
+        sharded)  smoke_sharded ;;
+        socket)   smoke_socket ;;
+        all)      smoke_runtime; smoke_adaptive; smoke_sharded; smoke_socket ;;
+        *)
+            echo "unknown smoke group: $group" >&2
+            echo "valid groups: runtime adaptive sharded socket all" >&2
+            exit 2
+            ;;
+    esac
+done
+echo "ci_smoke: OK (${groups[*]})"

@@ -16,9 +16,8 @@ TimeNET's "structural analysis" panel:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from ..core.net import PetriNet
 from .invariants import conserved_token_sum, p_invariants

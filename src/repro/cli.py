@@ -12,6 +12,9 @@ Usage::
     python -m repro.cli lifetime --threshold 0.00178 --capacity-mah 1000
     python -m repro.cli network --topology grid --grid 10x10 --shards 8
     python -m repro.cli network --topology line --nodes 5 --sweep
+    python -m repro.cli worker --serve 9000
+    python -m repro.cli network --sweep --backend socket \
+        --connect hostA:9000 --connect hostB:9000
 
 Each subcommand prints the same rows the corresponding benchmark
 persists, so quick what-if runs don't require pytest.  ``--workers N``
@@ -28,6 +31,16 @@ additionally accepts ``--shards K`` to partition a topology's node set
 into coarse worker-group tasks (:mod:`repro.runtime.sharding`) — the
 scaling knob for hundreds-of-node grids; no worker/shard setting ever
 changes the reported numbers.
+
+``--backend {local,processes,socket}`` selects *where* tasks execute
+(:mod:`repro.runtime.backend`): in-process, on a local process pool,
+or on remote worker processes.  For the socket backend, start one
+``python -m repro.cli worker --serve PORT`` per host and list each as
+``--connect host:port``; chunks are load-balanced across the workers
+and re-queued if a worker drops (:mod:`repro.runtime.remote`).
+Backends, like workers and shards, never change the reported numbers —
+``--backend socket`` is asserted bit-identical to ``--backend local``
+in the test suite and CI.
 """
 
 from __future__ import annotations
@@ -57,6 +70,7 @@ from .experiments import (
     run_simple_node_validation,
 )
 from .models import NodeParameters, WSNNodeModel
+from .runtime import BACKEND_NAMES, make_backend
 from .experiments.network import (
     NetworkScenarioConfig,
     format_network_summary,
@@ -120,6 +134,31 @@ def _add_adaptive_args(sub_parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_args(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help=(
+            "execution backend: 'local' (in-process), 'processes' "
+            "(local pool of --workers), 'socket' (remote workers from "
+            "--connect); default: processes when --workers > 1, else "
+            "local"
+        ),
+    )
+    sub_parser.add_argument(
+        "--connect",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "worker address for --backend socket (repeat for several "
+            "hosts; start each with 'python -m repro.cli worker "
+            "--serve PORT')"
+        ),
+    )
+
+
 def _add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--workers",
@@ -137,6 +176,7 @@ def _add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
         ),
     )
     _add_adaptive_args(sub_parser)
+    _add_backend_args(sub_parser)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -229,6 +269,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="node partition strategy for --shards > 1",
     )
     _add_adaptive_args(network)
+    _add_backend_args(network)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve this host's cores to a --backend socket dispatcher",
+    )
+    worker.add_argument(
+        "--serve",
+        type=int,
+        required=True,
+        metavar="PORT",
+        help="TCP port to listen on (0 picks a free port; the bound "
+        "address is announced on stdout)",
+    )
+    worker.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; use 0.0.0.0 only "
+        "on trusted networks — the protocol is unauthenticated pickle)",
+    )
+    worker.add_argument(
+        "--max-sessions",
+        type=_positive_int,
+        default=None,
+        help="exit after serving this many dispatcher sessions "
+        "(default: serve forever)",
+    )
 
     life = sub.add_parser("lifetime", help="battery lifetime at a threshold")
     life.add_argument("--threshold", type=float, default=0.00178)
@@ -239,6 +306,33 @@ def _build_parser() -> argparse.ArgumentParser:
     life.add_argument("--seed", type=int, default=2010)
 
     return parser
+
+
+def _make_backend(args: argparse.Namespace):
+    """Build the execution backend selected by --backend/--connect.
+
+    Returns ``None`` for the default behaviour (``--workers`` decides
+    between in-process and a local pool), keeping the historical CLI
+    bit-identical when the new flags are absent.
+    """
+    spec = getattr(args, "backend", None)
+    if spec is None:
+        return None
+    return make_backend(
+        spec,
+        workers=getattr(args, "workers", 1),
+        addresses=getattr(args, "connect", None),
+    )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .runtime.remote import serve_worker
+
+    served = serve_worker(
+        args.serve, args.host, max_sessions=args.max_sessions
+    )
+    print(f"repro worker done: {served} chunk(s) served")
+    return 0
 
 
 def _cmd_list() -> int:
@@ -260,6 +354,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
             replications=args.replications,
             ci_target=args.ci_target,
             max_replications=args.max_replications,
+            backend=_make_backend(args),
         )
         print(
             format_breakdown_sweep(
@@ -286,6 +381,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         replications=args.replications,
         ci_target=args.ci_target,
         max_replications=args.max_replications,
+        backend=_make_backend(args),
     )
     if args.number <= 6:
         for est in ("simulation", "markov", "petri"):
@@ -387,7 +483,10 @@ def _print_cpu_replication_ci(result) -> None:
             zip(result.thresholds, result.energy_ci[est])
         ):
             tag = (
-                f"  {_convergence_tag(result.replication_counts[i], result.converged[i])}"
+                "  "
+                + _convergence_tag(
+                    result.replication_counts[i], result.converged[i]
+                )
                 if result.ci_target is not None
                 else ""
             )
@@ -407,6 +506,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
         replications=args.replications,
         ci_target=args.ci_target,
         max_replications=args.max_replications,
+        backend=_make_backend(args),
     )
     print(
         format_delta_table(
@@ -426,6 +526,7 @@ def _cmd_node_sweep(args: argparse.Namespace) -> int:
         replications=args.replications,
         ci_target=args.ci_target,
         max_replications=args.max_replications,
+        backend=_make_backend(args),
     )
     print(
         format_breakdown_sweep(
@@ -452,6 +553,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         replications=args.replications,
         ci_target=args.ci_target,
         max_replications=args.max_replications,
+        backend=_make_backend(args),
     )
     print(format_steady_state_table(result.petri.stage_probabilities))
     print()
@@ -495,6 +597,7 @@ def _cmd_network(args: argparse.Namespace) -> int:
             shard_strategy=args.shard_strategy,
             ci_target=args.ci_target,
             max_replications=args.max_replications,
+            backend=_make_backend(args),
         )
         print(
             format_table(
@@ -525,6 +628,7 @@ def _cmd_network(args: argparse.Namespace) -> int:
         shard_strategy=args.shard_strategy,
         ci_target=args.ci_target,
         max_replications=args.max_replications,
+        backend=_make_backend(args),
     )
     print(f"network scenario {run_info}")
     if args.ci_target is not None:
@@ -567,6 +671,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "backend", None) == "socket" and not getattr(
+        args, "connect", None
+    ):
+        parser.error(
+            "--backend socket requires at least one --connect HOST:PORT "
+            "(start workers with 'python -m repro.cli worker --serve PORT')"
+        )
+    if getattr(args, "connect", None) and args.backend != "socket":
+        parser.error("--connect only applies with --backend socket")
+    if getattr(args, "connect", None):
+        from .runtime.remote import parse_address
+
+        try:
+            for address in args.connect:
+                parse_address(address)
+        except ValueError as exc:
+            parser.error(str(exc))
+    if args.command == "worker" and not 0 <= args.serve <= 65535:
+        parser.error(f"--serve port must be in 0..65535, got {args.serve}")
     if (
         getattr(args, "ci_target", None) is not None
         and getattr(args, "replications", 1) > args.max_replications
@@ -576,6 +699,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"under --ci-target and must be <= --max-replications "
             f"{args.max_replications}"
         )
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "list":
         return _cmd_list()
     if args.command == "fig":

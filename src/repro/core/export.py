@@ -131,7 +131,10 @@ def net_to_dot(net: PetriNet, rankdir: str = "LR") -> str:
         elif t.is_deterministic:
             style = "height=0.4, width=0.12, style=filled, fillcolor=gray70"
         else:
-            style = "height=0.4, width=0.12, style=filled, fillcolor=black, fontcolor=white"
+            style = (
+                "height=0.4, width=0.12, style=filled, fillcolor=black, "
+                "fontcolor=white"
+            )
         guard = "" if t.guard is TRUE else f"\\n[{t.guard}]"
         timing = ""
         if isinstance(t.distribution, Deterministic):

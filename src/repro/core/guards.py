@@ -329,7 +329,9 @@ def color_eq(value: Any) -> Callable[[Token], bool]:
     return _filter
 
 
-def color_in(values: set[Any] | frozenset[Any] | tuple[Any, ...]) -> Callable[[Token], bool]:
+def color_in(
+    values: set[Any] | frozenset[Any] | tuple[Any, ...],
+) -> Callable[[Token], bool]:
     """Token filter: colour is a member of ``values``."""
     frozen = frozenset(values)
 

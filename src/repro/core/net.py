@@ -16,15 +16,14 @@ Example (the paper's Fig. 1 two-place net)::
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from typing import Any
 
-from .arcs import FiringContext, InhibitorArc, InputArc, OutputArc, ResetArc
+from .arcs import InhibitorArc, InputArc, OutputArc, ResetArc
 from .distributions import FiringDistribution
 from .errors import (
     ArcError,
     DuplicateNameError,
-    NetStructureError,
     UnknownElementError,
 )
 from .guards import TRUE, Guard

@@ -11,7 +11,7 @@ the dwell time per state — the Eq. (7)/(8) state-time ledger.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from .marking import MarkingView

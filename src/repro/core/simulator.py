@@ -49,7 +49,7 @@ import numpy as np
 from .arcs import FiringContext
 from .errors import DeadlockError, ImmediateLoopError, SimulationError
 from .events import EventCalendar
-from .marking import Marking, MarkingView
+from .marking import MarkingView
 from .net import PetriNet
 from .statistics import BatchMeans, StatisticsCollector
 from .tokens import Token

@@ -17,7 +17,6 @@ powers of Table III over the 1000 s horizon.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -170,6 +169,7 @@ def run_cpu_comparison(
     ci_target: float | None = None,
     max_replications: int = 64,
     min_replications: int = 2,
+    backend=None,
 ) -> CPUComparisonResult:
     """Run the full three-way sweep for one ``Power_Up_Delay``.
 
@@ -193,6 +193,10 @@ def run_cpu_comparison(
     replications are a bit-identical prefix of the fixed
     ``replications=max_replications`` run; ``replications`` acts as a
     floor on ``min_replications``.
+
+    ``backend`` routes the point evaluations through an explicit
+    execution :class:`~repro.runtime.backend.Backend` (e.g. socket
+    workers on remote hosts); it never changes the numbers.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
@@ -224,7 +228,7 @@ def run_cpu_comparison(
                 max_replications=max_replications,
             ),
             metrics=lambda out: (out["simulation"][1], out["petri"][1]),
-            executor=ParallelExecutor(workers=workers),
+            executor=ParallelExecutor(workers=workers, backend=backend),
         )
         per_point = [run.values for run in runs]
         converged = [run.converged for run in runs]
@@ -237,7 +241,9 @@ def run_cpu_comparison(
                 tasks.append(
                     (threshold, rep_seed, power_up_delay, cfg, table, rep == 0)
                 )
-        flat = ParallelExecutor(workers=workers).map(_evaluate_cpu_point, tasks)
+        flat = ParallelExecutor(workers=workers, backend=backend).map(
+            _evaluate_cpu_point, tasks
+        )
         per_point = [
             flat[i * replications : (i + 1) * replications]
             for i in range(len(cfg.thresholds))

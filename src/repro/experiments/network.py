@@ -199,6 +199,7 @@ def _adaptive_network_runs(
     workers: int,
     shards: int,
     shard_strategy: str,
+    backend=None,
 ):
     """Adaptively replicate whole network runs, one point per threshold.
 
@@ -235,6 +236,7 @@ def _adaptive_network_runs(
             workers=workers,
             shards=shards,
             shard_strategy=shard_strategy,
+            backend=backend,
         )
 
     return run_adaptive_rounds(
@@ -259,6 +261,7 @@ def run_network_scenario(
     ci_target: float | None = None,
     max_replications: int = 64,
     min_replications: int = 2,
+    backend=None,
 ) -> NetworkResult | ReplicatedNetworkResult:
     """Simulate one network at one ``Power_Down_Threshold``.
 
@@ -286,6 +289,7 @@ def run_network_scenario(
             workers,
             shards,
             shard_strategy,
+            backend=backend,
         )
         return ReplicatedNetworkResult(
             result=run.values[0],
@@ -300,6 +304,7 @@ def run_network_scenario(
         workers=workers,
         shards=shards,
         shard_strategy=shard_strategy,
+        backend=backend,
     )
 
 
@@ -311,6 +316,7 @@ def run_network_lifetime_sweep(
     ci_target: float | None = None,
     max_replications: int = 64,
     min_replications: int = 2,
+    backend=None,
 ) -> NetworkSweepResult:
     """Sweep ``config.thresholds`` on the network-lifetime metric.
 
@@ -331,6 +337,7 @@ def run_network_lifetime_sweep(
             workers,
             shards,
             shard_strategy,
+            backend=backend,
         )
         return NetworkSweepResult(
             topology=cfg.topology.describe(),
@@ -348,6 +355,7 @@ def run_network_lifetime_sweep(
         workers=workers,
         shards=shards,
         shard_strategy=shard_strategy,
+        backend=backend,
     )
     return NetworkSweepResult(
         topology=cfg.topology.describe(),

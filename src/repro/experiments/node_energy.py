@@ -9,7 +9,6 @@ never-power-down).
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -18,7 +17,6 @@ from ..core.statistics import ConfidenceInterval, replication_interval
 from ..energy.breakdown import EnergyBreakdown
 from ..models.wsn_node import (
     NodeParameters,
-    WSNNodeModel,
     WSNNodeResult,
     simulate_node_task,
 )
@@ -151,6 +149,7 @@ def run_node_energy_sweep(
     ci_target: float | None = None,
     max_replications: int = 64,
     min_replications: int = 2,
+    backend=None,
 ) -> NodeSweepResult:
     """Simulate the node at every threshold grid point.
 
@@ -172,6 +171,10 @@ def run_node_energy_sweep(
     replicates are a bit-identical prefix of the fixed
     ``replications=max_replications`` run; ``replications`` acts as a
     floor on ``min_replications``.
+
+    ``backend`` routes the simulations through an explicit execution
+    :class:`~repro.runtime.backend.Backend` (e.g. socket workers on
+    remote hosts); like ``workers``, it never changes the numbers.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
@@ -194,7 +197,7 @@ def run_node_energy_sweep(
                 max_replications=max_replications,
             ),
             metrics=lambda result: result.total_energy_j,
-            executor=ParallelExecutor(workers=workers),
+            executor=ParallelExecutor(workers=workers, backend=backend),
         )
         replicates = [run.values for run in runs]
         converged = [run.converged for run in runs]
@@ -205,7 +208,9 @@ def run_node_energy_sweep(
             for threshold in cfg.thresholds
             for seed in rep_seeds
         ]
-        flat = ParallelExecutor(workers=workers).map(simulate_node_task, tasks)
+        flat = ParallelExecutor(workers=workers, backend=backend).map(
+            simulate_node_task, tasks
+        )
         replicates = [
             flat[i * replications : (i + 1) * replications]
             for i in range(len(cfg.thresholds))

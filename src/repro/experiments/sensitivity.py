@@ -21,7 +21,7 @@ Findings encoded as tests/benches:
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -86,6 +86,7 @@ def node_optimum_vs_rate(
     ci_target: float | None = None,
     max_replications: int = 64,
     min_replications: int = 2,
+    backend=None,
 ) -> RateSensitivityResult:
     """Sweep the event rate; find the optimum threshold at each rate.
 
@@ -101,6 +102,10 @@ def node_optimum_vs_rate(
     energies become across-replication means).  Cells stop
     independently, so cheap low-variance cells don't pay for noisy
     ones.
+
+    ``backend`` routes the grid through an explicit execution
+    :class:`~repro.runtime.backend.Backend` (e.g. socket workers on
+    remote hosts); it never changes the numbers.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
@@ -121,7 +126,7 @@ def node_optimum_vs_rate(
                 min_replications=min_replications,
                 max_replications=max_replications,
             ),
-            executor=ParallelExecutor(workers=workers),
+            executor=ParallelExecutor(workers=workers, backend=backend),
         )
         flat = [float(np.mean(run.values)) for run in runs]
         cell_replications = [
@@ -136,7 +141,9 @@ def node_optimum_vs_rate(
         grid = [
             (rate, t, workload, horizon, seed) for rate, t in cells
         ]
-        flat = ParallelExecutor(workers=workers).map(_node_energy_task, grid)
+        flat = ParallelExecutor(workers=workers, backend=backend).map(
+            _node_energy_task, grid
+        )
 
     optima: list[float] = []
     energies: list[float] = []

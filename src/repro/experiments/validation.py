@@ -153,6 +153,7 @@ def run_simple_node_validation(
     ci_target: float | None = None,
     max_replications: int = 64,
     min_replications: int = 2,
+    backend=None,
 ) -> ValidationResult:
     """Execute the full Section V protocol.
 
@@ -169,6 +170,10 @@ def run_simple_node_validation(
     The seed plan is prefix-stable, so the executed replications are a
     bit-identical prefix of the fixed ``replications=max_replications``
     run; ``replications`` acts as a floor on ``min_replications``.
+
+    ``backend`` routes the protocol replications through an explicit
+    execution :class:`~repro.runtime.backend.Backend` (e.g. socket
+    workers on remote hosts); it never changes the numbers.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
@@ -188,7 +193,7 @@ def run_simple_node_validation(
                 max_replications=max_replications,
             ),
             metrics=_percent_difference,
-            executor=ParallelExecutor(workers=workers),
+            executor=ParallelExecutor(workers=workers, backend=backend),
         )
         reps = run.values
         converged = run.converged
@@ -196,7 +201,9 @@ def run_simple_node_validation(
         tasks = [
             (cfg, seed) for seed in replication_seeds(cfg.seed, replications)
         ]
-        reps = ParallelExecutor(workers=workers).map(_run_validation_rep, tasks)
+        reps = ParallelExecutor(workers=workers, backend=backend).map(
+            _run_validation_rep, tasks
+        )
 
     differences = [_percent_difference(rep) for rep in reps]
     hardware, petri, petri_energy_j = reps[0]

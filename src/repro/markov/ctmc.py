@@ -15,7 +15,6 @@ The Markov side of the paper's comparison.  Provides:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 from scipy import linalg as sla

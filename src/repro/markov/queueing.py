@@ -6,7 +6,6 @@ Petri-net engine and the DES must reproduce them on matched workloads.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 __all__ = [

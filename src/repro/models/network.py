@@ -34,12 +34,11 @@ shards, strategy)`` combination is bit-identical to the serial run.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..energy.battery import LinearBattery, NodeLifetimeEstimator, PeukertBattery
 from .wsn_node import (
     NodeParameters,
-    WSNNodeModel,
     WSNNodeResult,
     simulate_node_task,
 )
@@ -367,6 +366,7 @@ class SensorNetworkModel:
         shards: int = 1,
         shard_strategy: str = "contiguous",
         seed_mode: str = "legacy",
+        backend=None,
     ) -> NetworkResult:
         """Simulate every node at its effective rate.
 
@@ -386,6 +386,12 @@ class SensorNetworkModel:
         ``seed_mode="spawn"``), so results are identical for any
         ``workers``, ``shards`` and ``shard_strategy``; ``shards=1``
         is bit-identical to the historical serial path.
+
+        ``backend`` selects *where* node/shard tasks run — an explicit
+        :class:`~repro.runtime.backend.Backend`, e.g. a
+        :class:`~repro.runtime.remote.SocketBackend` over remote
+        worker hosts.  Tasks are picklable data with their seeds
+        inside, so the backend can never change the numbers either.
         """
         from ..runtime.executor import ParallelExecutor
         from ..runtime.sharding import (
@@ -404,7 +410,7 @@ class SensorNetworkModel:
             for i, rate in enumerate(rates)
         ]
         if shards == 1:
-            results = ParallelExecutor(workers=workers).map(
+            results = ParallelExecutor(workers=workers, backend=backend).map(
                 simulate_node_task, tasks
             )
             summaries = [
@@ -420,7 +426,7 @@ class SensorNetworkModel:
 
         plan = partition_indices(len(tasks), shards, shard_strategy)
         per_shard = map_shards(
-            simulate_node_task, tasks, plan, workers=workers
+            simulate_node_task, tasks, plan, workers=workers, backend=backend
         )
         shard_results = [
             NetworkResult(
@@ -446,6 +452,7 @@ class SensorNetworkModel:
         shards: int = 1,
         shard_strategy: str = "contiguous",
         seed_mode: str = "legacy",
+        backend=None,
     ) -> list[NetworkResult]:
         """Network result per threshold (network-lifetime optimisation).
 
@@ -471,6 +478,7 @@ class SensorNetworkModel:
                     shards=shards,
                     shard_strategy=shard_strategy,
                     seed_mode=seed_mode,
+                    backend=backend,
                 )
             )
         return out

@@ -22,7 +22,7 @@ the consistent probability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..analysis.structural import check_model_invariants
 from ..core.distributions import Deterministic, Exponential

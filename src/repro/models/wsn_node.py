@@ -37,7 +37,7 @@ Section VI-A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..analysis.structural import check_model_invariants
 from ..core.arcs import FiringContext, OutputArc

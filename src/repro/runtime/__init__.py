@@ -6,9 +6,19 @@ embarrassingly parallel: every grid point and every replication is an
 independent simulation.  This package turns that structure into wall
 time:
 
-* :class:`ParallelExecutor` — chunked, ordered process-pool map with a
-  serial ``workers=1`` fallback that is bit-identical to the old
-  in-process loops;
+* :class:`ParallelExecutor` — chunked, ordered map with a serial
+  ``workers=1`` fallback that is bit-identical to the old in-process
+  loops, delegating placement to a pluggable execution
+  :class:`Backend`;
+* :mod:`repro.runtime.backend` — the backend seam:
+  :class:`SerialBackend` (in-process reference),
+  :class:`ProcessPoolBackend` (local cores, the historical default for
+  ``workers > 1``) and :func:`make_backend` for CLI-style selection;
+* :mod:`repro.runtime.remote` — multi-host execution:
+  ``SocketBackend`` dispatches task chunks to remote
+  ``repro.cli worker --serve PORT`` processes over a length-prefixed
+  TCP pickle protocol, load-balancing across hosts and re-queuing the
+  chunks of dropped workers;
 * :mod:`repro.runtime.seeding` — spawn-safe, collision-free seed plans
   via :meth:`numpy.random.SeedSequence.spawn`;
 * :func:`map_sweep` — the public grid × replications API, returning
@@ -35,6 +45,13 @@ exposes the same knobs as ``--workers`` / ``--replications``.
 """
 
 from .adaptive import AdaptivePointRun, AdaptiveSettings, run_adaptive_rounds
+from .backend import (
+    BACKEND_NAMES,
+    Backend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
 from .executor import ParallelExecutor, TaskError
 from .seeding import (
     replication_seeds,
@@ -56,6 +73,11 @@ from .sweep import ReplicatedValue, map_sweep
 __all__ = [
     "ParallelExecutor",
     "TaskError",
+    "Backend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "BACKEND_NAMES",
+    "make_backend",
     "map_sweep",
     "ReplicatedValue",
     "AdaptiveSettings",

@@ -125,6 +125,7 @@ def run_adaptive_rounds(
     settings: AdaptiveSettings,
     metrics: Callable[[Any], float | Sequence[float]] = float,
     executor: ParallelExecutor | None = None,
+    backend: Any | None = None,
 ) -> list[AdaptivePointRun]:
     """Drive ``fn`` over ``(point, replication)`` tasks until CIs close.
 
@@ -151,6 +152,11 @@ def run_adaptive_rounds(
     executor:
         The :class:`ParallelExecutor` each round's batch is submitted
         through (default: serial).
+    backend:
+        Shorthand for ``executor=ParallelExecutor(backend=...)`` — an
+        explicit :class:`~repro.runtime.backend.Backend` the rounds run
+        on (e.g. a socket backend over remote workers).  Ignored when
+        ``executor`` is given; pass the backend on the executor then.
 
     Returns
     -------
@@ -159,7 +165,10 @@ def run_adaptive_rounds(
     """
     if n_points < 0:
         raise ValueError(f"n_points must be >= 0, got {n_points}")
-    pool = executor if executor is not None else ParallelExecutor()
+    if executor is not None:
+        pool = executor
+    else:
+        pool = ParallelExecutor(backend=backend)
     runs = [AdaptivePointRun(values=[], converged=False) for _ in range(n_points)]
     open_points = list(range(n_points))
     while open_points:

@@ -1,4 +1,4 @@
-"""Process-pool execution of embarrassingly parallel task lists.
+"""Chunked, ordered execution of embarrassingly parallel task lists.
 
 :class:`ParallelExecutor` is the single execution primitive the
 experiment drivers share.  Its contract:
@@ -16,6 +16,14 @@ experiment drivers share.  Its contract:
   :mod:`repro.runtime.seeding`), never derived in the worker, so any
   start method ('fork', 'spawn', 'forkserver') gives the same results.
 
+*Where* the chunks run is delegated to a pluggable
+:class:`~repro.runtime.backend.Backend`: in-process
+(:class:`~repro.runtime.backend.SerialBackend`), a local process pool
+(:class:`~repro.runtime.backend.ProcessPoolBackend`, the historical
+default for ``workers > 1``), or remote hosts over TCP
+(:class:`~repro.runtime.remote.SocketBackend`).  Backends never change
+results — only wall time.
+
 Failures are re-raised in the parent as :class:`TaskError` carrying the
 offending item, mirroring the "which grid point broke" diagnostics of
 the old serial sweeps.
@@ -24,11 +32,12 @@ the old serial sweeps.
 from __future__ import annotations
 
 import math
-import multiprocessing
 import traceback
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, TypeVar
+from typing import TYPE_CHECKING, Any, TypeVar
+
+if TYPE_CHECKING:  # imported lazily at runtime (backend imports us)
+    from .backend import Backend
 
 __all__ = ["ParallelExecutor", "TaskError"]
 
@@ -80,22 +89,30 @@ def _run_chunk(
 
 
 class ParallelExecutor:
-    """Ordered, chunked process-pool map with a serial fallback.
+    """Ordered, chunked map over a pluggable execution backend.
 
     Parameters
     ----------
     workers:
-        Number of worker processes.  ``1`` (default) runs serially
-        in-process.
+        Number of local worker processes.  ``1`` (default) runs
+        serially in-process.  Ignored when an explicit ``backend`` is
+        given (the backend carries its own parallelism).
     chunk_size:
         Items per submitted batch.  Defaults to
-        ``ceil(len(items) / (4 * workers))`` — small enough to balance
+        ``ceil(len(items) / (4 * slots))`` — small enough to balance
         uneven task costs, large enough to amortise submission
         overhead.
     mp_context:
         Start-method name (``"fork"``, ``"spawn"``, ``"forkserver"``)
         or ``None`` for the platform default.  Results never depend on
         the choice.
+    backend:
+        Explicit :class:`~repro.runtime.backend.Backend` instance to
+        submit chunks through — e.g. a
+        :class:`~repro.runtime.remote.SocketBackend` over remote
+        worker processes.  ``None`` (default) selects the historical
+        behaviour: serial for ``workers=1``, a local process pool
+        otherwise.  Backends never change results.
 
     Example
     -------
@@ -114,6 +131,7 @@ class ParallelExecutor:
         workers: int = 1,
         chunk_size: int | None = None,
         mp_context: str | None = None,
+        backend: "Backend | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -122,6 +140,7 @@ class ParallelExecutor:
         self.workers = int(workers)
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self.backend = backend
 
     def _resolve_chunk_size(self, n_items: int) -> int:
         if self.chunk_size is not None:
@@ -130,41 +149,13 @@ class ParallelExecutor:
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Evaluate ``fn`` over ``items``, returning results in order."""
-        items = list(items)
-        if self.workers == 1 or len(items) <= 1:
-            out: list[R] = []
-            for i, item in enumerate(items):
-                try:
-                    out.append(fn(item))
-                except TaskError:
-                    raise
-                except Exception as exc:  # noqa: BLE001 - uniform contract
-                    raise TaskError(i, item, str(exc)) from exc
-            return out
+        from .backend import ProcessPoolBackend, SerialBackend
 
+        items = list(items)
+        if self.backend is not None:
+            return self.backend.map(fn, items, chunk_size=self.chunk_size)
+        if self.workers == 1 or len(items) <= 1:
+            return SerialBackend().map(fn, items)
+        pool = ProcessPoolBackend(self.workers, self.mp_context)
         size = self._resolve_chunk_size(len(items))
-        chunks = [
-            (start, items[start : start + size])
-            for start in range(0, len(items), size)
-        ]
-        ctx = (
-            multiprocessing.get_context(self.mp_context)
-            if self.mp_context is not None
-            else None
-        )
-        results: list[R] = []
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(chunks)), mp_context=ctx
-        ) as pool:
-            futures = [
-                pool.submit(_run_chunk, fn, start, chunk)
-                for start, chunk in chunks
-            ]
-            try:
-                for future in futures:
-                    results.extend(future.result())
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                raise
-        return results
+        return pool.map(fn, items, chunk_size=size)

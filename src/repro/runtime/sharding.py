@@ -221,6 +221,7 @@ def map_shards(
     plan: ShardPlan,
     workers: int = 1,
     mp_context: str | None = None,
+    backend: Any | None = None,
 ) -> list[list[R]]:
     """Evaluate ``fn`` over ``items``, one executor task per shard.
 
@@ -232,6 +233,12 @@ def map_shards(
     ``fn`` must be module-level (picklable) when ``workers > 1``; a
     failing item re-raises as :class:`~repro.runtime.TaskError` with
     its global index attached, exactly like a flat executor map.
+
+    ``backend`` routes the shard tasks through an explicit execution
+    :class:`~repro.runtime.backend.Backend` — shard tasks are pure
+    picklable data with their seeds inside, so a
+    :class:`~repro.runtime.remote.SocketBackend` dispatches them to
+    remote hosts unchanged, and bit-identically.
     """
     items = list(items)
     if plan.n_items != len(items):
@@ -242,7 +249,9 @@ def map_shards(
         (fn, shard.node_indices, [items[i] for i in shard.node_indices])
         for shard in plan.shards
     ]
-    pool = ParallelExecutor(workers=workers, chunk_size=1, mp_context=mp_context)
+    pool = ParallelExecutor(
+        workers=workers, chunk_size=1, mp_context=mp_context, backend=backend
+    )
     return pool.map(_run_shard, tasks)
 
 
@@ -252,11 +261,14 @@ def run_sharded(
     plan: ShardPlan,
     workers: int = 1,
     mp_context: str | None = None,
+    backend: Any | None = None,
 ) -> list[R]:
     """Sharded map returning results in global item order.
 
-    Equivalent to ``[fn(x) for x in items]`` for any plan, workers and
-    start method — sharding is an execution detail, never a semantic
-    one.
+    Equivalent to ``[fn(x) for x in items]`` for any plan, workers,
+    start method and backend — sharding is an execution detail, never
+    a semantic one.
     """
-    return plan.global_order(map_shards(fn, items, plan, workers, mp_context))
+    return plan.global_order(
+        map_shards(fn, items, plan, workers, mp_context, backend)
+    )

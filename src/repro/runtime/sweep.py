@@ -85,6 +85,7 @@ def map_sweep(
     seed: int | None = None,
     chunk_size: int | None = None,
     mp_context: str | None = None,
+    backend: Any | None = None,
     ci_target: float | None = None,
     max_replications: int = 64,
     min_replications: int = 2,
@@ -102,6 +103,12 @@ def map_sweep(
     workers / chunk_size / mp_context:
         Execution knobs (see :class:`~repro.runtime.ParallelExecutor`);
         they never affect the returned values.
+    backend:
+        Explicit :class:`~repro.runtime.backend.Backend` the tasks are
+        submitted through (e.g. a
+        :class:`~repro.runtime.remote.SocketBackend` over remote
+        workers); ``None`` keeps the ``workers``-driven default.  Like
+        every execution knob, it never affects the returned values.
     replications:
         Independent evaluations per point.  With ``replications == 1``
         each :class:`SweepPoint.value` is the bare evaluate result;
@@ -146,7 +153,10 @@ def map_sweep(
                 confidence=confidence,
             ),
             executor=ParallelExecutor(
-                workers=workers, chunk_size=chunk_size, mp_context=mp_context
+                workers=workers,
+                chunk_size=chunk_size,
+                mp_context=mp_context,
+                backend=backend,
             ),
         )
     point_seqs = np.random.SeedSequence(seed).spawn(len(grid))
@@ -160,7 +170,10 @@ def map_sweep(
         for r in range(replications)
     ]
     pool = ParallelExecutor(
-        workers=workers, chunk_size=chunk_size, mp_context=mp_context
+        workers=workers,
+        chunk_size=chunk_size,
+        mp_context=mp_context,
+        backend=backend,
     )
     flat = pool.map(_evaluate_task, tasks)
     out: list[SweepPoint] = []

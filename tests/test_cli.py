@@ -231,3 +231,128 @@ class TestCLI:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBackendSelection:
+    def test_backend_local_matches_default(self, capsys):
+        args = ["network", "--topology", "line", "--nodes", "3", "--horizon", "5"]
+        assert main(args) == 0
+        default_out = capsys.readouterr().out
+        assert main([*args, "--backend", "local"]) == 0
+        local_out = capsys.readouterr().out
+        assert local_out == default_out
+
+    def test_backend_processes(self, capsys):
+        assert (
+            main(
+                [
+                    "node-sweep",
+                    "--horizon",
+                    "2",
+                    "--backend",
+                    "processes",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "optimum Power_Down_Threshold" in capsys.readouterr().out
+
+    def test_socket_without_connect_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["network", "--backend", "socket"])
+        assert "--connect" in capsys.readouterr().err
+
+    def test_connect_without_socket_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["network", "--connect", "localhost:9000"])
+        assert "--backend socket" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["node-sweep", "--backend", "quantum"])
+
+    def test_socket_backend_end_to_end(self, capsys):
+        """worker --serve + --backend socket vs --backend local: same bits."""
+        from tests.runtime.test_remote import _cli_worker
+
+        args = [
+            "network",
+            "--topology",
+            "line",
+            "--nodes",
+            "3",
+            "--horizon",
+            "5",
+            "--sweep",
+            "--shards",
+            "2",
+        ]
+        assert main([*args, "--backend", "local"]) == 0
+        local_out = capsys.readouterr().out
+        worker, port = _cli_worker()
+        try:
+            assert (
+                main(
+                    [
+                        *args,
+                        "--backend",
+                        "socket",
+                        "--connect",
+                        f"127.0.0.1:{port}",
+                    ]
+                )
+                == 0
+            )
+            socket_out = capsys.readouterr().out
+        finally:
+            worker.terminate()
+            worker.wait(10)
+        assert socket_out == local_out
+
+
+class TestWorkerSubcommand:
+    def test_worker_requires_serve(self):
+        with pytest.raises(SystemExit):
+            main(["worker"])
+
+    def test_worker_serves_and_exits_after_max_sessions(self, capsys):
+        import socket as socket_module
+        import threading
+        import time
+
+        from repro.runtime.remote import SocketBackend
+
+        # Reserve a free port, then hand it to the worker (announcing
+        # through capsys-captured stdout is racy to read back).
+        with socket_module.socket() as probe_sock:
+            probe_sock.bind(("127.0.0.1", 0))
+            port = probe_sock.getsockname()[1]
+        ready = threading.Event()
+        result_holder = {}
+
+        def run_worker():
+            result_holder["code"] = main(
+                ["worker", "--serve", str(port), "--max-sessions", "1"]
+            )
+            ready.set()
+
+        thread = threading.Thread(target=run_worker, daemon=True)
+        thread.start()
+        backend = SocketBackend([f"127.0.0.1:{port}"], connect_timeout=10.0)
+        for attempt in range(50):  # retry until the worker binds
+            try:
+                assert backend.map(lambda_free_square, [1, 2, 3]) == [1, 4, 9]
+                break
+            except Exception:
+                if attempt == 49:
+                    raise
+                time.sleep(0.1)
+        assert ready.wait(10), "worker did not exit after its only session"
+        assert result_holder["code"] == 0
+        assert "3 chunk(s) served" in capsys.readouterr().out
+
+
+def lambda_free_square(x):
+    return x * x
