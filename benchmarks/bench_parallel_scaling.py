@@ -10,8 +10,11 @@ The per-point results must be numerically identical at a fixed seed
 regardless of worker or shard count; those assertions are the hard
 gate.  The speedups themselves are hardware-dependent (a 4-worker pool
 needs ≥ 4 cores to approach 4×), so they are recorded, not asserted —
-and on a single-core host the speedup line is replaced by an explicit
-warning, because a "0.9x" there measures pool overhead, not scaling.
+and on a host with fewer than two cores the bench *refuses to record*:
+the hard identity gates still run and the numbers are echoed, but
+``results/`` is left untouched, because a "0.9x" measured there is
+pool overhead, not scaling.  The recorded artifacts carry a refusal
+stamp until a multi-core runner re-baselines them.
 
 The horizon is shortened from the paper's 900 s to keep the double run
 benchmark-sized; the task structures (23 independent node simulations;
@@ -60,15 +63,29 @@ def _timed_grid(shards, workers):
 
 
 def _speedup_lines(label, serial_s, parallel_s):
-    """Speedup report, or a warning where a speedup would mislead."""
-    if os.cpu_count() == 1:
-        return [
-            f"  {label}: n/a — single-core host; the parallel run "
-            "measures pool overhead only, not scaling "
-            "(re-baseline on a multi-core runner)"
-        ]
+    """Speedup report lines (only emitted on recordable hosts)."""
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     return [f"  {label}: {speedup:6.2f}x"]
+
+
+def _record_or_refuse(name, text):
+    """Persist via ``write_result`` — unless the host can't scale.
+
+    A scaling number measured on fewer than two cores is pool overhead
+    wearing a speedup's clothes; recording it would poison the
+    baseline.  The hard identity gates have already run by the time we
+    get here, so the bench still *verifies* on any host — it just
+    refuses to put single-core timings in ``results/``.
+    """
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        print(
+            f"\n{text}\n[refusing to record {name}: os.cpu_count()={cores} "
+            "< 2 — these timings measure pool overhead, not scaling; "
+            "re-baseline on a multi-core runner]"
+        )
+        return
+    write_result(name, text)
 
 
 @pytest.mark.benchmark(group="parallel-scaling")
@@ -94,7 +111,7 @@ def test_parallel_scaling_fig14_grid(benchmark):
             "  per-point results   : numerically identical (asserted)",
         ]
     )
-    write_result("parallel_scaling", text)
+    _record_or_refuse("parallel_scaling", text)
 
 
 @pytest.mark.benchmark(group="parallel-scaling")
@@ -122,7 +139,7 @@ def test_shard_scaling_network_grid(benchmark):
             "  merged NetworkResult: identical to unsharded (asserted)",
         ]
     )
-    write_result("shard_scaling", text)
+    _record_or_refuse("shard_scaling", text)
 
 
 if __name__ == "__main__":

@@ -9,6 +9,8 @@
 #   sharded   sharded multi-node network scenarios
 #   socket    multi-host backend: 2 localhost workers, sharded sweep,
 #             output asserted bit-identical to --backend local
+#   engine    vectorized lockstep engine: a figure run diffed
+#             bit-identical against the interpreted engine
 #   all       every group above (default)
 #
 # Each group exercises the CLI exactly as a user would — tiny horizons,
@@ -109,6 +111,44 @@ smoke_socket() {
     cleanup_workers
 }
 
+smoke_engine() {
+    echo "--- smoke: vectorized engine vs interpreted ---"
+    # The engines promise bit-identity, so a textual diff of a figure
+    # regeneration is the acceptance gate — not "close enough".
+    local args=(fig 14 --horizon 2 --replications 2)
+    local out_interp out_vec
+    out_interp="$(mktemp)"
+    out_vec="$(mktemp)"
+    $CLI "${args[@]}" --engine interpreted >"$out_interp"
+    $CLI "${args[@]}" --engine vectorized >"$out_vec"
+    if diff "$out_interp" "$out_vec"; then
+        echo "vectorized engine output is bit-identical to interpreted"
+    else
+        echo "FAIL: vectorized engine output differs from interpreted" >&2
+        return 1
+    fi
+    # Adaptive control must agree too (converged flags ride the output).
+    local args_ci=(validate --ci-target 0.5 --max-replications 4)
+    out_interp="$(mktemp)"
+    out_vec="$(mktemp)"
+    $CLI "${args_ci[@]}" --engine interpreted >"$out_interp"
+    $CLI "${args_ci[@]}" --engine vectorized >"$out_vec"
+    if diff "$out_interp" "$out_vec"; then
+        echo "adaptive validate output is bit-identical across engines"
+    else
+        echo "FAIL: adaptive validate output differs across engines" >&2
+        return 1
+    fi
+    # The network subcommand is per-node (ensembles of one) and must
+    # not accept the flag at all.
+    if $CLI network --topology line --nodes 3 --horizon 5 \
+        --engine vectorized >/dev/null 2>&1; then
+        echo "FAIL: network accepted --engine vectorized" >&2
+        return 1
+    fi
+    echo "network correctly rejects --engine vectorized"
+}
+
 groups=("${@:-all}")
 for group in "${groups[@]}"; do
     case "$group" in
@@ -116,10 +156,11 @@ for group in "${groups[@]}"; do
         adaptive) smoke_adaptive ;;
         sharded)  smoke_sharded ;;
         socket)   smoke_socket ;;
-        all)      smoke_runtime; smoke_adaptive; smoke_sharded; smoke_socket ;;
+        engine)   smoke_engine ;;
+        all)      smoke_runtime; smoke_adaptive; smoke_sharded; smoke_socket; smoke_engine ;;
         *)
             echo "unknown smoke group: $group" >&2
-            echo "valid groups: runtime adaptive sharded socket all" >&2
+            echo "valid groups: runtime adaptive sharded socket engine all" >&2
             exit 2
             ;;
     esac

@@ -32,6 +32,14 @@ into coarse worker-group tasks (:mod:`repro.runtime.sharding`) — the
 scaling knob for hundreds-of-node grids; no worker/shard setting ever
 changes the reported numbers.
 
+``--engine {interpreted,vectorized}`` selects *how* each Petri-net
+simulation runs (:mod:`repro.core.fast`): the default interpreted
+per-event loop, or the vectorized lockstep engine that runs all of a
+sweep point's replications as one NumPy ensemble.  Results are
+bit-identical; only throughput changes (the vectorized engine wins on
+replication ensembles, R ≳ tens).  ``network`` does not accept
+``--engine vectorized`` — its per-node fan-out has nothing to batch.
+
 ``--backend {local,processes,socket}`` selects *where* tasks execute
 (:mod:`repro.runtime.backend`): in-process, on a local process pool,
 or on remote worker processes.  For the socket backend, start one
@@ -159,6 +167,20 @@ def _add_backend_args(sub_parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_arg(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--engine",
+        choices=["interpreted", "vectorized"],
+        default="interpreted",
+        help=(
+            "simulation engine: 'interpreted' (per-event Python loop, "
+            "default) or 'vectorized' (all replications of a sweep "
+            "point in NumPy lockstep; bit-identical results, chunking "
+            "batches sweep points instead of replications)"
+        ),
+    )
+
+
 def _add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--workers",
@@ -175,6 +197,7 @@ def _add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
             "with --ci-target this is the minimum per point"
         ),
     )
+    _add_engine_arg(sub_parser)
     _add_adaptive_args(sub_parser)
     _add_backend_args(sub_parser)
 
@@ -355,6 +378,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
             ci_target=args.ci_target,
             max_replications=args.max_replications,
             backend=_make_backend(args),
+            engine=args.engine,
         )
         print(
             format_breakdown_sweep(
@@ -382,6 +406,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         ci_target=args.ci_target,
         max_replications=args.max_replications,
         backend=_make_backend(args),
+        engine=args.engine,
     )
     if args.number <= 6:
         for est in ("simulation", "markov", "petri"):
@@ -507,6 +532,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
         ci_target=args.ci_target,
         max_replications=args.max_replications,
         backend=_make_backend(args),
+        engine=args.engine,
     )
     print(
         format_delta_table(
@@ -527,6 +553,7 @@ def _cmd_node_sweep(args: argparse.Namespace) -> int:
         ci_target=args.ci_target,
         max_replications=args.max_replications,
         backend=_make_backend(args),
+        engine=args.engine,
     )
     print(
         format_breakdown_sweep(
@@ -554,6 +581,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         ci_target=args.ci_target,
         max_replications=args.max_replications,
         backend=_make_backend(args),
+        engine=args.engine,
     )
     print(format_steady_state_table(result.petri.stage_probabilities))
     print()

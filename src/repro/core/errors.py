@@ -81,6 +81,26 @@ class ImmediateLoopError(SimulationError):
         self.limit = limit
 
 
+class UnsupportedNetError(SimulationError):
+    """The net uses a feature outside an engine's supported subset.
+
+    Raised by :mod:`repro.core.fast` when a net cannot be compiled for
+    the vectorized ensemble engine (opaque guards, reset arcs, AGE /
+    RESAMPLE memory, infinite servers, un-introspectable token filters
+    or producers).  The interpreted engine remains the fallback for such
+    nets — callers choose explicitly, never silently.
+    """
+
+    def __init__(self, feature: str, element: str | None = None) -> None:
+        where = f" (at {element!r})" if element else ""
+        super().__init__(
+            f"net not supported by the vectorized engine: {feature}{where}; "
+            "use the interpreted engine for this model"
+        )
+        self.feature = feature
+        self.element = element
+
+
 class DeadlockError(SimulationError):
     """No transition is enabled and the run was configured to fail on deadlock."""
 

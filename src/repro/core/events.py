@@ -7,12 +7,25 @@ recording whether a firing is scheduled, at what time, and — for the
 Cancelled events are handled lazily: the heap entry stays behind but is
 recognised as stale via a monotonically increasing ``epoch`` stamp per
 clock.  This keeps cancellation O(1) and pop amortised O(log n).
+
+Tie policy
+----------
+Events with equal firing times pop in ascending ``rank`` order — a
+``(transition_index, slot)`` pair supplied by the calendar's ``rank_of``
+hook.  :class:`~repro.core.simulator.Simulation` ranks keys by *timed
+transition definition order, then server slot*, so simultaneous
+deterministic firings resolve by the order transitions were added to the
+net — the same policy a vectorized engine gets for free from a
+first-occurrence ``argmin`` over (transition, slot)-ordered columns.
+Without a ``rank_of`` hook every key ranks ``(0, 0)`` and ties fall back
+to insertion order (``seq``), the historical standalone behaviour.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 __all__ = ["ScheduledFiring", "TransitionClock", "EventCalendar"]
@@ -20,9 +33,15 @@ __all__ = ["ScheduledFiring", "TransitionClock", "EventCalendar"]
 
 @dataclass(order=True)
 class ScheduledFiring:
-    """Heap entry: a tentative future firing of a timed transition."""
+    """Heap entry: a tentative future firing of a timed transition.
+
+    Ordered by ``(time, rank, seq)``: equal-time events resolve by the
+    calendar's deterministic rank, and only rank ties (e.g. the default
+    ``(0, 0)`` rank) fall through to insertion order.
+    """
 
     time: float
+    rank: tuple[int, int]
     seq: int
     transition: str = field(compare=False)
     epoch: int = field(compare=False)
@@ -68,15 +87,29 @@ class TransitionClock:
 class EventCalendar:
     """A lazy-deletion binary-heap event calendar.
 
-    Ties in firing time are broken by insertion order (``seq``), which
-    makes runs reproducible: two deterministic transitions scheduled for
-    the same instant fire in the order they were scheduled.
+    Ties in firing time are broken by ``rank_of(key)`` — a deterministic
+    ``(transition_index, slot)`` rank (see the module docstring's *Tie
+    policy*) — then by insertion order (``seq``) between equal ranks.
+    The simulator supplies a ranker based on timed-transition definition
+    order; a standalone calendar without one keeps the historical
+    insertion-order behaviour.
+
+    Parameters
+    ----------
+    rank_of:
+        ``key -> (major, minor)`` tie-break rank for equal firing times;
+        evaluated once per ``schedule`` call.  ``None`` ranks everything
+        ``(0, 0)``.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        rank_of: Callable[[str], tuple[int, int]] | None = None,
+    ) -> None:
         self._heap: list[ScheduledFiring] = []
         self._counter = itertools.count()
         self._clocks: dict[str, TransitionClock] = {}
+        self._rank_of = rank_of
 
     # ------------------------------------------------------------------
     # Clock registry
@@ -102,8 +135,9 @@ class EventCalendar:
         clk = self.clock(transition)
         clk.epoch += 1
         clk.scheduled_at = fire_time
+        rank = self._rank_of(transition) if self._rank_of is not None else (0, 0)
         entry = ScheduledFiring(
-            fire_time, next(self._counter), transition, clk.epoch
+            fire_time, rank, next(self._counter), transition, clk.epoch
         )
         heapq.heappush(self._heap, entry)
 

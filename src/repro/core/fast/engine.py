@@ -1,0 +1,721 @@
+"""The lockstep ensemble engine: all replications of one sweep point as
+NumPy arrays.
+
+One *round* advances every still-active replication by exactly one
+timed event:
+
+1. ``argmin`` over the ``[R, S]`` slot-time matrix picks each
+   replication's next firing; replications whose next event lies beyond
+   the horizon (or that deadlocked — all slots idle) retire.
+2. Time-weighted statistics integrate the *resting* counts over each
+   replication's elapsed interval (dt == 0 never contributes, matching
+   the interpreted accumulator's ``if hi > lo`` guard bit for bit).
+3. Popped transitions fire grouped per transition (one static-delta
+   array add per group, plus explicit FIFO ops for order-observable
+   places), guarded by the same defensive scheduled-but-stale degree
+   check as :meth:`Simulation.step`.
+4. The immediate phase loops: enabling masks per immediate, best
+   priority per replication, and — only for replications with a genuine
+   tie — the interpreted engine's exact weighted ``rng.choice`` call.
+5. Timed schedules refresh in net definition order, drawing per-
+   replication delays with each replication's own generator in the
+   interpreted engine's draw order.
+
+Every replication owns a private ``default_rng(seed)``; cross-
+replication interleaving never touches the streams, which is what makes
+the engine bit-identical to ``Simulation(net, seed).run(horizon)`` for
+compilable nets (see the package docstring for the contract).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..errors import (
+    DeadlockError,
+    ImmediateLoopError,
+    SimulationError,
+    UnsupportedNetError,
+)
+from ..net import PetriNet
+from ..simulator import SimulationResult
+from ..statistics import (
+    PredicateStatistic,
+    StatisticsCollector,
+)
+from .compile import CompiledNet, CompiledTransition, compile_net
+
+__all__ = ["EnsembleCounts", "VectorPredicate", "run_ensemble"]
+
+
+class EnsembleCounts:
+    """Marking facade over the ensemble: ``count(place) -> int64[R]``.
+
+    Handed to :class:`VectorPredicate` functions; arithmetic over the
+    returned arrays vectorizes naturally (``m.count("A") + m.count("B")
+    > 0`` yields a boolean vector).
+    """
+
+    __slots__ = ("_totals", "_index")
+
+    def __init__(self, totals: np.ndarray, index: dict[str, int]) -> None:
+        self._totals = totals
+        self._index = index
+
+    def count(self, place: str) -> np.ndarray:
+        """Token counts of ``place`` across the (selected) replications."""
+        return self._totals[:, self._index[place]]
+
+
+class VectorPredicate:
+    """A marking predicate evaluated for all replications at once.
+
+    ``fn`` receives an :class:`EnsembleCounts` and must return a boolean
+    vector.  Wrap predicates in this class when they are pure count
+    arithmetic; plain scalar callables (evaluated per replication
+    against a ``count()`` view) also work but cost a Python call per
+    replication per firing.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[EnsembleCounts], np.ndarray]) -> None:
+        self.fn = fn
+
+
+class _ScalarCounts:
+    """Single-replication ``count()`` view for scalar predicates."""
+
+    __slots__ = ("_totals", "_index", "_row")
+
+    def __init__(self, totals: np.ndarray, index: dict[str, int]) -> None:
+        self._totals = totals
+        self._index = index
+        self._row = 0
+
+    def count(self, place: str) -> int:
+        return int(self._totals[self._row, self._index[place]])
+
+
+class _ColorQueue:
+    """Per-place FIFO colour ring buffer over all replications."""
+
+    __slots__ = ("buf", "head", "size", "cap")
+
+    def __init__(self, n_reps: int, initial: Sequence[int]) -> None:
+        n0 = len(initial)
+        self.cap = max(4, 2 * n0)
+        self.buf = np.zeros((n_reps, self.cap), dtype=np.int64)
+        if n0:
+            self.buf[:, :n0] = np.asarray(initial, dtype=np.int64)
+        self.head = np.zeros(n_reps, dtype=np.int64)
+        self.size = np.full(n_reps, n0, dtype=np.int64)
+
+    def _grow(self) -> None:
+        new_cap = self.cap * 2
+        idx = (self.head[:, None] + np.arange(self.cap)) % self.cap
+        unrolled = np.take_along_axis(self.buf, idx, axis=1)
+        buf = np.zeros((self.buf.shape[0], new_cap), dtype=np.int64)
+        buf[:, : self.cap] = unrolled
+        self.buf = buf
+        self.head[:] = 0
+        self.cap = new_cap
+
+    def push(self, idx: np.ndarray, codes: np.ndarray | int) -> None:
+        if (self.size[idx] >= self.cap).any():
+            self._grow()
+        pos = (self.head[idx] + self.size[idx]) % self.cap
+        self.buf[idx, pos] = codes
+        self.size[idx] += 1
+
+    def pop(self, idx: np.ndarray) -> np.ndarray:
+        if (self.size[idx] <= 0).any():
+            raise SimulationError(
+                "vectorized engine popped from an empty FIFO place "
+                "(engine invariant violated)"
+            )
+        codes = self.buf[idx, self.head[idx]]
+        self.head[idx] = (self.head[idx] + 1) % self.cap
+        self.size[idx] -= 1
+        return codes
+
+    def pop_matching(self, idx: np.ndarray, code: int) -> None:
+        """Remove the oldest token of colour ``code`` per replication.
+
+        Mirrors ``TokenBag.take(1, filter)``: later tokens keep their
+        relative order.  Per-replication scan; matched pops are rare
+        relative to head pops, so the Python loop stays off the hot
+        path.
+        """
+        buf, head, size, cap = self.buf, self.head, self.size, self.cap
+        for r in idx:
+            n = int(size[r])
+            h = int(head[r])
+            for j in range(n):
+                if buf[r, (h + j) % cap] == code:
+                    for k in range(j, n - 1):
+                        buf[r, (h + k) % cap] = buf[r, (h + k + 1) % cap]
+                    size[r] = n - 1
+                    break
+            else:
+                raise SimulationError(
+                    "vectorized engine found no matching token in a FIFO "
+                    "place (engine invariant violated)"
+                )
+
+
+class _Ensemble:
+    """Mutable run state of one lockstep ensemble."""
+
+    def __init__(
+        self,
+        cn: CompiledNet,
+        rngs: list[np.random.Generator],
+        warmup: float,
+        initial_marking: Mapping[str, Any] | None,
+        predicates: Mapping[str, Any] | None,
+        on_deadlock: str,
+        max_immediate_firings: int,
+    ) -> None:
+        self.cn = cn
+        self.rngs = rngs
+        self.warmup = float(warmup)
+        self.on_deadlock = on_deadlock
+        self.max_immediate_firings = int(max_immediate_firings)
+        reps = len(rngs)
+        n_places, n_colors = cn.n_places, cn.n_colors
+        # The initial marking is identical across replications; read it
+        # through the engine's own Marking so overrides, capacities and
+        # colour order behave exactly as in the interpreted engine.
+        marking = cn.net.initial_marking(initial_marking)
+        base3 = np.zeros((n_places, n_colors), dtype=np.int64)
+        init_queues: dict[int, list[int]] = {}
+        for name, p in cn.place_index.items():
+            colors = marking.bag(name).colors()
+            if name not in cn.observable:
+                # Colours in non-observable places are projected to the
+                # colourless token at compile time (see compile.py); the
+                # initial marking must collapse the same way or the
+                # counts would desync from the compiled firing plans.
+                colors = [None] * len(colors)
+            pool = cn.possible_colors.get(name, frozenset())
+            for c in colors:
+                if c not in pool:
+                    raise UnsupportedNetError(
+                        f"initial-marking colour {c!r} outside the "
+                        f"compiled colour pool of this place",
+                        name,
+                    )
+                base3[p, cn.color_index[c]] += 1
+            if p in cn.queued_places:
+                init_queues[p] = [cn.color_index[c] for c in colors]
+        self.counts3 = np.repeat(base3[None, :, :], reps, axis=0)
+        self.totals = self.counts3.sum(axis=2)
+        self.queues = {
+            p: _ColorQueue(reps, init_queues.get(p, []))
+            for p in cn.queued_places
+        }
+        self.clock = np.zeros(reps)
+        self.sched = np.full((reps, cn.n_slots), np.inf)
+        self.firings = np.zeros(reps, dtype=np.int64)
+        self.firing_counts = np.zeros(
+            (reps, len(cn.transition_names)), dtype=np.int64
+        )
+        self.stale_pops = 0
+        self.done = np.zeros(reps, dtype=bool)
+        self.deadlocked = np.zeros(reps, dtype=bool)
+        # Statistics arrays (see TimeWeightedAccumulator): one shared
+        # observed-time vector — every accumulator of a replication sees
+        # the same update times.
+        self.integral = np.zeros((reps, n_places))
+        self.nonzero_time = np.zeros((reps, n_places))
+        self.observed = np.zeros(reps)
+        self.max_counts = self.totals.copy()
+        self.preds: list[tuple[str, Any, bool]] = []
+        self.pred_value: dict[str, np.ndarray] = {}
+        self.pred_integral: dict[str, np.ndarray] = {}
+        self.pred_max: dict[str, np.ndarray] = {}
+        for name, spec in (predicates or {}).items():
+            vector = isinstance(spec, VectorPredicate)
+            self.preds.append((name, spec, vector))
+            self.pred_value[name] = np.zeros(reps)
+            self.pred_integral[name] = np.zeros(reps)
+            self.pred_max[name] = np.zeros(reps)
+        self._all = np.arange(reps)
+        self._eval_predicates(self._all)
+        for name in self.pred_value:
+            self.pred_max[name] = self.pred_value[name].copy()
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def _eval_predicates(self, idx: np.ndarray) -> None:
+        if not self.preds:
+            return
+        for name, spec, vector in self.preds:
+            if vector:
+                counts = EnsembleCounts(
+                    self.totals[idx], self.cn.place_index
+                )
+                vals = np.asarray(spec.fn(counts), dtype=bool).astype(float)
+            else:
+                view = _ScalarCounts(self.totals, self.cn.place_index)
+                vals = np.empty(idx.size)
+                for a, r in enumerate(idx):
+                    view._row = r
+                    vals[a] = 1.0 if spec(view) else 0.0
+            self.pred_value[name][idx] = vals
+            # NB: arr[idx] is a fancy-indexing copy — assign back, never
+            # np.maximum(..., out=arr[idx]).
+            self.pred_max[name][idx] = np.maximum(
+                self.pred_max[name][idx], vals
+            )
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def _fire(self, ct: CompiledTransition, idx: np.ndarray) -> None:
+        """Apply one firing of ``ct`` for every replication in ``idx``.
+
+        Pure marking mutation; callers batch the per-firing statistics
+        via :meth:`_post_fire` once per lockstep iteration (each
+        replication fires at most once per iteration, so batching
+        observes exactly the same post-firing states the interpreted
+        engine samples).
+        """
+        counts3, totals = self.counts3, self.totals
+        plan = ct.plan
+        popped: dict[int, np.ndarray] = {}
+        for ref, p, mult in plan.pops:
+            q = self.queues[p]
+            for _ in range(mult):
+                codes = q.pop(idx)
+                counts3[idx, p, codes] -= 1
+                totals[idx, p] -= 1
+            popped[ref] = codes
+        for p, code, mult in plan.pop_colors:
+            q = self.queues[p]
+            for _ in range(mult):
+                q.pop_matching(idx, code)
+        if plan.has_static:
+            counts3[idx] += plan.delta3
+            totals[idx] += plan.delta_tot
+        for p, ref in plan.forwards:
+            counts3[idx, p, popped[ref]] += 1
+        for op in plan.pushes:
+            if op[0] == "static":
+                _, p, code, mult = op
+                for _ in range(mult):
+                    self.queues[p].push(idx, code)
+            else:
+                _, p, ref = op
+                self.queues[p].push(idx, popped[ref])
+
+    def _post_fire(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Per-firing statistics for one iteration's firings.
+
+        ``rows`` are the replications that fired (each exactly once this
+        iteration); ``cols`` the fired transition's index per row.
+        """
+        self.firings[rows] += 1
+        if self.warmup > 0.0:
+            counted = self.clock[rows] >= self.warmup
+            self.firing_counts[rows[counted], cols[counted]] += 1
+        else:
+            self.firing_counts[rows, cols] += 1
+        self.max_counts[rows] = np.maximum(
+            self.max_counts[rows], self.totals[rows]
+        )
+        self._eval_predicates(rows)
+
+    # ------------------------------------------------------------------
+    # Immediate phase
+    # ------------------------------------------------------------------
+    def _immediate_phase(
+        self, idx: np.ndarray, touched: set[int] | None = None
+    ) -> None:
+        """Fire enabled immediates until none remain, in lockstep.
+
+        ``touched`` — the places whose counts changed since the last
+        completed immediate phase — lets us skip immediates that were
+        provably left disabled: an immediate whose dependency places
+        are all untouched cannot have become enabled.  ``None`` means
+        "unknown, evaluate everything" (the initial phase).  The set is
+        updated in place as immediates fire.
+        """
+        cn = self.cn
+        if not cn.immediates:
+            return
+        fired = np.zeros(self.clock.shape[0], dtype=np.int64)
+        rem = idx
+        while rem.size:
+            if touched is None:
+                cand_ids = list(range(len(cn.immediates)))
+            else:
+                cand_ids = [
+                    i
+                    for i, ct in enumerate(cn.immediates)
+                    if not touched.isdisjoint(ct.dep_places)
+                ]
+            if not cand_ids:
+                return
+            counts3, totals = self.counts3[rem], self.totals[rem]
+            enab = np.zeros((len(cand_ids), rem.size), dtype=bool)
+            prios = np.empty(len(cand_ids))
+            for row, i in enumerate(cand_ids):
+                ct = cn.immediates[i]
+                enab[row] = ct.degree(counts3, totals) > 0
+                prios[row] = ct.priority
+            any_enabled = enab.any(axis=0)
+            rem = rem[any_enabled]
+            if not rem.size:
+                return
+            enab = enab[:, any_enabled]
+            masked = np.where(enab, prios[:, None], -np.inf)
+            best = masked.max(axis=0)
+            cand = enab & (masked == best)
+            n_cand = cand.sum(axis=0)
+            chosen = np.argmax(cand, axis=0)
+            for a in np.flatnonzero(n_cand > 1):
+                # Replicates Simulation._fire_immediates exactly: the
+                # candidate list is the priority-sorted immediates
+                # restricted to the tie, weights normalised the same
+                # way, drawn from this replication's own stream.
+                r = rem[a]
+                c_list = np.flatnonzero(cand[:, a])
+                weights = np.array(
+                    [cn.immediates[cand_ids[i]].weight for i in c_list]
+                )
+                j = int(
+                    self.rngs[r].choice(
+                        len(c_list), p=weights / weights.sum()
+                    )
+                )
+                chosen[a] = c_list[j]
+            imm_index = np.empty(len(cand_ids), dtype=np.int64)
+            for u in np.unique(chosen):
+                ct = cn.immediates[cand_ids[u]]
+                imm_index[u] = ct.index
+                self._fire(ct, rem[chosen == u])
+                if touched is not None:
+                    touched.update(ct.touch_places)
+            self._post_fire(rem, imm_index[chosen])
+            fired[rem] += 1
+            over = rem[fired[rem] > self.max_immediate_firings]
+            if over.size:
+                raise ImmediateLoopError(
+                    float(self.clock[over[0]]), self.max_immediate_firings
+                )
+
+    # ------------------------------------------------------------------
+    # Timed refresh
+    # ------------------------------------------------------------------
+    def _refresh_timed(
+        self,
+        idx: np.ndarray,
+        touched: set[int] | None = None,
+        popped: set[int] | None = None,
+    ) -> None:
+        """Re-align every timed schedule with the current enabling.
+
+        A transition can be skipped when no replication changed any of
+        its dependency places this round (its degree — and therefore
+        its want/have balance — is unchanged for every row) *and* none
+        of its slots was consumed by the argmin pop (``popped`` holds
+        indices into ``cn.timed`` whose event fired or staled this
+        round; their slot went idle and may need a restart draw even
+        with an unchanged degree, e.g. a self-loop source transition).
+        Skipping never skips an RNG draw the interpreted engine would
+        make: an unchanged degree with untouched slots starts nothing.
+        """
+        counts3, totals = self.counts3[idx], self.totals[idx]
+        sched, clock, rngs = self.sched, self.clock, self.rngs
+        for u, ct in enumerate(self.cn.timed):
+            if (
+                touched is not None
+                and touched.isdisjoint(ct.dep_places)
+                and (popped is None or u not in popped)
+            ):
+                continue
+            deg = ct.degree(counts3, totals)
+            if ct.servers == 1:
+                col = ct.col0
+                cur = sched[idx, col]
+                live = np.isfinite(cur)
+                want = deg > 0
+                stop = live & ~want
+                if stop.any():
+                    sched[idx[stop], col] = np.inf
+                start = want & ~live
+                if not start.any():
+                    continue
+                started = idx[start]
+                if ct.deterministic_delay is not None:
+                    sched[started, col] = (
+                        clock[started] + ct.deterministic_delay
+                    )
+                else:
+                    dist = ct.distribution
+                    for r in started:
+                        sched[r, col] = clock[r] + dist.sample(rngs[r])
+            else:
+                self._refresh_multi_server(ct, idx, deg)
+
+    def _refresh_multi_server(
+        self, ct: CompiledTransition, idx: np.ndarray, deg: np.ndarray
+    ) -> None:
+        """Finite k > 1 servers: per-replication slot bookkeeping.
+
+        Mirrors Simulation._refresh_timed: start fills the lowest idle
+        slots in ascending order (one delay draw per started slot);
+        cancellation drops the latest-scheduled slots first, stable on
+        equal times.  Cold path — the shipped models are single-server.
+        """
+        sched, clock, rngs = self.sched, self.clock, self.rngs
+        k = ct.servers
+        c0 = ct.col0
+        for a, r in enumerate(idx):
+            want = min(int(deg[a]), k)
+            live = [
+                s for s in range(k) if np.isfinite(sched[r, c0 + s])
+            ]
+            have = len(live)
+            if want > have:
+                taken = set(live)
+                need = want - have
+                slot = 0
+                while need > 0:
+                    if slot not in taken:
+                        if ct.deterministic_delay is not None:
+                            delay = ct.deterministic_delay
+                        else:
+                            delay = ct.distribution.sample(rngs[r])
+                        sched[r, c0 + slot] = clock[r] + delay
+                        need -= 1
+                    slot += 1
+            elif want < have:
+                by_time = sorted(
+                    live, key=lambda s: sched[r, c0 + s], reverse=True
+                )
+                for s in by_time[: have - want]:
+                    sched[r, c0 + s] = np.inf
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, horizon: float) -> None:
+        cn = self.cn
+        sched, clock, warmup = self.sched, self.clock, self.warmup
+        active = self._all
+        self._immediate_phase(active)
+        self._refresh_timed(active)
+        if cn.n_slots == 0:
+            # No timed transitions: once the initial immediates settle
+            # the calendar is empty — every replication deadlocks at 0.
+            self.done[:] = True
+            self.deadlocked[:] = True
+            if self.on_deadlock == "raise":
+                raise DeadlockError(0.0)
+            return
+        while active.size:
+            sub = sched[active]
+            k = np.argmin(sub, axis=1)
+            next_t = sub[np.arange(active.size), k]
+            alive = next_t <= horizon
+            if not alive.all():
+                retired = active[~alive]
+                dead = retired[np.isinf(next_t[~alive])]
+                self.done[retired] = True
+                self.deadlocked[dead] = True
+                if dead.size and self.on_deadlock == "raise":
+                    raise DeadlockError(float(clock[dead[0]]))
+                active = active[alive]
+                k = k[alive]
+                next_t = next_t[alive]
+                if not active.size:
+                    break
+            # Integrate the resting state over each replication's
+            # elapsed interval (same addition sequence per replication
+            # as the interpreted accumulators).
+            lo = np.maximum(clock[active], warmup)
+            dt = np.maximum(next_t - lo, 0.0)
+            self.observed[active] += dt
+            self.integral[active] += self.totals[active] * dt[:, None]
+            self.nonzero_time[active] += (
+                self.totals[active] > 0
+            ) * dt[:, None]
+            for name in self.pred_integral:
+                self.pred_integral[name][active] += (
+                    self.pred_value[name][active] * dt
+                )
+            clock[active] = next_t
+            sched[active, k] = np.inf
+            timed_of = cn.slot_timed[k]
+            touched: set[int] = set()
+            popped: set[int] = set()
+            fired_rows: list[np.ndarray] = []
+            fired_cols: list[np.ndarray] = []
+            for u in np.unique(timed_of):
+                group = active[timed_of == u]
+                ct = cn.timed[u]
+                popped.add(int(u))
+                deg = ct.degree(self.counts3[group], self.totals[group])
+                enabled = deg > 0
+                if not enabled.all():
+                    # Scheduled-but-stale (see Simulation.step): the
+                    # clock advance stands, statistics already sampled,
+                    # the firing is skipped.
+                    self.stale_pops += int((~enabled).sum())
+                live = group[enabled]
+                if live.size:
+                    self._fire(ct, live)
+                    touched.update(ct.touch_places)
+                    fired_rows.append(live)
+                    fired_cols.append(
+                        np.full(live.size, ct.index, dtype=np.int64)
+                    )
+            if fired_rows:
+                self._post_fire(
+                    np.concatenate(fired_rows), np.concatenate(fired_cols)
+                )
+            self._immediate_phase(active, touched)
+            self._refresh_timed(active, touched, popped)
+
+    # ------------------------------------------------------------------
+    # Result hydration
+    # ------------------------------------------------------------------
+    def finalize(self, horizon: float) -> list[SimulationResult]:
+        cn = self.cn
+        # Deadlocked replications stop early, exactly like the
+        # interpreted run(): their statistics close at the deadlock
+        # time, not the horizon.
+        end = np.where(self.deadlocked, self.clock, horizon)
+        lo = np.maximum(self.clock, self.warmup)
+        dt = np.maximum(end - lo, 0.0)
+        self.observed += dt
+        self.integral += self.totals * dt[:, None]
+        self.nonzero_time += (self.totals > 0) * dt[:, None]
+        for name in self.pred_integral:
+            self.pred_integral[name] += self.pred_value[name] * dt
+        out: list[SimulationResult] = []
+        place_names = list(cn.place_names)
+        transition_names = list(cn.transition_names)
+        for r in range(len(self.rngs)):
+            end_r = float(end[r])
+            stats = StatisticsCollector(
+                place_names, transition_names, self.warmup
+            )
+            for j, name in enumerate(place_names):
+                acc = stats.place_acc[name]
+                acc._last_time = end_r
+                acc._last_value = float(self.totals[r, j])
+                acc._integral = float(self.integral[r, j])
+                acc._nonzero_time = float(self.nonzero_time[r, j])
+                acc._observed_time = float(self.observed[r])
+                acc._max_value = float(self.max_counts[r, j])
+            for j, name in enumerate(transition_names):
+                counter = stats.transition_counters[name]
+                counter.count = int(self.firing_counts[r, j])
+                counter._last_time = end_r
+            for name, spec, vector in self.preds:
+                fn = spec.fn if vector else spec
+                ps = PredicateStatistic(name, fn, self.warmup)
+                acc = ps.acc
+                acc._last_time = end_r
+                acc._last_value = float(self.pred_value[name][r])
+                acc._integral = float(self.pred_integral[name][r])
+                # 0/1 signal: time at nonzero == the integral itself.
+                acc._nonzero_time = float(self.pred_integral[name][r])
+                acc._observed_time = float(self.observed[r])
+                acc._max_value = float(self.pred_max[name][r])
+                stats.predicates[name] = ps
+            stats.end_time = end_r
+            out.append(
+                SimulationResult(
+                    net_name=cn.net.name,
+                    end_time=end_r,
+                    stats=stats,
+                    firings=int(self.firings[r]),
+                    deadlocked=bool(self.deadlocked[r]),
+                    final_marking_counts={
+                        name: int(self.totals[r, j])
+                        for j, name in enumerate(place_names)
+                    },
+                )
+            )
+        return out
+
+
+def run_ensemble(
+    net: PetriNet,
+    horizon: float,
+    seeds: Sequence[int] | None = None,
+    *,
+    rngs: Sequence[np.random.Generator] | None = None,
+    warmup: float = 0.0,
+    initial_marking: Mapping[str, Any] | None = None,
+    predicates: Mapping[str, Any] | None = None,
+    on_deadlock: str = "stop",
+    max_immediate_firings: int = 100_000,
+    compiled: CompiledNet | None = None,
+) -> list[SimulationResult]:
+    """Run all replications of one sweep point in vectorized lockstep.
+
+    Parameters
+    ----------
+    net:
+        The net definition (compiled on the fly unless ``compiled`` is
+        given).  Must lie in the compilable subset, else
+        :class:`~repro.core.errors.UnsupportedNetError`.
+    horizon:
+        Simulated time per replication.
+    seeds / rngs:
+        One seed (or ready generator) per replication.  Replication
+        ``r``'s results are bit-identical to
+        ``Simulation(net, seed=seeds[r], warmup=warmup).run(horizon)``.
+    warmup / initial_marking / on_deadlock / max_immediate_firings:
+        As on :class:`~repro.core.simulator.Simulation`.
+    predicates:
+        ``name -> VectorPredicate | callable`` marking predicates; the
+        hydrated statistics expose them via ``predicate_probability``.
+    compiled:
+        Reuse a :func:`~repro.core.fast.compile.compile_net` result
+        across calls (e.g. across adaptive rounds of the same model).
+
+    Returns
+    -------
+    list[SimulationResult]
+        One result per replication, in seed order — the same type the
+        interpreted engine produces, so downstream energy accounting
+        and statistics code runs unchanged.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    if (seeds is None) == (rngs is None):
+        raise ValueError("give exactly one of seeds or rngs")
+    if on_deadlock not in ("stop", "raise"):
+        raise ValueError(
+            f"on_deadlock must be 'stop' or 'raise', got {on_deadlock!r}"
+        )
+    gen_list = (
+        [np.random.default_rng(s) for s in seeds]
+        if rngs is None
+        else list(rngs)
+    )
+    if not gen_list:
+        return []
+    cn = compiled if compiled is not None else compile_net(net)
+    ensemble = _Ensemble(
+        cn,
+        gen_list,
+        warmup,
+        initial_marking,
+        predicates,
+        on_deadlock,
+        max_immediate_firings,
+    )
+    ensemble.run(float(horizon))
+    return ensemble.finalize(float(horizon))

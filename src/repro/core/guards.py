@@ -326,6 +326,9 @@ def color_eq(value: Any) -> Callable[[Token], bool]:
         return token.color == value
 
     _filter.__name__ = f"color_eq_{value!r}"
+    # Introspection hook: lets static compilers (repro.core.fast) see
+    # the accepted colour set instead of treating the closure as opaque.
+    _filter.accepted_colors = frozenset({value})
     return _filter
 
 
@@ -339,6 +342,7 @@ def color_in(
         return token.color in frozen
 
     _filter.__name__ = f"color_in_{sorted(map(repr, frozen))}"
+    _filter.accepted_colors = frozen
     return _filter
 
 

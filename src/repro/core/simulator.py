@@ -147,13 +147,25 @@ class Simulation:
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.time = 0.0
         self.marking = net.initial_marking(initial_marking)
-        self.calendar = EventCalendar()
+        # Deterministic tie-breaking: equal-time events pop in (timed
+        # transition definition order, server slot) order, the same
+        # policy a vectorized engine's first-occurrence argmin applies.
+        timed_order = {
+            t.name: i for i, t in enumerate(net.transitions) if t.is_timed
+        }
+
+        def _rank_of(key: str) -> tuple[int, int]:
+            name, _, slot = key.partition("#")
+            return (timed_order.get(name, len(timed_order)), int(slot or 0))
+
+        self.calendar = EventCalendar(rank_of=_rank_of)
         self.stats = StatisticsCollector(
             net.place_names, net.transition_names, warmup
         )
         self.max_immediate_firings = int(max_immediate_firings)
         self.on_deadlock = on_deadlock
         self.firings = 0
+        self.stale_pops = 0
         self.deadlocked = False
         self._view = self.marking.view()
         self._observers: list[Callable[[float, str, dict, list], None]] = []
@@ -478,10 +490,18 @@ class Simulation:
         self.time = entry.time
         name = self._transition_of_key(entry.transition)
         transition = self.net.transition(name)
-        # Defensive: the invariant says scheduled => enabled, but check.
+        # Defensive: the engine's own invariant is scheduled => enabled,
+        # but a caller mutating the marking or calendar directly can
+        # break it.  A stale pop must still behave like a (non-firing)
+        # event: the clock advance above stands, and statistics are
+        # sampled at the new time so accumulator clocks stay in sync
+        # with the run instead of silently skipping the epoch.
         if self._cached_degree(transition) > 0:
             self.fire(transition)
             self._fire_immediates()
+        else:
+            self.stale_pops += 1
+            self._sample_statistics()
         self._refresh_timed()
         return True
 

@@ -160,6 +160,67 @@ def _evaluate_cpu_point(
     return out
 
 
+def _evaluate_cpu_point_ensemble(
+    task: tuple[
+        float, tuple[int, ...], int, float, CPUComparisonConfig, PowerStateTable
+    ],
+) -> list[dict[str, tuple[dict[str, float], float]]]:
+    """All replications of one threshold point, Petri net vectorized.
+
+    The ``engine="vectorized"`` counterpart of
+    :func:`_evaluate_cpu_point`: ``task = (threshold, seeds,
+    first_replication, power_up_delay, cfg, table)``.  The Petri-net
+    estimator runs the whole seed tuple in lockstep through
+    :meth:`~repro.models.cpu_petri.CPUPetriModel.simulate_ensemble`
+    (bit-identical per replication); the event-driven DES is not a
+    Petri net and runs per seed as before, and the deterministic Markov
+    solve still happens once, on global replication 0 only.  Element
+    ``j`` therefore equals ``_evaluate_cpu_point`` at replication
+    ``first_replication + j`` exactly.
+    """
+    threshold, seeds, first_rep, power_up_delay, cfg, table = task
+    duration = cfg.horizon - cfg.warmup
+
+    petri_results = CPUPetriModel(
+        cfg.arrival_rate, cfg.service_rate, threshold, power_up_delay
+    ).simulate_ensemble(cfg.horizon, seeds, warmup=cfg.warmup)
+
+    out: list[dict[str, tuple[dict[str, float], float]]] = []
+    for j, (point_seed, petri) in enumerate(zip(seeds, petri_results)):
+        estimates: list[tuple[str, object]] = [
+            (
+                "simulation",
+                CPUPowerStateSimulator(
+                    cfg.arrival_rate,
+                    cfg.service_rate,
+                    threshold,
+                    power_up_delay,
+                    seed=point_seed,
+                    warmup=cfg.warmup,
+                ).run(cfg.horizon),
+            ),
+            ("petri", petri),
+        ]
+        if first_rep + j == 0:
+            estimates.append(
+                (
+                    "markov",
+                    CPUMarkovModel(
+                        cfg.arrival_rate, cfg.service_rate, threshold, power_up_delay
+                    ).simulate(cfg.horizon, warmup=cfg.warmup),
+                )
+            )
+        rep: dict[str, tuple[dict[str, float], float]] = {}
+        for est, result in estimates:
+            fracs = {state: result.fraction(state) for state in CPUStates.ALL}
+            rep[est] = (
+                fracs,
+                table.energy_from_probabilities_j(result.fractions, duration),
+            )
+        out.append(rep)
+    return out
+
+
 def run_cpu_comparison(
     power_up_delay: float,
     config: CPUComparisonConfig | None = None,
@@ -170,6 +231,7 @@ def run_cpu_comparison(
     max_replications: int = 64,
     min_replications: int = 2,
     backend=None,
+    engine: str = "interpreted",
 ) -> CPUComparisonResult:
     """Run the full three-way sweep for one ``Power_Up_Delay``.
 
@@ -197,11 +259,21 @@ def run_cpu_comparison(
     ``backend`` routes the point evaluations through an explicit
     execution :class:`~repro.runtime.backend.Backend` (e.g. socket
     workers on remote hosts); it never changes the numbers.
+
+    ``engine="vectorized"`` runs each point's Petri-net replications in
+    lockstep through :mod:`repro.core.fast` (one ensemble task per
+    threshold point); the DES and the analytic Markov solve are not
+    Petri nets and evaluate exactly as before, so the result is
+    bit-identical to the interpreted engine at every seed plan.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
 
+    if engine not in ("interpreted", "vectorized"):
+        raise ValueError(
+            f"engine must be 'interpreted' or 'vectorized', got {engine!r}"
+        )
     cfg = config if config is not None else CPUComparisonConfig()
     table = power_table if power_table is not None else cpu_power_table()
 
@@ -211,6 +283,19 @@ def run_cpu_comparison(
             replication_seeds(cfg.seed + i, max_replications)
             for i in range(len(cfg.thresholds))
         ]
+        ensemble_kwargs = {}
+        if engine == "vectorized":
+            ensemble_kwargs = {
+                "ensemble_fn": _evaluate_cpu_point_ensemble,
+                "ensemble_task_for": lambda i, start, n: (
+                    cfg.thresholds[i],
+                    tuple(seed_plans[i][start : start + n]),
+                    start,
+                    power_up_delay,
+                    cfg,
+                    table,
+                ),
+            }
         runs = run_adaptive_rounds(
             _evaluate_cpu_point,
             lambda i, r: (
@@ -229,9 +314,25 @@ def run_cpu_comparison(
             ),
             metrics=lambda out: (out["simulation"][1], out["petri"][1]),
             executor=ParallelExecutor(workers=workers, backend=backend),
+            **ensemble_kwargs,
         )
         per_point = [run.values for run in runs]
         converged = [run.converged for run in runs]
+    elif engine == "vectorized":
+        point_tasks = [
+            (
+                threshold,
+                tuple(replication_seeds(cfg.seed + i, replications)),
+                0,
+                power_up_delay,
+                cfg,
+                table,
+            )
+            for i, threshold in enumerate(cfg.thresholds)
+        ]
+        per_point = ParallelExecutor(workers=workers, backend=backend).map(
+            _evaluate_cpu_point_ensemble, point_tasks
+        )
     else:
         tasks = []
         for i, threshold in enumerate(cfg.thresholds):

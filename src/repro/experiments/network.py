@@ -47,6 +47,27 @@ __all__ = [
 ]
 
 
+def _check_engine(engine: str) -> None:
+    """Reject unsupported engine choices, explicitly and loudly.
+
+    The vectorized engine batches *replications of one model config*;
+    a network scenario parallelises across nodes, each with a distinct
+    relay-inflated event rate (an ensemble of one per node), so there
+    is nothing for the lockstep engine to batch.  Refusing beats
+    silently falling back — callers choose the engine, never guess.
+    """
+    if engine == "vectorized":
+        raise ValueError(
+            "engine='vectorized' does not apply to network scenarios: "
+            "each node is a distinct model config (an ensemble of one); "
+            "use the default interpreted engine with workers/shards"
+        )
+    if engine != "interpreted":
+        raise ValueError(
+            f"engine must be 'interpreted' or 'vectorized', got {engine!r}"
+        )
+
+
 def make_topology(
     kind: str, nodes: int = 5, width: int = 10, height: int = 10
 ) -> NetworkTopology:
@@ -262,6 +283,7 @@ def run_network_scenario(
     max_replications: int = 64,
     min_replications: int = 2,
     backend=None,
+    engine: str = "interpreted",
 ) -> NetworkResult | ReplicatedNetworkResult:
     """Simulate one network at one ``Power_Down_Threshold``.
 
@@ -275,7 +297,12 @@ def run_network_scenario(
     the target (or ``max_replications``), returning a
     :class:`ReplicatedNetworkResult` whose ``result`` (replication 0)
     is bit-identical to the unreplicated scenario.
+
+    Only ``engine="interpreted"`` is supported here (see
+    :func:`_check_engine` for why the vectorized engine does not apply
+    to per-node network fan-outs).
     """
+    _check_engine(engine)
     cfg = config if config is not None else NetworkScenarioConfig()
     if threshold is not None:
         cfg = replace(cfg, params=cfg.params.with_threshold(threshold))
@@ -317,6 +344,7 @@ def run_network_lifetime_sweep(
     max_replications: int = 64,
     min_replications: int = 2,
     backend=None,
+    engine: str = "interpreted",
 ) -> NetworkSweepResult:
     """Sweep ``config.thresholds`` on the network-lifetime metric.
 
@@ -325,7 +353,11 @@ def run_network_lifetime_sweep(
     still holds the replication-0 series (bit-identical to the
     single-run sweep), with per-point counts, ``converged`` flags and
     :meth:`NetworkSweepResult.energy_ci` uncertainty on top.
+
+    Only ``engine="interpreted"`` is supported here (see
+    :func:`_check_engine`).
     """
+    _check_engine(engine)
     cfg = config if config is not None else NetworkScenarioConfig()
     if ci_target is not None:
         runs = _adaptive_network_runs(

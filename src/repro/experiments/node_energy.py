@@ -18,6 +18,7 @@ from ..energy.breakdown import EnergyBreakdown
 from ..models.wsn_node import (
     NodeParameters,
     WSNNodeResult,
+    simulate_node_ensemble_task,
     simulate_node_task,
 )
 from .sweep import FIG14_15_THRESHOLDS
@@ -150,6 +151,7 @@ def run_node_energy_sweep(
     max_replications: int = 64,
     min_replications: int = 2,
     backend=None,
+    engine: str = "interpreted",
 ) -> NodeSweepResult:
     """Simulate the node at every threshold grid point.
 
@@ -175,11 +177,21 @@ def run_node_energy_sweep(
     ``backend`` routes the simulations through an explicit execution
     :class:`~repro.runtime.backend.Backend` (e.g. socket workers on
     remote hosts); like ``workers``, it never changes the numbers.
+
+    ``engine="vectorized"`` runs each threshold point's replications in
+    lockstep through :mod:`repro.core.fast` (one ensemble task per
+    point, so chunking batches sweep points); the engine is
+    bit-identical per replication, so the sweep result matches the
+    interpreted engine exactly at every seed plan.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
 
+    if engine not in ("interpreted", "vectorized"):
+        raise ValueError(
+            f"engine must be 'interpreted' or 'vectorized', got {engine!r}"
+        )
     cfg = config if config is not None else NodeSweepConfig()
     converged: list[bool] | None = None
     if ci_target is not None:
@@ -187,6 +199,17 @@ def run_node_energy_sweep(
         point_params = [
             cfg.params.with_threshold(t) for t in cfg.thresholds
         ]
+        ensemble_kwargs = {}
+        if engine == "vectorized":
+            ensemble_kwargs = {
+                "ensemble_fn": simulate_node_ensemble_task,
+                "ensemble_task_for": lambda i, start, n: (
+                    point_params[i],
+                    cfg.workload,
+                    cfg.horizon,
+                    tuple(rep_seeds[start : start + n]),
+                ),
+            }
         runs = run_adaptive_rounds(
             simulate_node_task,
             lambda i, r: (point_params[i], cfg.workload, cfg.horizon, rep_seeds[r]),
@@ -198,9 +221,24 @@ def run_node_energy_sweep(
             ),
             metrics=lambda result: result.total_energy_j,
             executor=ParallelExecutor(workers=workers, backend=backend),
+            **ensemble_kwargs,
         )
         replicates = [run.values for run in runs]
         converged = [run.converged for run in runs]
+    elif engine == "vectorized":
+        rep_seeds = replication_seeds(cfg.seed, replications)
+        point_tasks = [
+            (
+                cfg.params.with_threshold(threshold),
+                cfg.workload,
+                cfg.horizon,
+                tuple(rep_seeds),
+            )
+            for threshold in cfg.thresholds
+        ]
+        replicates = ParallelExecutor(workers=workers, backend=backend).map(
+            simulate_node_ensemble_task, point_tasks
+        )
     else:
         rep_seeds = replication_seeds(cfg.seed, replications)
         tasks = [

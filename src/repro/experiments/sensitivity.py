@@ -76,6 +76,21 @@ def _node_energy_task(task: tuple[float, float, str, float, int]) -> float:
     return result.total_energy_j
 
 
+def _node_energy_ensemble_task(
+    task: tuple[float, float, str, float, tuple[int, ...]],
+) -> list[float]:
+    """All replications of one (rate, threshold) cell in lockstep.
+
+    The ``engine="vectorized"`` counterpart of
+    :func:`_node_energy_task`, bit-identical per seed (see
+    :mod:`repro.core.fast`).
+    """
+    rate, threshold, workload, horizon, seeds = task
+    params = NodeParameters(power_down_threshold=threshold, arrival_rate=rate)
+    results = WSNNodeModel(params, workload).simulate_ensemble(horizon, seeds)
+    return [r.total_energy_j for r in results]
+
+
 def node_optimum_vs_rate(
     rates: Sequence[float],
     thresholds: Sequence[float] = (1e-9, 0.00178, 0.01, 0.1, 1.0, 10.0, 100.0),
@@ -87,6 +102,7 @@ def node_optimum_vs_rate(
     max_replications: int = 64,
     min_replications: int = 2,
     backend=None,
+    engine: str = "interpreted",
 ) -> RateSensitivityResult:
     """Sweep the event rate; find the optimum threshold at each rate.
 
@@ -106,17 +122,39 @@ def node_optimum_vs_rate(
     ``backend`` routes the grid through an explicit execution
     :class:`~repro.runtime.backend.Backend` (e.g. socket workers on
     remote hosts); it never changes the numbers.
+
+    ``engine="vectorized"`` runs each cell's replications in lockstep
+    through :mod:`repro.core.fast` (one ensemble task per cell);
+    bit-identical per replication, so the surface is unchanged.  On the
+    fixed path every cell is a single run (an ensemble of one), so the
+    interpreted engine is usually faster there; the vectorized engine
+    pays off under ``ci_target``.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
 
+    if engine not in ("interpreted", "vectorized"):
+        raise ValueError(
+            f"engine must be 'interpreted' or 'vectorized', got {engine!r}"
+        )
     cells = [(rate, t) for rate in rates for t in thresholds]
     cell_replications: list[list[int]] | None = None
     cell_converged: list[list[bool]] | None = None
     n_t = len(thresholds)
     if ci_target is not None:
         rep_seeds = replication_seeds(seed, max_replications)
+        ensemble_kwargs = {}
+        if engine == "vectorized":
+            ensemble_kwargs = {
+                "ensemble_fn": _node_energy_ensemble_task,
+                "ensemble_task_for": lambda i, start, n: (
+                    *cells[i],
+                    workload,
+                    horizon,
+                    tuple(rep_seeds[start : start + n]),
+                ),
+            }
         runs = run_adaptive_rounds(
             _node_energy_task,
             lambda i, r: (*cells[i], workload, horizon, rep_seeds[r]),
@@ -127,6 +165,7 @@ def node_optimum_vs_rate(
                 max_replications=max_replications,
             ),
             executor=ParallelExecutor(workers=workers, backend=backend),
+            **ensemble_kwargs,
         )
         flat = [float(np.mean(run.values)) for run in runs]
         cell_replications = [
@@ -136,6 +175,16 @@ def node_optimum_vs_rate(
         cell_converged = [
             [runs[i * n_t + j].converged for j in range(n_t)]
             for i in range(len(rates))
+        ]
+    elif engine == "vectorized":
+        grid = [
+            (rate, t, workload, horizon, (seed,)) for rate, t in cells
+        ]
+        flat = [
+            values[0]
+            for values in ParallelExecutor(workers=workers, backend=backend).map(
+                _node_energy_ensemble_task, grid
+            )
         ]
     else:
         grid = [

@@ -146,6 +146,29 @@ def _percent_difference(rep: tuple[IMote2RunResult, SimpleNodeResult, float]) ->
     return abs(actual - petri_energy) / actual * 100.0 if actual else 0.0
 
 
+def _run_validation_ensemble(
+    task: tuple[ValidationConfig, tuple[int, ...]],
+) -> list[tuple[IMote2RunResult, SimpleNodeResult, float]]:
+    """All validation replications of one batch, Petri net vectorized.
+
+    The ``engine="vectorized"`` counterpart of
+    :func:`_run_validation_rep`: the Fig. 10 Petri runs of every seed
+    proceed in lockstep through
+    :meth:`~repro.models.simple_node.SimpleNodeModel.simulate_ensemble`
+    (bit-identical per replication); the IMote2 hardware simulator is
+    an event-driven DES, not a Petri net, and runs per seed as before.
+    """
+    cfg, seeds = task
+    petris = SimpleNodeModel().simulate_ensemble(
+        cfg.petri_horizon, seeds, warmup=cfg.petri_warmup
+    )
+    out = []
+    for seed, petri in zip(seeds, petris):
+        hardware = IMote2HardwareSimulator(seed=seed).run_events(cfg.n_events)
+        out.append((hardware, petri, petri.energy_over(hardware.duration_s)))
+    return out
+
+
 def run_simple_node_validation(
     config: ValidationConfig | None = None,
     workers: int = 1,
@@ -154,6 +177,7 @@ def run_simple_node_validation(
     max_replications: int = 64,
     min_replications: int = 2,
     backend=None,
+    engine: str = "interpreted",
 ) -> ValidationResult:
     """Execute the full Section V protocol.
 
@@ -174,15 +198,34 @@ def run_simple_node_validation(
     ``backend`` routes the protocol replications through an explicit
     execution :class:`~repro.runtime.backend.Backend` (e.g. socket
     workers on remote hosts); it never changes the numbers.
+
+    ``engine="vectorized"`` runs the Petri-net half of every
+    replication in lockstep through :mod:`repro.core.fast`
+    (bit-identical per replication, so the reported table is unchanged
+    from the interpreted engine); the IMote2 hardware DES half is
+    unaffected.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
 
+    if engine not in ("interpreted", "vectorized"):
+        raise ValueError(
+            f"engine must be 'interpreted' or 'vectorized', got {engine!r}"
+        )
     cfg = config if config is not None else ValidationConfig()
     converged: bool | None = None
     if ci_target is not None:
         seeds = replication_seeds(cfg.seed, max_replications)
+        ensemble_kwargs = {}
+        if engine == "vectorized":
+            ensemble_kwargs = {
+                "ensemble_fn": _run_validation_ensemble,
+                "ensemble_task_for": lambda _i, start, n: (
+                    cfg,
+                    tuple(seeds[start : start + n]),
+                ),
+            }
         [run] = run_adaptive_rounds(
             _run_validation_rep,
             lambda _i, r: (cfg, seeds[r]),
@@ -194,9 +237,15 @@ def run_simple_node_validation(
             ),
             metrics=_percent_difference,
             executor=ParallelExecutor(workers=workers, backend=backend),
+            **ensemble_kwargs,
         )
         reps = run.values
         converged = run.converged
+    elif engine == "vectorized":
+        [reps] = ParallelExecutor(workers=workers, backend=backend).map(
+            _run_validation_ensemble,
+            [(cfg, tuple(replication_seeds(cfg.seed, replications)))],
+        )
     else:
         tasks = [
             (cfg, seed) for seed in replication_seeds(cfg.seed, replications)

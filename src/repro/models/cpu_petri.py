@@ -161,6 +161,26 @@ class CPUPetriModel:
         net = self.build()
         sim = Simulation(net, seed=seed, warmup=warmup)
         result: SimulationResult = sim.run(horizon)
+        return self._summarise(result, warmup)
+
+    def simulate_ensemble(
+        self,
+        horizon: float,
+        seeds,
+        warmup: float = 0.0,
+    ) -> list[CPUSimResult]:
+        """All seeds of one sweep point through the vectorized engine.
+
+        Bit-identical to ``[self.simulate(horizon, seed=s,
+        warmup=warmup) for s in seeds]`` (see :mod:`repro.core.fast`),
+        but run in lockstep as one NumPy ensemble.
+        """
+        from ..core.fast import run_ensemble
+
+        results = run_ensemble(self.build(), horizon, seeds, warmup=warmup)
+        return [self._summarise(r, warmup) for r in results]
+
+    def _summarise(self, result: SimulationResult, warmup: float) -> CPUSimResult:
         fractions = {
             state: result.occupancy(place)
             for state, place in STATE_PLACES.items()

@@ -180,6 +180,26 @@ class SimpleNodeModel:
         net = self.build()
         sim = Simulation(net, seed=seed, warmup=warmup)
         result = sim.run(horizon)
+        return self._summarise(result, warmup)
+
+    def simulate_ensemble(
+        self,
+        horizon: float,
+        seeds,
+        warmup: float = 0.0,
+    ) -> list[SimpleNodeResult]:
+        """All seeds of one validation point through the fast engine.
+
+        Bit-identical to ``[self.simulate(horizon, seed=s,
+        warmup=warmup) for s in seeds]`` (see :mod:`repro.core.fast`),
+        but run in lockstep as one NumPy ensemble.
+        """
+        from ..core.fast import run_ensemble
+
+        results = run_ensemble(self.build(), horizon, seeds, warmup=warmup)
+        return [self._summarise(r, warmup) for r in results]
+
+    def _summarise(self, result, warmup: float) -> SimpleNodeResult:
         probs = {stage: result.occupancy(stage) for stage in STAGES}
         return SimpleNodeResult(
             stage_probabilities=probs,

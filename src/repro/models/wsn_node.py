@@ -37,6 +37,7 @@ Section VI-A).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
 
 from ..analysis.structural import check_model_invariants
@@ -61,6 +62,7 @@ __all__ = [
     "WSNNodeModel",
     "build_wsn_node_net",
     "simulate_node_task",
+    "simulate_node_ensemble_task",
 ]
 
 
@@ -75,6 +77,22 @@ def simulate_node_task(
     """
     params, workload, horizon, seed = task
     return WSNNodeModel(params, workload).simulate(horizon, seed=seed)
+
+
+def simulate_node_ensemble_task(
+    task: "tuple[NodeParameters, str, float, tuple[int, ...]]",
+) -> "list[WSNNodeResult]":
+    """All replications of one node sweep point, vectorized.
+
+    The ``engine="vectorized"`` counterpart of
+    :func:`simulate_node_task`: ``task = (params, workload, horizon,
+    seeds)`` and the whole seed tuple runs in lockstep through
+    :func:`repro.core.fast.run_ensemble`, returning one
+    :class:`WSNNodeResult` per seed — bit-identical to mapping
+    :func:`simulate_node_task` over the seeds.
+    """
+    params, workload, horizon, seeds = task
+    return WSNNodeModel(params, workload).simulate_ensemble(horizon, seeds)
 
 
 #: System-stage places in pipeline order.
@@ -156,9 +174,18 @@ def _black(ctx: FiringContext) -> None:
     return None
 
 
+# Purity annotations for repro.core.fast (see compile.py): _black always
+# deposits the colourless token; _buffer_color echoes the colour of the
+# single token consumed from Buffer.
+_black.fast_static_color = None
+
+
 def _buffer_color(ctx: FiringContext) -> object:
     """Forward the DVS class colour of the dispatched buffer job."""
     return ctx.consumed["Buffer"][0].color
+
+
+_buffer_color.fast_forward_place = "Buffer"
 
 
 def build_wsn_node_net(
@@ -432,6 +459,35 @@ class WSNNodeModel:
         sim = Simulation(net, seed=seed, warmup=warmup)
         sim.add_predicate("cpu_active", self._cpu_active)
         result = sim.run(horizon)
+        return self._account(result, warmup)
+
+    def simulate_ensemble(
+        self,
+        horizon: float,
+        seeds: "Sequence[int | None]",
+        warmup: float = 0.0,
+    ) -> list[WSNNodeResult]:
+        """All replications of one sweep point through the fast engine.
+
+        Runs every seed in lockstep via
+        :func:`repro.core.fast.run_ensemble` and accounts energy with
+        the exact post-processing of :meth:`simulate`, so the returned
+        list is bit-identical to ``[self.simulate(horizon, seed=s,
+        warmup=warmup) for s in seeds]``.
+        """
+        from ..core.fast import VectorPredicate, run_ensemble
+
+        results = run_ensemble(
+            self.build(),
+            horizon,
+            seeds,
+            warmup=warmup,
+            predicates={"cpu_active": VectorPredicate(self._cpu_active)},
+        )
+        return [self._account(r, warmup) for r in results]
+
+    def _account(self, result, warmup: float) -> WSNNodeResult:
+        """Turn one engine result into the Figs. 14/15 quantities."""
         duration = result.end_time - warmup
 
         cpu_fractions = {

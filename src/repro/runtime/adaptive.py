@@ -126,6 +126,8 @@ def run_adaptive_rounds(
     metrics: Callable[[Any], float | Sequence[float]] = float,
     executor: ParallelExecutor | None = None,
     backend: Any | None = None,
+    ensemble_fn: Callable[[Any], list[Any]] | None = None,
+    ensemble_task_for: Callable[[int, int, int], Any] | None = None,
 ) -> list[AdaptivePointRun]:
     """Drive ``fn`` over ``(point, replication)`` tasks until CIs close.
 
@@ -157,6 +159,16 @@ def run_adaptive_rounds(
         explicit :class:`~repro.runtime.backend.Backend` the rounds run
         on (e.g. a socket backend over remote workers).  Ignored when
         ``executor`` is given; pass the backend on the executor then.
+    ensemble_fn / ensemble_task_for:
+        The ``engine="vectorized"`` round shape: when both are given,
+        each round submits **one task per open point** covering all of
+        that round's new replications — ``ensemble_task_for(point,
+        first_replication, count)`` builds the item and
+        ``ensemble_fn(item)`` returns the ``count`` per-replication
+        values in seed-plan order.  Chunking thus batches sweep points,
+        not replications; the stopping rule, seed-plan prefix contract
+        and returned values are unchanged (the vectorized engine is
+        bit-identical per replication).
 
     Returns
     -------
@@ -165,6 +177,10 @@ def run_adaptive_rounds(
     """
     if n_points < 0:
         raise ValueError(f"n_points must be >= 0, got {n_points}")
+    if (ensemble_fn is None) != (ensemble_task_for is None):
+        raise ValueError(
+            "ensemble_fn and ensemble_task_for must be given together"
+        )
     if executor is not None:
         pool = executor
     else:
@@ -178,9 +194,23 @@ def run_adaptive_rounds(
             done = len(runs[i].values)
             want = settings.min_replications if done == 0 else settings.round_size
             n_new = min(want, settings.max_replications - done)
-            tasks.extend(task_for(i, done + r) for r in range(n_new))
+            if ensemble_task_for is not None:
+                tasks.append(ensemble_task_for(i, done, n_new))
+            else:
+                tasks.extend(task_for(i, done + r) for r in range(n_new))
             spans.append((i, n_new))
-        flat = pool.map(fn, tasks)
+        if ensemble_fn is not None:
+            batches = pool.map(ensemble_fn, tasks)
+            flat = []
+            for (i, n_new), batch in zip(spans, batches):
+                if len(batch) != n_new:
+                    raise ValueError(
+                        f"ensemble_fn returned {len(batch)} values for "
+                        f"point {i}, expected {n_new}"
+                    )
+                flat.extend(batch)
+        else:
+            flat = pool.map(fn, tasks)
         cursor = 0
         for i, n_new in spans:
             runs[i].values.extend(flat[cursor : cursor + n_new])

@@ -76,6 +76,23 @@ def _evaluate_task(
     return evaluate(threshold, seed)
 
 
+def _evaluate_ensemble_task(
+    task: tuple[Callable[[float, tuple[int, ...]], list[Any]], float, tuple[int, ...]],
+) -> list[Any]:
+    """One vectorized sweep-point task: all its seeds in one call."""
+    evaluate, threshold, seeds = task
+    values = evaluate(threshold, seeds)
+    if len(values) != len(seeds):
+        raise ValueError(
+            f"ensemble_evaluate returned {len(values)} values for "
+            f"{len(seeds)} seeds at threshold {threshold!r}"
+        )
+    return list(values)
+
+
+_ENGINES = ("interpreted", "vectorized")
+
+
 def map_sweep(
     evaluate: Callable[[float, int], T],
     thresholds: Sequence[float],
@@ -90,6 +107,8 @@ def map_sweep(
     max_replications: int = 64,
     min_replications: int = 2,
     confidence: float = 0.95,
+    engine: str = "interpreted",
+    ensemble_evaluate: Callable[[float, tuple[int, ...]], list[T]] | None = None,
 ) -> list[SweepPoint]:
     """Evaluate ``evaluate(threshold, seed)`` over a grid, in parallel.
 
@@ -132,6 +151,20 @@ def map_sweep(
     max_replications / min_replications / confidence:
         Adaptive stopping-rule knobs; ignored unless ``ci_target`` is
         set.
+    engine:
+        ``"interpreted"`` (default) evaluates one ``(point,
+        replication)`` task at a time through ``evaluate``;
+        ``"vectorized"`` submits **one task per sweep point** that runs
+        all the point's replications in lockstep through
+        ``ensemble_evaluate`` (chunking then batches sweep points, not
+        replications).  The seed plan is identical either way, so for a
+        bit-identical ``ensemble_evaluate`` (e.g. one built on
+        :func:`repro.core.fast.run_ensemble`) the returned points match
+        the interpreted engine exactly.
+    ensemble_evaluate:
+        ``(threshold, seeds) -> [value, ...]`` in seed order; required
+        for (and only used by) ``engine="vectorized"``.  Must be
+        module-level (picklable) when ``workers > 1``.
 
     Returns
     -------
@@ -140,6 +173,10 @@ def map_sweep(
     """
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if engine == "vectorized" and ensemble_evaluate is None:
+        raise ValueError("engine='vectorized' requires ensemble_evaluate")
     grid = [float(t) for t in thresholds]
     if ci_target is not None:
         return _adaptive_sweep(
@@ -158,16 +195,13 @@ def map_sweep(
                 mp_context=mp_context,
                 backend=backend,
             ),
+            engine=engine,
+            ensemble_evaluate=ensemble_evaluate,
         )
     point_seqs = np.random.SeedSequence(seed).spawn(len(grid))
     seeds = [
         [sequence_to_seed(s) for s in ps.spawn(replications)]
         for ps in point_seqs
-    ]
-    tasks = [
-        (evaluate, t, seeds[i][r])
-        for i, t in enumerate(grid)
-        for r in range(replications)
     ]
     pool = ParallelExecutor(
         workers=workers,
@@ -175,7 +209,19 @@ def map_sweep(
         mp_context=mp_context,
         backend=backend,
     )
-    flat = pool.map(_evaluate_task, tasks)
+    if engine == "vectorized":
+        point_tasks = [
+            (ensemble_evaluate, t, tuple(seeds[i])) for i, t in enumerate(grid)
+        ]
+        per_point = pool.map(_evaluate_ensemble_task, point_tasks)
+        flat = [v for values in per_point for v in values]
+    else:
+        tasks = [
+            (evaluate, t, seeds[i][r])
+            for i, t in enumerate(grid)
+            for r in range(replications)
+        ]
+        flat = pool.map(_evaluate_task, tasks)
     out: list[SweepPoint] = []
     for i, t in enumerate(grid):
         reps = flat[i * replications : (i + 1) * replications]
@@ -197,25 +243,41 @@ def _adaptive_sweep(
     seed: int | None,
     settings: AdaptiveSettings,
     executor: ParallelExecutor,
+    engine: str = "interpreted",
+    ensemble_evaluate: Callable[[float, tuple[int, ...]], list[T]] | None = None,
 ) -> list[SweepPoint]:
     """The ``ci_target`` path of :func:`map_sweep`.
 
     The seed plan is the *same* two-level spawn tree as the fixed-count
     path, always spanning ``max_replications`` per point; the
     controller consumes a prefix of it, which is what makes a converged
-    run a reproducible prefix of the fixed run.
+    run a reproducible prefix of the fixed run.  Under
+    ``engine="vectorized"`` each round runs one lockstep ensemble per
+    open point over that round's slice of the plan — same seeds, same
+    prefix contract.
     """
     point_seqs = np.random.SeedSequence(seed).spawn(len(grid))
     seeds = [
         [sequence_to_seed(s) for s in ps.spawn(settings.max_replications)]
         for ps in point_seqs
     ]
+    ensemble_kwargs: dict[str, Any] = {}
+    if engine == "vectorized":
+        ensemble_kwargs = {
+            "ensemble_fn": _evaluate_ensemble_task,
+            "ensemble_task_for": lambda i, start, n: (
+                ensemble_evaluate,
+                grid[i],
+                tuple(seeds[i][start : start + n]),
+            ),
+        }
     runs = run_adaptive_rounds(
         _evaluate_task,
         lambda i, r: (evaluate, grid[i], seeds[i][r]),
         len(grid),
         settings,
         executor=executor,
+        **ensemble_kwargs,
     )
     return [
         SweepPoint(

@@ -18,6 +18,8 @@ class TestScheduling:
         assert cal.pop_next() is None
 
     def test_ties_break_by_insertion_order(self):
+        # Without a rank_of hook every key ranks (0, 0) and equal-time
+        # events keep the historical insertion-order behaviour.
         cal = EventCalendar()
         cal.schedule("a", 1.0)
         cal.schedule("b", 1.0)
@@ -55,6 +57,46 @@ class TestScheduling:
         cal.schedule("a", 1.0)
         cal.pop_next()
         assert not cal.is_scheduled("a")
+
+
+class TestTiePolicy:
+    """Deterministic equal-time ordering via the ``rank_of`` hook."""
+
+    RANKS = {"x#0": (2, 0), "y#0": (0, 0), "y#1": (0, 1), "z#0": (1, 0)}
+
+    def test_equal_times_pop_in_rank_order(self):
+        cal = EventCalendar(rank_of=self.RANKS.__getitem__)
+        # Scheduled in an order deliberately unlike the rank order.
+        for key in ("x#0", "z#0", "y#1", "y#0"):
+            cal.schedule(key, 4.0)
+        popped = [cal.pop_next().transition for _ in range(4)]
+        assert popped == ["y#0", "y#1", "z#0", "x#0"]
+
+    def test_rank_beats_insertion_but_time_beats_rank(self):
+        cal = EventCalendar(rank_of=self.RANKS.__getitem__)
+        cal.schedule("y#0", 5.0)  # best rank, later time
+        cal.schedule("x#0", 3.0)  # worst rank, earliest time
+        assert cal.pop_next().transition == "x#0"
+        assert cal.pop_next().transition == "y#0"
+
+    def test_equal_ranks_fall_back_to_insertion_order(self):
+        cal = EventCalendar(rank_of=lambda key: (0, 0))
+        cal.schedule("b#0", 1.0)
+        cal.schedule("a#0", 1.0)
+        assert cal.pop_next().transition == "b#0"
+        assert cal.pop_next().transition == "a#0"
+
+    def test_reschedule_reranks_at_schedule_time(self):
+        # rank_of is evaluated per schedule() call; a superseding
+        # reschedule carries the fresh rank, not the stale entry's.
+        ranks = {"a": (5, 0), "b": (1, 0)}
+        cal = EventCalendar(rank_of=lambda key: ranks[key])
+        cal.schedule("a", 1.0)
+        cal.schedule("b", 1.0)
+        ranks["a"] = (0, 0)
+        cal.schedule("a", 1.0)  # supersedes with the better rank
+        assert cal.pop_next().transition == "a"
+        assert cal.pop_next().transition == "b"
 
 
 class TestPeek:

@@ -36,16 +36,18 @@ def crash_net(crash_delay=5.0):
 
 class TestResetSemantics:
     def test_queue_flushed_on_fire(self):
-        # Arrivals at 1..4 queue; at t=5 the crash (scheduled earlier,
-        # so it wins the tie) flushes them, then arrival #5 lands.
+        # Arrivals at 1..4 queue.  At t=5 'arrive' and 'crash' tie;
+        # the calendar's deterministic rank (timed-transition definition
+        # order) fires 'arrive' first, so the crash flushes all five.
         result = simulate(crash_net(5.0), horizon=5.5)
-        assert result.final_marking_counts["q"] == 1
+        assert result.final_marking_counts["q"] == 0
         assert result.final_marking_counts["crashes"] == 1
 
     def test_queue_refills_after_crash(self):
-        # crash at 5 flushes 1..4; arrivals 5, 6, 7 remain at t=7.5
+        # crash at 5 flushes 1..5 (arrival #5 wins the tie, see above);
+        # arrivals 6, 7 remain at t=7.5
         result = simulate(crash_net(5.0), horizon=7.5)
-        assert result.final_marking_counts["q"] == 3
+        assert result.final_marking_counts["q"] == 2
 
     def test_reset_does_not_affect_enabling(self):
         # crash fires even when q is empty

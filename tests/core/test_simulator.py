@@ -379,3 +379,105 @@ class TestMM1Validation:
         expected = rho / (1 - rho)
         assert result.mean_tokens("q") == pytest.approx(expected, rel=0.08)
         assert result.occupancy("q") == pytest.approx(rho, rel=0.05)
+
+
+class TestDeterministicTieOrder:
+    """Equal-time firings resolve by timed-transition definition order.
+
+    The ``EventCalendar`` rank hook (see ``repro.core.events``) makes
+    simultaneous events pop by (definition order, server slot) instead
+    of schedule insertion order — the policy the vectorized engine's
+    first-occurrence argmin applies for free.
+    """
+
+    def test_definition_order_beats_schedule_order(self):
+        net = PetriNet("tie")
+        # "first" is *defined* first but *scheduled* last: it only
+        # enables at t=3 (when "feed" delivers B) yet its firing time
+        # ties with "second" at t=5.  Insertion order would fire
+        # "second" first; definition-order rank fires "first" first.
+        net.add_place("B")
+        net.add_place("C")
+        net.add_place("S", initial_tokens=1)
+        net.add_place("D")
+        net.add_place("A", initial_tokens=1)
+        net.add_transition("first", Deterministic(2.0), inputs=["B"], outputs=["C"])
+        net.add_transition("second", Deterministic(5.0), inputs=["S"], outputs=["D"])
+        net.add_transition("feed", Deterministic(3.0), inputs=["A"], outputs=["B"])
+        sim = Simulation(net)
+        order = []
+        sim.add_observer(lambda t, name, consumed, produced: order.append((t, name)))
+        sim.run(10.0)
+        assert order == [(3.0, "feed"), (5.0, "first"), (5.0, "second")]
+
+    def test_tie_order_is_stable_across_runs(self):
+        def run_once():
+            net = PetriNet("tie2")
+            net.add_place("P", initial_tokens=3)
+            net.add_place("Q")
+            net.add_transition("a", Deterministic(4.0), inputs=["P"], outputs=["Q"])
+            net.add_transition("b", Deterministic(4.0), inputs=["P"], outputs=["Q"])
+            sim = Simulation(net)
+            order = []
+            sim.add_observer(lambda t, name, c, p: order.append(name))
+            sim.run(4.0)
+            return order
+
+        assert run_once() == run_once() == ["a", "b"]
+
+
+class TestStaleSchedule:
+    """Regression: a popped event whose transition went stale.
+
+    The engine's own invariant is scheduled => enabled, but a caller
+    mutating the calendar (or marking) directly can break it.  The
+    defensive branch in ``Simulation.step()`` must treat the stale pop
+    as a non-firing event: advance the clock, sample statistics at the
+    new time, count it in ``stale_pops`` — never silently skip the
+    epoch.
+    """
+
+    @staticmethod
+    def _net():
+        net = PetriNet("stale")
+        net.add_place("P", initial_tokens=1)
+        net.add_place("Q")
+        net.add_place("Empty")
+        net.add_place("R")
+        net.add_transition("go", Deterministic(5.0), inputs=["P"], outputs=["Q"])
+        net.add_transition("never", Deterministic(1.0), inputs=["Empty"], outputs=["R"])
+        return net
+
+    def _stale_sim(self):
+        sim = Simulation(self._net())
+        # Initialize first so _refresh_timed can't cancel the bogus
+        # entry before the run starts, then violate the invariant by
+        # scheduling the disabled transition directly.
+        sim._initialize()
+        assert not sim.calendar.is_scheduled("never#0")
+        sim.calendar.schedule("never#0", 2.0)
+        return sim
+
+    def test_stale_pop_advances_clock(self):
+        sim = self._stale_sim()
+        assert sim.step()  # pops the bogus never#0 event
+        assert sim.time == 2.0
+        assert sim.stale_pops == 1
+        assert sim.firings == 0  # a stale pop is not a firing
+
+    def test_stale_pop_keeps_statistics_in_sync(self):
+        sim = self._stale_sim()
+        result = sim.run(10.0)
+        assert sim.stale_pops == 1
+        assert result.firings == 1  # only "go", at t=5
+        assert result.stats.firing_count("never") == 0
+        # Time-weighted occupancies must be exact despite the stale
+        # epoch at t=2: P holds its token for [0, 5) of the 10 s run.
+        assert result.occupancy("P") == pytest.approx(0.5)
+        assert result.occupancy("Q") == pytest.approx(0.5)
+        assert result.final_marking_counts["Q"] == 1
+
+    def test_clean_run_has_no_stale_pops(self):
+        sim = Simulation(self._net())
+        sim.run(10.0)
+        assert sim.stale_pops == 0
