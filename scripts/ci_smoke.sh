@@ -11,6 +11,8 @@
 #             output asserted bit-identical to --backend local
 #   engine    vectorized lockstep engine: a figure run diffed
 #             bit-identical against the interpreted engine
+#   store     content-addressed result store: cold run, warm run diffed
+#             bit-identical, `store stats` asserted to report hits
 #   all       every group above (default)
 #
 # Each group exercises the CLI exactly as a user would — tiny horizons,
@@ -149,6 +151,47 @@ smoke_engine() {
     echo "network correctly rejects --engine vectorized"
 }
 
+smoke_store() {
+    echo "--- smoke: result store (cold vs warm runs) ---"
+    local store_dir out_cold out_warm
+    store_dir="$(mktemp -d)"
+    out_cold="$(mktemp)"
+    out_warm="$(mktemp)"
+    local args=(node-sweep --horizon 2 --replications 2 --store "$store_dir")
+    $CLI "${args[@]}" >"$out_cold"
+    $CLI "${args[@]}" >"$out_warm"
+    if diff "$out_cold" "$out_warm"; then
+        echo "warm store run output is bit-identical to cold"
+    else
+        echo "FAIL: warm store run output differs from cold" >&2
+        return 1
+    fi
+    # Cross-engine sharing: the vectorized engine must read the
+    # interpreted run's entries and print the same bytes.
+    $CLI node-sweep --horizon 2 --replications 2 --engine vectorized \
+        --store "$store_dir" >"$out_warm"
+    if diff "$out_cold" "$out_warm"; then
+        echo "vectorized run served from interpreted entries, bit-identical"
+    else
+        echo "FAIL: vectorized warm run differs from interpreted cold" >&2
+        return 1
+    fi
+    # A fresh `store stats` process must see the warm runs' hits
+    # (counters are flushed to the manifest on CLI exit).
+    $CLI store stats --store "$store_dir"
+    local hits
+    hits="$($CLI store stats --store "$store_dir" | sed -n 's/^hits *: *//p')"
+    if [ "${hits:-0}" -gt 0 ]; then
+        echo "store stats reports $hits hits across processes"
+    else
+        echo "FAIL: store stats reported no hits after warm runs" >&2
+        return 1
+    fi
+    $CLI store verify --store "$store_dir"
+    $CLI store gc --store "$store_dir"
+    rm -rf "$store_dir"
+}
+
 groups=("${@:-all}")
 for group in "${groups[@]}"; do
     case "$group" in
@@ -157,10 +200,11 @@ for group in "${groups[@]}"; do
         sharded)  smoke_sharded ;;
         socket)   smoke_socket ;;
         engine)   smoke_engine ;;
-        all)      smoke_runtime; smoke_adaptive; smoke_sharded; smoke_socket; smoke_engine ;;
+        store)    smoke_store ;;
+        all)      smoke_runtime; smoke_adaptive; smoke_sharded; smoke_socket; smoke_engine; smoke_store ;;
         *)
             echo "unknown smoke group: $group" >&2
-            echo "valid groups: runtime adaptive sharded socket engine all" >&2
+            echo "valid groups: runtime adaptive sharded socket engine store all" >&2
             exit 2
             ;;
     esac

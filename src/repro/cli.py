@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli lifetime --threshold 0.00178 --capacity-mah 1000
     python -m repro.cli network --topology grid --grid 10x10 --shards 8
     python -m repro.cli network --topology line --nodes 5 --sweep
+    python -m repro.cli node-sweep --store ~/.repro-store
+    python -m repro.cli store stats --store ~/.repro-store
     python -m repro.cli worker --serve 9000
     python -m repro.cli network --sweep --backend socket \
         --connect hostA:9000 --connect hostB:9000
@@ -49,12 +51,23 @@ and re-queued if a worker drops (:mod:`repro.runtime.remote`).
 Backends, like workers and shards, never change the reported numbers —
 ``--backend socket`` is asserted bit-identical to ``--backend local``
 in the test suite and CI.
+
+``--store DIR`` memoizes per-replication simulation results in a
+content-addressed on-disk :class:`~repro.runtime.store.ResultStore`
+(also settable via the ``REPRO_STORE`` environment variable;
+``--no-store`` disables it for one run).  Warm re-runs print output
+byte-identical to cold runs — entries are keyed by the task spec
+(parameters, seed, horizon), never by workers/shards/backend/engine, so
+every execution configuration shares one cache.  ``python -m repro.cli
+store {stats,verify,gc} --store DIR`` inspects, integrity-checks and
+compacts a store.
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from collections.abc import Sequence
 
@@ -181,6 +194,24 @@ def _add_engine_arg(sub_parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_args(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed result store directory: cached "
+            "replications are served without re-simulating and new ones "
+            "are written back (default: $REPRO_STORE if set, else off)"
+        ),
+    )
+    sub_parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the result store even if $REPRO_STORE is set",
+    )
+
+
 def _add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--workers",
@@ -200,6 +231,7 @@ def _add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
     _add_engine_arg(sub_parser)
     _add_adaptive_args(sub_parser)
     _add_backend_args(sub_parser)
+    _add_store_args(sub_parser)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -293,6 +325,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_adaptive_args(network)
     _add_backend_args(network)
+    _add_store_args(network)
+
+    store_cmd = sub.add_parser(
+        "store", help="inspect or maintain a result store"
+    )
+    store_cmd.add_argument(
+        "action",
+        choices=["stats", "verify", "gc"],
+        help=(
+            "stats: entry/byte/hit counters; verify: checksum every "
+            "entry; gc: remove corrupt entries and stale temp files"
+        ),
+    )
+    store_cmd.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="store directory (default: $REPRO_STORE)",
+    )
 
     worker = sub.add_parser(
         "worker",
@@ -348,6 +399,47 @@ def _make_backend(args: argparse.Namespace):
     )
 
 
+def _make_store(args: argparse.Namespace):
+    """Build the result store selected by --store/$REPRO_STORE.
+
+    ``--no-store`` wins over both; with neither flag nor environment
+    set there is no store — the historical CLI behaviour, bit for bit.
+    """
+    if getattr(args, "no_store", False):
+        return None
+    path = getattr(args, "store", None) or os.environ.get("REPRO_STORE")
+    if not path:
+        return None
+    from .runtime.store import ResultStore
+
+    return ResultStore(path)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .runtime.store import ResultStore
+
+    store = ResultStore(args.store)
+    if args.action == "stats":
+        for line in store.stats().lines():
+            print(line)
+        return 0
+    if args.action == "verify":
+        n_ok, corrupt = store.verify()
+        print(
+            f"verified: {n_ok} intact entr{'y' if n_ok == 1 else 'ies'}, "
+            f"{len(corrupt)} corrupt"
+        )
+        for path in corrupt:
+            print(f"  corrupt: {path}")
+        return 1 if corrupt else 0
+    files_removed, bytes_reclaimed = store.gc()
+    print(
+        f"gc: removed {files_removed} file(s), "
+        f"reclaimed {bytes_reclaimed} bytes"
+    )
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from .runtime.remote import serve_worker
 
@@ -379,6 +471,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
             max_replications=args.max_replications,
             backend=_make_backend(args),
             engine=args.engine,
+            store=args.result_store,
         )
         print(
             format_breakdown_sweep(
@@ -407,6 +500,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         max_replications=args.max_replications,
         backend=_make_backend(args),
         engine=args.engine,
+        store=args.result_store,
     )
     if args.number <= 6:
         for est in ("simulation", "markov", "petri"):
@@ -533,6 +627,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
         max_replications=args.max_replications,
         backend=_make_backend(args),
         engine=args.engine,
+        store=args.result_store,
     )
     print(
         format_delta_table(
@@ -554,6 +649,7 @@ def _cmd_node_sweep(args: argparse.Namespace) -> int:
         max_replications=args.max_replications,
         backend=_make_backend(args),
         engine=args.engine,
+        store=args.result_store,
     )
     print(
         format_breakdown_sweep(
@@ -582,6 +678,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         max_replications=args.max_replications,
         backend=_make_backend(args),
         engine=args.engine,
+        store=args.result_store,
     )
     print(format_steady_state_table(result.petri.stage_probabilities))
     print()
@@ -626,6 +723,7 @@ def _cmd_network(args: argparse.Namespace) -> int:
             ci_target=args.ci_target,
             max_replications=args.max_replications,
             backend=_make_backend(args),
+            store=args.result_store,
         )
         print(
             format_table(
@@ -657,6 +755,7 @@ def _cmd_network(args: argparse.Namespace) -> int:
         ci_target=args.ci_target,
         max_replications=args.max_replications,
         backend=_make_backend(args),
+        store=args.result_store,
     )
     print(f"network scenario {run_info}")
     if args.ci_target is not None:
@@ -727,22 +826,33 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"under --ci-target and must be <= --max-replications "
             f"{args.max_replications}"
         )
+    if args.command == "store":
+        args.store = args.store or os.environ.get("REPRO_STORE")
+        if not args.store:
+            parser.error("store requires --store DIR (or $REPRO_STORE)")
+        return _cmd_store(args)
     if args.command == "worker":
         return _cmd_worker(args)
     if args.command == "list":
         return _cmd_list()
-    if args.command == "fig":
-        return _cmd_fig(args)
-    if args.command == "table":
-        return _cmd_table(args)
-    if args.command == "node-sweep":
-        return _cmd_node_sweep(args)
-    if args.command == "validate":
-        return _cmd_validate(args)
-    if args.command == "network":
-        return _cmd_network(args)
     if args.command == "lifetime":
         return _cmd_lifetime(args)
+    run_commands = {
+        "fig": _cmd_fig,
+        "table": _cmd_table,
+        "node-sweep": _cmd_node_sweep,
+        "validate": _cmd_validate,
+        "network": _cmd_network,
+    }
+    if args.command in run_commands:
+        # Built once per invocation so hit/miss counters accumulate
+        # across the run and persist (flush) for `store stats`.
+        args.result_store = _make_store(args)
+        try:
+            return run_commands[args.command](args)
+        finally:
+            if args.result_store is not None:
+                args.result_store.flush_counters()
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

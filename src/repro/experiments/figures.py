@@ -232,6 +232,7 @@ def run_cpu_comparison(
     min_replications: int = 2,
     backend=None,
     engine: str = "interpreted",
+    store=None,
 ) -> CPUComparisonResult:
     """Run the full three-way sweep for one ``Power_Up_Delay``.
 
@@ -265,10 +266,16 @@ def run_cpu_comparison(
     threshold point); the DES and the analytic Markov solve are not
     Petri nets and evaluate exactly as before, so the result is
     bit-identical to the interpreted engine at every seed plan.
+
+    ``store`` memoizes per-replication estimator outputs in a
+    :class:`~repro.runtime.store.ResultStore` keyed by the full task
+    spec (threshold, seed, delay, config, power table, markov flag) —
+    shared across engines, backends and the fixed/adaptive paths.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
+    from ..runtime.store import cached_ensemble_map, cached_map
 
     if engine not in ("interpreted", "vectorized"):
         raise ValueError(
@@ -314,24 +321,41 @@ def run_cpu_comparison(
             ),
             metrics=lambda out: (out["simulation"][1], out["petri"][1]),
             executor=ParallelExecutor(workers=workers, backend=backend),
+            store=store,
             **ensemble_kwargs,
         )
         per_point = [run.values for run in runs]
         converged = [run.converged for run in runs]
     elif engine == "vectorized":
+        seed_plans = [
+            replication_seeds(cfg.seed + i, replications)
+            for i in range(len(cfg.thresholds))
+        ]
         point_tasks = [
-            (
-                threshold,
-                tuple(replication_seeds(cfg.seed + i, replications)),
-                0,
+            (threshold, tuple(seed_plans[i]), 0, power_up_delay, cfg, table)
+            for i, threshold in enumerate(cfg.thresholds)
+        ]
+        per_point = cached_ensemble_map(
+            ParallelExecutor(workers=workers, backend=backend),
+            _evaluate_cpu_point_ensemble,
+            point_tasks,
+            store,
+            key_fn=_evaluate_cpu_point,
+            rep_items=[
+                [
+                    (t, seed, power_up_delay, cfg, table, rep == 0)
+                    for rep, seed in enumerate(seed_plans[i])
+                ]
+                for i, t in enumerate(cfg.thresholds)
+            ],
+            rebuild_tail=lambda i, start: (
+                cfg.thresholds[i],
+                tuple(seed_plans[i][start:]),
+                start,
                 power_up_delay,
                 cfg,
                 table,
-            )
-            for i, threshold in enumerate(cfg.thresholds)
-        ]
-        per_point = ParallelExecutor(workers=workers, backend=backend).map(
-            _evaluate_cpu_point_ensemble, point_tasks
+            ),
         )
     else:
         tasks = []
@@ -342,8 +366,11 @@ def run_cpu_comparison(
                 tasks.append(
                     (threshold, rep_seed, power_up_delay, cfg, table, rep == 0)
                 )
-        flat = ParallelExecutor(workers=workers, backend=backend).map(
-            _evaluate_cpu_point, tasks
+        flat = cached_map(
+            ParallelExecutor(workers=workers, backend=backend),
+            _evaluate_cpu_point,
+            tasks,
+            store,
         )
         per_point = [
             flat[i * replications : (i + 1) * replications]

@@ -221,6 +221,7 @@ def _adaptive_network_runs(
     shards: int,
     shard_strategy: str,
     backend=None,
+    store=None,
 ):
     """Adaptively replicate whole network runs, one point per threshold.
 
@@ -233,6 +234,11 @@ def _adaptive_network_runs(
     prefix of the fixed ``max_replications`` run.  The stopping metric
     is total network energy (network lifetime quantises to the hotspot
     node's battery and is reported with its own CI instead).
+
+    ``store`` memoizes at *node* granularity inside each
+    :meth:`~repro.models.network.SensorNetworkModel.simulate` call (the
+    controller's own ``(point, rep)`` tasks are index placeholders with
+    no content to key on), so warm top-ups reuse every node run.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.seeding import replication_seeds
@@ -258,6 +264,7 @@ def _adaptive_network_runs(
             shards=shards,
             shard_strategy=shard_strategy,
             backend=backend,
+            store=store,
         )
 
     return run_adaptive_rounds(
@@ -284,6 +291,7 @@ def run_network_scenario(
     min_replications: int = 2,
     backend=None,
     engine: str = "interpreted",
+    store=None,
 ) -> NetworkResult | ReplicatedNetworkResult:
     """Simulate one network at one ``Power_Down_Threshold``.
 
@@ -317,6 +325,7 @@ def run_network_scenario(
             shards,
             shard_strategy,
             backend=backend,
+            store=store,
         )
         return ReplicatedNetworkResult(
             result=run.values[0],
@@ -332,6 +341,7 @@ def run_network_scenario(
         shards=shards,
         shard_strategy=shard_strategy,
         backend=backend,
+        store=store,
     )
 
 
@@ -345,6 +355,7 @@ def run_network_lifetime_sweep(
     min_replications: int = 2,
     backend=None,
     engine: str = "interpreted",
+    store=None,
 ) -> NetworkSweepResult:
     """Sweep ``config.thresholds`` on the network-lifetime metric.
 
@@ -370,6 +381,7 @@ def run_network_lifetime_sweep(
             shards,
             shard_strategy,
             backend=backend,
+            store=store,
         )
         return NetworkSweepResult(
             topology=cfg.topology.describe(),
@@ -388,6 +400,7 @@ def run_network_lifetime_sweep(
         shards=shards,
         shard_strategy=shard_strategy,
         backend=backend,
+        store=store,
     )
     return NetworkSweepResult(
         topology=cfg.topology.describe(),

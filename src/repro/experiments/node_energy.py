@@ -152,6 +152,7 @@ def run_node_energy_sweep(
     min_replications: int = 2,
     backend=None,
     engine: str = "interpreted",
+    store=None,
 ) -> NodeSweepResult:
     """Simulate the node at every threshold grid point.
 
@@ -183,10 +184,17 @@ def run_node_energy_sweep(
     point, so chunking batches sweep points); the engine is
     bit-identical per replication, so the sweep result matches the
     interpreted engine exactly at every seed plan.
+
+    ``store`` memoizes per-replication node results in a
+    :class:`~repro.runtime.store.ResultStore` keyed by ``(params,
+    workload, horizon, seed)`` — shared across engines, backends and
+    the fixed/adaptive paths, so warm re-runs and ``max_replications``
+    top-ups recompute only unseen replications.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
+    from ..runtime.store import cached_ensemble_map, cached_map
 
     if engine not in ("interpreted", "vectorized"):
         raise ValueError(
@@ -221,23 +229,34 @@ def run_node_energy_sweep(
             ),
             metrics=lambda result: result.total_energy_j,
             executor=ParallelExecutor(workers=workers, backend=backend),
+            store=store,
             **ensemble_kwargs,
         )
         replicates = [run.values for run in runs]
         converged = [run.converged for run in runs]
     elif engine == "vectorized":
         rep_seeds = replication_seeds(cfg.seed, replications)
+        point_params = [cfg.params.with_threshold(t) for t in cfg.thresholds]
         point_tasks = [
-            (
-                cfg.params.with_threshold(threshold),
+            (params, cfg.workload, cfg.horizon, tuple(rep_seeds))
+            for params in point_params
+        ]
+        replicates = cached_ensemble_map(
+            ParallelExecutor(workers=workers, backend=backend),
+            simulate_node_ensemble_task,
+            point_tasks,
+            store,
+            key_fn=simulate_node_task,
+            rep_items=[
+                [(params, cfg.workload, cfg.horizon, seed) for seed in rep_seeds]
+                for params in point_params
+            ],
+            rebuild_tail=lambda i, start: (
+                point_params[i],
                 cfg.workload,
                 cfg.horizon,
-                tuple(rep_seeds),
-            )
-            for threshold in cfg.thresholds
-        ]
-        replicates = ParallelExecutor(workers=workers, backend=backend).map(
-            simulate_node_ensemble_task, point_tasks
+                tuple(rep_seeds[start:]),
+            ),
         )
     else:
         rep_seeds = replication_seeds(cfg.seed, replications)
@@ -246,8 +265,11 @@ def run_node_energy_sweep(
             for threshold in cfg.thresholds
             for seed in rep_seeds
         ]
-        flat = ParallelExecutor(workers=workers, backend=backend).map(
-            simulate_node_task, tasks
+        flat = cached_map(
+            ParallelExecutor(workers=workers, backend=backend),
+            simulate_node_task,
+            tasks,
+            store,
         )
         replicates = [
             flat[i * replications : (i + 1) * replications]

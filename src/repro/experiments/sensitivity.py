@@ -103,6 +103,7 @@ def node_optimum_vs_rate(
     min_replications: int = 2,
     backend=None,
     engine: str = "interpreted",
+    store=None,
 ) -> RateSensitivityResult:
     """Sweep the event rate; find the optimum threshold at each rate.
 
@@ -129,10 +130,15 @@ def node_optimum_vs_rate(
     fixed path every cell is a single run (an ensemble of one), so the
     interpreted engine is usually faster there; the vectorized engine
     pays off under ``ci_target``.
+
+    ``store`` memoizes per-replication cell energies in a
+    :class:`~repro.runtime.store.ResultStore` keyed by ``(rate,
+    threshold, workload, horizon, seed)``.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
+    from ..runtime.store import cached_ensemble_map, cached_map
 
     if engine not in ("interpreted", "vectorized"):
         raise ValueError(
@@ -165,6 +171,7 @@ def node_optimum_vs_rate(
                 max_replications=max_replications,
             ),
             executor=ParallelExecutor(workers=workers, backend=backend),
+            store=store,
             **ensemble_kwargs,
         )
         flat = [float(np.mean(run.values)) for run in runs]
@@ -182,16 +189,27 @@ def node_optimum_vs_rate(
         ]
         flat = [
             values[0]
-            for values in ParallelExecutor(workers=workers, backend=backend).map(
-                _node_energy_ensemble_task, grid
+            for values in cached_ensemble_map(
+                ParallelExecutor(workers=workers, backend=backend),
+                _node_energy_ensemble_task,
+                grid,
+                store,
+                key_fn=_node_energy_task,
+                rep_items=[
+                    [(rate, t, workload, horizon, seed)] for rate, t in cells
+                ],
+                rebuild_tail=lambda i, _start: grid[i],
             )
         ]
     else:
         grid = [
             (rate, t, workload, horizon, seed) for rate, t in cells
         ]
-        flat = ParallelExecutor(workers=workers, backend=backend).map(
-            _node_energy_task, grid
+        flat = cached_map(
+            ParallelExecutor(workers=workers, backend=backend),
+            _node_energy_task,
+            grid,
+            store,
         )
 
     optima: list[float] = []

@@ -178,6 +178,7 @@ def run_simple_node_validation(
     min_replications: int = 2,
     backend=None,
     engine: str = "interpreted",
+    store=None,
 ) -> ValidationResult:
     """Execute the full Section V protocol.
 
@@ -204,10 +205,16 @@ def run_simple_node_validation(
     (bit-identical per replication, so the reported table is unchanged
     from the interpreted engine); the IMote2 hardware DES half is
     unaffected.
+
+    ``store`` memoizes per-replication (hardware, Petri) pairs in a
+    :class:`~repro.runtime.store.ResultStore` keyed by ``(config,
+    seed)`` — shared across engines, backends and the fixed/adaptive
+    paths.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
+    from ..runtime.store import cached_ensemble_map, cached_map
 
     if engine not in ("interpreted", "vectorized"):
         raise ValueError(
@@ -237,21 +244,31 @@ def run_simple_node_validation(
             ),
             metrics=_percent_difference,
             executor=ParallelExecutor(workers=workers, backend=backend),
+            store=store,
             **ensemble_kwargs,
         )
         reps = run.values
         converged = run.converged
     elif engine == "vectorized":
-        [reps] = ParallelExecutor(workers=workers, backend=backend).map(
+        seeds = replication_seeds(cfg.seed, replications)
+        [reps] = cached_ensemble_map(
+            ParallelExecutor(workers=workers, backend=backend),
             _run_validation_ensemble,
-            [(cfg, tuple(replication_seeds(cfg.seed, replications)))],
+            [(cfg, tuple(seeds))],
+            store,
+            key_fn=_run_validation_rep,
+            rep_items=[[(cfg, seed) for seed in seeds]],
+            rebuild_tail=lambda _i, start: (cfg, tuple(seeds[start:])),
         )
     else:
         tasks = [
             (cfg, seed) for seed in replication_seeds(cfg.seed, replications)
         ]
-        reps = ParallelExecutor(workers=workers, backend=backend).map(
-            _run_validation_rep, tasks
+        reps = cached_map(
+            ParallelExecutor(workers=workers, backend=backend),
+            _run_validation_rep,
+            tasks,
+            store,
         )
 
     differences = [_percent_difference(rep) for rep in reps]

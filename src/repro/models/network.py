@@ -367,6 +367,7 @@ class SensorNetworkModel:
         shard_strategy: str = "contiguous",
         seed_mode: str = "legacy",
         backend=None,
+        store=None,
     ) -> NetworkResult:
         """Simulate every node at its effective rate.
 
@@ -392,6 +393,13 @@ class SensorNetworkModel:
         :class:`~repro.runtime.remote.SocketBackend` over remote
         worker hosts.  Tasks are picklable data with their seeds
         inside, so the backend can never change the numbers either.
+
+        ``store`` memoizes *per-node* results in a
+        :class:`~repro.runtime.store.ResultStore` keyed by ``(node
+        params incl. effective rate, workload, horizon, node seed)`` —
+        node granularity means any topology, shard count or threshold
+        sweep reuses every node simulation it shares with an earlier
+        run.
         """
         from ..runtime.executor import ParallelExecutor
         from ..runtime.sharding import (
@@ -399,6 +407,7 @@ class SensorNetworkModel:
             partition_indices,
             shard_node_seeds,
         )
+        from ..runtime.store import cached_map
 
         if horizon <= 0:
             raise ValueError("horizon must be > 0")
@@ -410,8 +419,11 @@ class SensorNetworkModel:
             for i, rate in enumerate(rates)
         ]
         if shards == 1:
-            results = ParallelExecutor(workers=workers, backend=backend).map(
-                simulate_node_task, tasks
+            results = cached_map(
+                ParallelExecutor(workers=workers, backend=backend),
+                simulate_node_task,
+                tasks,
+                store,
             )
             summaries = [
                 self._summarise(i, rate, result, estimator)
@@ -426,7 +438,12 @@ class SensorNetworkModel:
 
         plan = partition_indices(len(tasks), shards, shard_strategy)
         per_shard = map_shards(
-            simulate_node_task, tasks, plan, workers=workers, backend=backend
+            simulate_node_task,
+            tasks,
+            plan,
+            workers=workers,
+            backend=backend,
+            store=store,
         )
         shard_results = [
             NetworkResult(
@@ -453,6 +470,7 @@ class SensorNetworkModel:
         shard_strategy: str = "contiguous",
         seed_mode: str = "legacy",
         backend=None,
+        store=None,
     ) -> list[NetworkResult]:
         """Network result per threshold (network-lifetime optimisation).
 
@@ -479,6 +497,7 @@ class SensorNetworkModel:
                     shard_strategy=shard_strategy,
                     seed_mode=seed_mode,
                     backend=backend,
+                    store=store,
                 )
             )
         return out

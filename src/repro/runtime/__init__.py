@@ -35,7 +35,16 @@ time:
   contiguous or round-robin :class:`ShardPlan` partitions,
   :func:`map_shards` / :func:`run_sharded` run one executor task per
   shard, and :func:`shard_node_seeds` keys seeds by global item index
-  so no shard count or strategy can change the numbers.
+  so no shard count or strategy can change the numbers;
+* :mod:`repro.runtime.store` — content-addressed result memoization:
+  :class:`ResultStore` keeps per-replication results on disk under a
+  canonical SHA-256 :func:`task_key` of the task spec (parameters,
+  seed entry, horizon — never execution knobs), written atomically and
+  checksummed on read, so re-runs, figure regeneration and adaptive
+  top-ups recompute only what the cache has never seen.
+  :func:`cached_map` / :func:`cached_ensemble_map` are the
+  store-through-executor primitives the sweep/adaptive/shard layers
+  build on.
 
 Every experiment driver (``repro.experiments.figures``,
 ``node_energy``, ``sensitivity``, ``validation``) and the network
@@ -68,6 +77,16 @@ from .sharding import (
     run_sharded,
     shard_node_seeds,
 )
+from .store import (
+    ResultStore,
+    StoreStats,
+    StoreWarning,
+    cached_ensemble_map,
+    cached_map,
+    canonical_json,
+    canonicalize,
+    task_key,
+)
 from .sweep import ReplicatedValue, map_sweep
 
 __all__ = [
@@ -94,4 +113,12 @@ __all__ = [
     "shard_node_seeds",
     "map_shards",
     "run_sharded",
+    "ResultStore",
+    "StoreStats",
+    "StoreWarning",
+    "task_key",
+    "canonicalize",
+    "canonical_json",
+    "cached_map",
+    "cached_ensemble_map",
 ]

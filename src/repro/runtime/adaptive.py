@@ -33,6 +33,7 @@ from typing import Any
 
 from ..core.statistics import replication_interval
 from .executor import ParallelExecutor
+from .store import ResultStore, task_key
 
 __all__ = ["AdaptiveSettings", "AdaptivePointRun", "run_adaptive_rounds"]
 
@@ -128,6 +129,7 @@ def run_adaptive_rounds(
     backend: Any | None = None,
     ensemble_fn: Callable[[Any], list[Any]] | None = None,
     ensemble_task_for: Callable[[int, int, int], Any] | None = None,
+    store: ResultStore | None = None,
 ) -> list[AdaptivePointRun]:
     """Drive ``fn`` over ``(point, replication)`` tasks until CIs close.
 
@@ -169,6 +171,16 @@ def run_adaptive_rounds(
         not replications; the stopping rule, seed-plan prefix contract
         and returned values are unchanged (the vectorized engine is
         bit-identical per replication).
+    store:
+        Optional :class:`~repro.runtime.store.ResultStore`.  Each
+        round's new replications are keyed by
+        ``task_key(fn, task_for(i, r))`` — always the *interpreted*
+        task shape, so both engines share entries.  Cached values are
+        served without submitting work (for the ensemble shape, the
+        cached prefix is served and one smaller task covers only the
+        tail) and computed values are written back.  Raising
+        ``max_replications`` on a warmed store therefore schedules
+        only the delta replications.
 
     Returns
     -------
@@ -189,32 +201,66 @@ def run_adaptive_rounds(
     open_points = list(range(n_points))
     while open_points:
         tasks: list[Any] = []
-        spans: list[tuple[int, int]] = []  # (point, new replication count)
+        # (point, new replication count, cached prefix / per-rep slots, keys)
+        spans: list[tuple[int, int, list[Any], list[str]]] = []
         for i in open_points:
             done = len(runs[i].values)
             want = settings.min_replications if done == 0 else settings.round_size
             n_new = min(want, settings.max_replications - done)
+            keys = (
+                [task_key(fn, task_for(i, done + r)) for r in range(n_new)]
+                if store is not None
+                else []
+            )
             if ensemble_task_for is not None:
-                tasks.append(ensemble_task_for(i, done, n_new))
-            else:
-                tasks.extend(task_for(i, done + r) for r in range(n_new))
-            spans.append((i, n_new))
-        if ensemble_fn is not None:
-            batches = pool.map(ensemble_fn, tasks)
-            flat = []
-            for (i, n_new), batch in zip(spans, batches):
-                if len(batch) != n_new:
-                    raise ValueError(
-                        f"ensemble_fn returned {len(batch)} values for "
-                        f"point {i}, expected {n_new}"
+                # Serve the cached *prefix* only: the ensemble task shape
+                # covers one contiguous replication range per point.
+                cached: list[Any] = []
+                for key in keys:
+                    hit, value = store.get(key)  # type: ignore[union-attr]
+                    if not hit:
+                        break
+                    cached.append(value)
+                if len(cached) < n_new:
+                    tasks.append(
+                        ensemble_task_for(i, done + len(cached), n_new - len(cached))
                     )
-                flat.extend(batch)
+                spans.append((i, n_new, cached, keys))
+            else:
+                slots: list[Any] = []
+                for r in range(n_new):
+                    if store is not None:
+                        hit, value = store.get(keys[r])
+                        if hit:
+                            slots.append((True, value))
+                            continue
+                    slots.append((False, None))
+                    tasks.append(task_for(i, done + r))
+                spans.append((i, n_new, slots, keys))
+        if ensemble_fn is not None:
+            batches = iter(pool.map(ensemble_fn, tasks))
+            for i, n_new, cached, keys in spans:
+                n_tail = n_new - len(cached)
+                tail = list(next(batches)) if n_tail else []
+                if len(tail) != n_tail:
+                    raise ValueError(
+                        f"ensemble_fn returned {len(tail)} values for "
+                        f"point {i}, expected {n_tail}"
+                    )
+                if store is not None:
+                    for offset, value in enumerate(tail):
+                        store.put(keys[len(cached) + offset], value)
+                runs[i].values.extend(cached)
+                runs[i].values.extend(tail)
         else:
-            flat = pool.map(fn, tasks)
-        cursor = 0
-        for i, n_new in spans:
-            runs[i].values.extend(flat[cursor : cursor + n_new])
-            cursor += n_new
+            flat = iter(pool.map(fn, tasks))
+            for i, n_new, slots, keys in spans:
+                for r, (hit, value) in enumerate(slots):
+                    if not hit:
+                        value = next(flat)
+                        if store is not None:
+                            store.put(keys[r], value)
+                    runs[i].values.append(value)
         still_open: list[int] = []
         for i in open_points:
             run = runs[i]

@@ -46,6 +46,7 @@ from typing import Any, TypeVar
 
 from .executor import ParallelExecutor, TaskError
 from .seeding import spawn_seeds
+from .store import ResultStore, task_key
 
 __all__ = [
     "Shard",
@@ -222,6 +223,7 @@ def map_shards(
     workers: int = 1,
     mp_context: str | None = None,
     backend: Any | None = None,
+    store: ResultStore | None = None,
 ) -> list[list[R]]:
     """Evaluate ``fn`` over ``items``, one executor task per shard.
 
@@ -239,20 +241,51 @@ def map_shards(
     picklable data with their seeds inside, so a
     :class:`~repro.runtime.remote.SocketBackend` dispatches them to
     remote hosts unchanged, and bit-identically.
+
+    With a ``store``, each *item* (not shard) is keyed by
+    ``task_key(fn, item)`` in the parent; cached items are served
+    without touching a worker, each shard is reduced to its missing
+    items (fully-cached shards submit nothing), and computed values are
+    written back.  Shard membership never enters the key, so any shard
+    count and strategy warms and reads the same entries.
     """
     items = list(items)
     if plan.n_items != len(items):
         raise ValueError(
             f"plan covers {plan.n_items} items, got {len(items)}"
         )
-    tasks = [
-        (fn, shard.node_indices, [items[i] for i in shard.node_indices])
-        for shard in plan.shards
-    ]
     pool = ParallelExecutor(
         workers=workers, chunk_size=1, mp_context=mp_context, backend=backend
     )
-    return pool.map(_run_shard, tasks)
+    if store is None:
+        tasks = [
+            (fn, shard.node_indices, [items[i] for i in shard.node_indices])
+            for shard in plan.shards
+        ]
+        return pool.map(_run_shard, tasks)
+    keys = [task_key(fn, item) for item in items]
+    values: dict[int, Any] = {}
+    for i, key in enumerate(keys):
+        hit, value = store.get(key)
+        if hit:
+            values[i] = value
+    reduced = [
+        (shard, [i for i in shard.node_indices if i not in values])
+        for shard in plan.shards
+    ]
+    reduced = [(shard, missing) for shard, missing in reduced if missing]
+    computed = pool.map(
+        _run_shard,
+        [
+            (fn, tuple(missing), [items[i] for i in missing])
+            for _, missing in reduced
+        ],
+    )
+    for (_, missing), shard_values in zip(reduced, computed):
+        for i, value in zip(missing, shard_values):
+            store.put(keys[i], value)
+            values[i] = value
+    return [[values[i] for i in shard.node_indices] for shard in plan.shards]
 
 
 def run_sharded(
@@ -262,6 +295,7 @@ def run_sharded(
     workers: int = 1,
     mp_context: str | None = None,
     backend: Any | None = None,
+    store: ResultStore | None = None,
 ) -> list[R]:
     """Sharded map returning results in global item order.
 
@@ -270,5 +304,5 @@ def run_sharded(
     a semantic one.
     """
     return plan.global_order(
-        map_shards(fn, items, plan, workers, mp_context, backend)
+        map_shards(fn, items, plan, workers, mp_context, backend, store)
     )

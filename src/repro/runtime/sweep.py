@@ -34,6 +34,7 @@ from ..experiments.sweep import SweepPoint
 from .adaptive import AdaptiveSettings, run_adaptive_rounds
 from .executor import ParallelExecutor
 from .seeding import sequence_to_seed
+from .store import ResultStore, cached_ensemble_map, cached_map
 
 __all__ = ["ReplicatedValue", "map_sweep"]
 
@@ -109,6 +110,7 @@ def map_sweep(
     confidence: float = 0.95,
     engine: str = "interpreted",
     ensemble_evaluate: Callable[[float, tuple[int, ...]], list[T]] | None = None,
+    store: ResultStore | None = None,
 ) -> list[SweepPoint]:
     """Evaluate ``evaluate(threshold, seed)`` over a grid, in parallel.
 
@@ -165,6 +167,14 @@ def map_sweep(
         ``(threshold, seeds) -> [value, ...]`` in seed order; required
         for (and only used by) ``engine="vectorized"``.  Must be
         module-level (picklable) when ``workers > 1``.
+    store:
+        Optional :class:`~repro.runtime.store.ResultStore` memoizing
+        per-replication values.  Keys are derived from the
+        *interpreted* per-replication task ``(evaluate, threshold,
+        seed)`` regardless of ``engine`` — the vectorized engine is
+        bit-identical per replication, so both engines (and every
+        backend; the store is consulted in the parent only) share one
+        cache.  Execution knobs never enter the key.
 
     Returns
     -------
@@ -197,6 +207,7 @@ def map_sweep(
             ),
             engine=engine,
             ensemble_evaluate=ensemble_evaluate,
+            store=store,
         )
     point_seqs = np.random.SeedSequence(seed).spawn(len(grid))
     seeds = [
@@ -213,7 +224,21 @@ def map_sweep(
         point_tasks = [
             (ensemble_evaluate, t, tuple(seeds[i])) for i, t in enumerate(grid)
         ]
-        per_point = pool.map(_evaluate_ensemble_task, point_tasks)
+        per_point = cached_ensemble_map(
+            pool,
+            _evaluate_ensemble_task,
+            point_tasks,
+            store,
+            key_fn=_evaluate_task,
+            rep_items=[
+                [(evaluate, t, s) for s in seeds[i]] for i, t in enumerate(grid)
+            ],
+            rebuild_tail=lambda i, start: (
+                ensemble_evaluate,
+                grid[i],
+                tuple(seeds[i][start:]),
+            ),
+        )
         flat = [v for values in per_point for v in values]
     else:
         tasks = [
@@ -221,7 +246,7 @@ def map_sweep(
             for i, t in enumerate(grid)
             for r in range(replications)
         ]
-        flat = pool.map(_evaluate_task, tasks)
+        flat = cached_map(pool, _evaluate_task, tasks, store)
     out: list[SweepPoint] = []
     for i, t in enumerate(grid):
         reps = flat[i * replications : (i + 1) * replications]
@@ -245,6 +270,7 @@ def _adaptive_sweep(
     executor: ParallelExecutor,
     engine: str = "interpreted",
     ensemble_evaluate: Callable[[float, tuple[int, ...]], list[T]] | None = None,
+    store: ResultStore | None = None,
 ) -> list[SweepPoint]:
     """The ``ci_target`` path of :func:`map_sweep`.
 
@@ -277,6 +303,7 @@ def _adaptive_sweep(
         len(grid),
         settings,
         executor=executor,
+        store=store,
         **ensemble_kwargs,
     )
     return [

@@ -1,0 +1,624 @@
+"""The result-store safety battery: hashing, integrity, memoization.
+
+Three claims guard the cache against silently-wrong science:
+
+1. **Key canonicalization is semantic.**  Representation details
+   (dict insertion order, numpy vs Python scalars, tuple vs list,
+   newly added defaulted dataclass fields) never change a key;
+   semantic details (horizon, seed, parameter values, class identity,
+   task function) always do.  Checked property-style with Hypothesis.
+2. **Integrity failures degrade to recompute.**  Truncation, garbage,
+   bit flips, version skew and unpicklable payloads each warn
+   (:class:`StoreWarning`), delete the bad entry, and read as a miss —
+   never a crash, never a wrong hit.
+3. **The execution wrappers submit exactly the misses.**  ``cached_map``
+   / ``cached_ensemble_map`` / ``map_shards`` / the adaptive controller
+   serve hits in the parent and recompute only what is missing, and a
+   warm run is bit-identical to a cold one.
+"""
+
+import dataclasses
+import json
+import pickle
+import warnings
+from dataclasses import dataclass, make_dataclass
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
+from repro.runtime.executor import ParallelExecutor
+from repro.runtime.sharding import map_shards, partition_indices, run_sharded
+from repro.runtime.store import (
+    ENTRY_MAGIC,
+    KEY_SCHEMA,
+    STORE_SCHEMA,
+    ResultStore,
+    StoreWarning,
+    cached_ensemble_map,
+    cached_map,
+    canonical_json,
+    canonicalize,
+    task_key,
+)
+
+# ----------------------------------------------------------------------
+# Module-level task functions (content-addressable: stable qualnames)
+# ----------------------------------------------------------------------
+
+
+def square(x):
+    return x * x
+
+
+def noisy(task):
+    """threshold + seeded noise — a stand-in simulation replication."""
+    threshold, seed = task
+    return threshold + float(np.random.default_rng(seed).normal(0.0, 0.5))
+
+
+def noisy_ensemble(task):
+    """All replications of one point in one task (vectorized shape)."""
+    threshold, seeds = task
+    return [noisy((threshold, s)) for s in seeds]
+
+
+def bad_ensemble(task):
+    """An ensemble task that drops a value (contract violation)."""
+    return noisy_ensemble(task)[:-1]
+
+
+class CountingPool:
+    """A serial pool that records every item submitted through it."""
+
+    def __init__(self):
+        self.submitted = []
+
+    def map(self, fn, items):
+        items = list(items)
+        self.submitted.extend(items)
+        return [fn(item) for item in items]
+
+
+@dataclass(frozen=True)
+class SpecA:
+    horizon: float = 900.0
+    seed: int = 2010
+
+
+@dataclass(frozen=True)
+class SpecB:  # same shape as SpecA on purpose: class identity must matter
+    horizon: float = 900.0
+    seed: int = 2010
+
+
+# ----------------------------------------------------------------------
+# Canonicalization properties
+# ----------------------------------------------------------------------
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**9), 10**9),
+    st.floats(allow_nan=False),
+    st.text(max_size=12),
+)
+
+
+class TestCanonicalizationProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.dictionaries(st.text(max_size=8), json_scalars, max_size=6))
+    def test_dict_insertion_order_never_matters(self, d):
+        reversed_d = dict(reversed(list(d.items())))
+        assert canonical_json(d) == canonical_json(reversed_d)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(allow_nan=False, width=64))
+    def test_numpy_float_equals_python_float(self, x):
+        assert canonicalize(np.float64(x)) == canonicalize(x)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(-(2**40), 2**40))
+    def test_numpy_int_equals_python_int(self, n):
+        assert canonicalize(np.int64(n)) == canonicalize(n)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(json_scalars, max_size=6))
+    def test_tuple_equals_list(self, xs):
+        assert canonical_json(tuple(xs)) == canonical_json(xs)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(allow_nan=False), st.floats(allow_nan=False))
+    def test_distinct_float_bits_give_distinct_keys(self, a, b):
+        same_bits = a.hex() == b.hex()
+        same_key = task_key(noisy, (a, 1)) == task_key(noisy, (b, 1))
+        assert same_key == same_bits
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 2**31), st.integers(0, 2**31))
+    def test_seed_is_semantic(self, s1, s2):
+        k1 = task_key(noisy, (0.5, s1))
+        k2 = task_key(noisy, (0.5, s2))
+        assert (k1 == k2) == (s1 == s2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_key_is_stable_across_calls(self, horizon):
+        item = {"horizon": horizon, "seed": 7}
+        assert task_key(noisy, item) == task_key(noisy, item)
+
+    def test_task_function_is_semantic(self):
+        item = (0.5, 7)
+        assert task_key(noisy, item) != task_key(square, item)
+
+    def test_nested_mapping_order(self):
+        a = {"outer": {"x": 1, "y": 2}, "z": [1, 2]}
+        b = {"z": (1, 2), "outer": {"y": 2, "x": 1}}
+        assert canonical_json(a) == canonical_json(b)
+
+
+class TestDataclassFieldRules:
+    def test_newly_added_defaulted_field_keeps_the_key(self):
+        # The schema-evolution scenario: a config dataclass grows a new
+        # defaulted field between releases.  Old entries must stay valid.
+        Old = make_dataclass(
+            "Cfg", [("horizon", float), ("seed", int)], frozen=True
+        )
+        New = make_dataclass(
+            "Cfg",
+            [
+                ("horizon", float),
+                ("seed", int),
+                ("engine_hint", str, dataclasses.field(default="auto")),
+            ],
+            frozen=True,
+        )
+        assert canonical_json(Old(900.0, 7)) == canonical_json(New(900.0, 7))
+        # ... but setting the new field off its default is semantic.
+        assert canonical_json(New(900.0, 7)) != canonical_json(
+            New(900.0, 7, engine_hint="other")
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(allow_nan=False, min_value=1e-6, max_value=1e6),
+        st.integers(0, 2**31),
+    )
+    def test_explicit_default_equals_omitted_default(self, horizon, seed):
+        assert canonical_json(SpecA()) == canonical_json(
+            SpecA(horizon=900.0, seed=2010)
+        )
+        changed = SpecA(horizon=horizon, seed=seed)
+        base = SpecA()
+        assert (canonical_json(changed) == canonical_json(base)) == (
+            changed == base
+        )
+
+    def test_class_identity_is_semantic(self):
+        assert canonical_json(SpecA()) != canonical_json(SpecB())
+
+    def test_field_values_are_semantic(self):
+        assert canonical_json(SpecA(horizon=901.0)) != canonical_json(SpecA())
+        assert canonical_json(SpecA(seed=7)) != canonical_json(SpecA())
+
+
+class TestCanonicalizationRejections:
+    def test_lambda_is_rejected(self):
+        with pytest.raises(TypeError, match="lambdas"):
+            task_key(lambda x: x, 1)
+
+    def test_closure_is_rejected(self):
+        def make():
+            y = 2
+
+            def inner(x):
+                return x + y
+
+            return inner
+
+        with pytest.raises(TypeError, match="content-addressable"):
+            canonicalize(make())
+
+    def test_opaque_object_is_rejected(self):
+        with pytest.raises(TypeError, match="cannot canonicalize"):
+            canonicalize(object())
+
+    def test_module_level_callable_hashes_by_qualname(self):
+        assert canonicalize(square) == ["fn", f"{__name__}:square"]
+
+
+# ----------------------------------------------------------------------
+# ResultStore basics
+# ----------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_round_trip_and_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = task_key(noisy, (0.5, 7))
+        assert store.get(key) == (False, None)
+        store.put(key, 42.0)
+        assert store.get(key) == (True, 42.0)
+        assert (store.hits, store.misses, store.puts) == (1, 1, 1)
+
+    def test_persists_across_instances(self, tmp_path):
+        key = task_key(noisy, (0.5, 7))
+        ResultStore(tmp_path).put(key, {"energy": 1.25})
+        assert ResultStore(tmp_path).get(key) == (True, {"energy": 1.25})
+
+    def test_values_round_trip_bit_identically(self, tmp_path):
+        store = ResultStore(tmp_path)
+        value = (SpecA(horizon=3.0), np.float64(0.125), [1, 2, (3, "x")])
+        key = task_key(noisy, (0.1, 1))
+        store.put(key, value)
+        _, loaded = store.get(key)
+        assert pickle.dumps(loaded, 5) == pickle.dumps(value, 5)
+
+    def test_stats_and_lines(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(task_key(noisy, (0.5, 1)), 1.0)
+        store.put(task_key(noisy, (0.5, 2)), 2.0)
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert stats.puts == 2
+        assert "entries : 2" in stats.lines()
+
+    def test_flush_counters_survive_the_process(self, tmp_path):
+        # What makes `repro.cli store stats` (a fresh process) useful.
+        store = ResultStore(tmp_path)
+        key = task_key(noisy, (0.5, 1))
+        store.put(key, 1.0)
+        store.get(key)
+        store.get(task_key(noisy, (0.5, 99)))
+        store.flush_counters()
+        assert (store.hits, store.misses, store.puts) == (0, 0, 0)
+        fresh = ResultStore(tmp_path).stats()
+        assert (fresh.hits, fresh.misses, fresh.puts) == (1, 1, 1)
+
+    def test_verify_and_gc_on_healthy_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(task_key(noisy, (0.5, 1)), 1.0)
+        assert store.verify() == (1, [])
+        assert store.gc() == (0, 0)
+
+    def test_malformed_key_is_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="64-char"):
+            store.get("not-a-digest")
+        with pytest.raises(ValueError, match="64-char"):
+            store.put("AB" * 32, 1.0)  # uppercase: not canonical hex
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for seed in range(5):
+            store.put(task_key(noisy, (0.5, seed)), float(seed))
+        assert not list(store.objects_dir.glob("**/.*.tmp"))
+
+
+# ----------------------------------------------------------------------
+# Fault injection: every corruption degrades to a warned recompute
+# ----------------------------------------------------------------------
+
+
+def _single_entry(tmp_path, value=42.0):
+    store = ResultStore(tmp_path)
+    key = task_key(noisy, (0.5, 7))
+    store.put(key, value)
+    [path] = store._entry_files()
+    return store, key, path
+
+
+CORRUPTIONS = {
+    "truncated_payload": lambda blob: blob[:-3],
+    "truncated_below_header": lambda blob: blob[:10],
+    "garbage_bytes": lambda blob: b"not a store entry at all",
+    "checksum_bit_flip": lambda blob: (
+        blob[:-1] + bytes([blob[-1] ^ 0x01])
+    ),
+    "future_entry_format": lambda blob: (
+        b"RPRSTOR9" + blob[len(ENTRY_MAGIC) :]
+    ),
+    "empty_file": lambda blob: b"",
+}
+
+
+class TestFaultInjection:
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_corruption_degrades_to_warned_miss(self, tmp_path, name):
+        store, key, path = _single_entry(tmp_path)
+        path.write_bytes(CORRUPTIONS[name](path.read_bytes()))
+        with pytest.warns(StoreWarning, match="recomputing"):
+            assert store.get(key) == (False, None)
+        assert store.corrupt == 1
+        assert not path.exists(), "bad entry must be dropped so a put heals it"
+        # The recomputed value heals the entry; reads verify again.
+        store.put(key, 42.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.get(key) == (True, 42.0)
+
+    def test_unpicklable_payload_with_valid_checksum(self, tmp_path):
+        # Checksums pass but the payload is not a pickle: the unpickle
+        # failure must still degrade to a warned miss, not an exception.
+        import hashlib
+
+        store, key, path = _single_entry(tmp_path)
+        payload = b"this is not a pickle"
+        path.write_bytes(
+            ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
+        )
+        with pytest.warns(StoreWarning, match="unpickle"):
+            assert store.get(key) == (False, None)
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_verify_flags_and_gc_reclaims(self, tmp_path, name):
+        store, _key, path = _single_entry(tmp_path)
+        store.put(task_key(noisy, (0.5, 8)), 43.0)
+        path.write_bytes(CORRUPTIONS[name](path.read_bytes()))
+        ok, bad = store.verify()
+        assert ok == 1
+        assert bad == [path]
+        removed, _reclaimed = store.gc()
+        assert removed == 1
+        assert store.verify() == (1, [])
+
+    def test_manifest_schema_skew_disables_the_store(self, tmp_path):
+        store, key, _path = _single_entry(tmp_path)
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["store_schema"] = STORE_SCHEMA + 1
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.warns(StoreWarning, match="store disabled"):
+            skewed = ResultStore(tmp_path)
+        assert not skewed.enabled
+        assert skewed.get(key) == (False, None)  # reads miss
+        skewed.put(key, 99.0)  # writes are skipped ...
+        # ... so a same-schema instance still sees the original value.
+        manifest["store_schema"] = STORE_SCHEMA
+        store.manifest_path.write_text(json.dumps(manifest))
+        assert ResultStore(tmp_path).get(key) == (True, 42.0)
+
+    def test_key_schema_skew_also_disables(self, tmp_path):
+        store = ResultStore(tmp_path)
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["key_schema"] = KEY_SCHEMA + 1
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.warns(StoreWarning, match="store disabled"):
+            assert not ResultStore(tmp_path).enabled
+
+    def test_garbage_manifest_is_rewritten(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.manifest_path.write_text("{ not json")
+        with pytest.warns(StoreWarning, match="unreadable"):
+            reopened = ResultStore(tmp_path)
+        assert reopened.enabled
+        assert json.loads(reopened.manifest_path.read_text())[
+            "store_schema"
+        ] == STORE_SCHEMA
+
+    def test_corrupt_entry_mid_cached_map_recomputes_only_it(self, tmp_path):
+        store = ResultStore(tmp_path)
+        items = [(0.5, s) for s in range(4)]
+        expected = cached_map(CountingPool(), noisy, items, store)
+        [victim] = [
+            p for p in store._entry_files() if p.name == task_key(noisy, items[2])
+        ]
+        blob = victim.read_bytes()
+        victim.write_bytes(blob[:-2])
+        pool = CountingPool()
+        with pytest.warns(StoreWarning, match="recomputing"):
+            warm = cached_map(pool, noisy, items, store)
+        assert warm == expected
+        assert pool.submitted == [items[2]]
+
+
+# ----------------------------------------------------------------------
+# cached_map / cached_ensemble_map submit exactly the misses
+# ----------------------------------------------------------------------
+
+
+class TestCachedMap:
+    def test_without_store_is_plain_map(self):
+        pool = CountingPool()
+        items = [(0.5, s) for s in range(3)]
+        assert cached_map(pool, noisy, items, None) == [noisy(i) for i in items]
+        assert pool.submitted == items
+
+    def test_cold_then_warm(self, tmp_path):
+        store = ResultStore(tmp_path)
+        items = [(0.5, s) for s in range(4)]
+        cold_pool = CountingPool()
+        cold = cached_map(cold_pool, noisy, items, store)
+        assert cold_pool.submitted == items
+        warm_pool = CountingPool()
+        warm = cached_map(warm_pool, noisy, items, store)
+        assert warm_pool.submitted == []
+        assert warm == cold
+
+    def test_partial_warm_submits_only_new_items(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cached_map(CountingPool(), noisy, [(0.5, 0), (0.5, 1)], store)
+        pool = CountingPool()
+        grown = [(0.5, 0), (0.5, 2), (0.5, 1), (0.5, 3)]
+        result = cached_map(pool, noisy, grown, store)
+        assert pool.submitted == [(0.5, 2), (0.5, 3)]
+        assert result == [noisy(i) for i in grown]
+
+
+class TestCachedEnsembleMap:
+    def _run(self, pool, store, seeds_per_point):
+        points = [0.1, 0.5]
+        tasks = [(t, tuple(seeds_per_point)) for t in points]
+        return cached_ensemble_map(
+            pool,
+            noisy_ensemble,
+            tasks,
+            store,
+            key_fn=noisy,
+            rep_items=[[(t, s) for s in seeds_per_point] for t in points],
+            rebuild_tail=lambda i, start: (
+                points[i],
+                tuple(seeds_per_point[start:]),
+            ),
+        )
+
+    def test_cold_then_warm(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = self._run(CountingPool(), store, [1, 2, 3])
+        warm_pool = CountingPool()
+        warm = self._run(warm_pool, store, [1, 2, 3])
+        assert warm_pool.submitted == []
+        assert warm == cold
+
+    def test_top_up_submits_only_the_tail(self, tmp_path):
+        # The incremental re-run: raise the replication count and only
+        # the new suffix is computed, per point.
+        store = ResultStore(tmp_path)
+        self._run(CountingPool(), store, [1, 2])
+        pool = CountingPool()
+        grown = self._run(pool, store, [1, 2, 3, 4])
+        assert pool.submitted == [(0.1, (3, 4)), (0.5, (3, 4))]
+        assert grown == self._run(CountingPool(), ResultStore(tmp_path), [1, 2, 3, 4])
+        full_cold = [
+            noisy_ensemble((t, (1, 2, 3, 4))) for t in (0.1, 0.5)
+        ]
+        assert grown == full_cold
+
+    def test_shared_keys_with_cached_map(self, tmp_path):
+        # The engine-equivalence contract: per-replication keys written
+        # by the interpreted path serve the ensemble path, and back.
+        store = ResultStore(tmp_path)
+        items = [(t, s) for t in (0.1, 0.5) for s in (1, 2, 3)]
+        cached_map(CountingPool(), noisy, items, store)
+        pool = CountingPool()
+        self._run(pool, store, [1, 2, 3])
+        assert pool.submitted == []
+
+    def test_mismatched_rep_items_is_an_error(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="points"):
+            cached_ensemble_map(
+                CountingPool(),
+                noisy_ensemble,
+                [(0.1, (1,)), (0.5, (1,))],
+                store,
+                key_fn=noisy,
+                rep_items=[[(0.1, 1)]],
+                rebuild_tail=lambda i, start: (0.1, (1,)),
+            )
+
+    def test_short_ensemble_return_is_an_error(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="expected"):
+            cached_ensemble_map(
+                CountingPool(),
+                bad_ensemble,
+                [(0.1, (1, 2))],
+                store,
+                key_fn=noisy,
+                rep_items=[[(0.1, 1), (0.1, 2)]],
+                rebuild_tail=lambda i, start: (0.1, (1, 2)[start:]),
+            )
+
+
+# ----------------------------------------------------------------------
+# Sharded and adaptive layers share the same per-replication entries
+# ----------------------------------------------------------------------
+
+
+class TestShardedStore:
+    def test_shard_plan_never_enters_the_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        items = [(0.5, s) for s in range(7)]
+        plan_a = partition_indices(len(items), 2, "contiguous")
+        cold = run_sharded(noisy, items, plan_a, store=store)
+        puts_after_cold = store.puts
+        assert puts_after_cold == len(items)
+        # A different shard count *and* strategy reads the same entries.
+        plan_b = partition_indices(len(items), 3, "round-robin")
+        warm = run_sharded(noisy, items, plan_b, store=store)
+        assert warm == cold
+        assert store.puts == puts_after_cold  # nothing recomputed
+        assert store.hits == len(items)
+
+    def test_partially_warm_shards_compute_only_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        items = [(0.5, s) for s in range(6)]
+        plan = partition_indices(len(items), 3, "contiguous")
+        for s in (0, 1, 4):  # warm shard 0 fully, shard 2 partially
+            store.put(task_key(noisy, (0.5, s)), noisy((0.5, s)))
+        per_shard = map_shards(noisy, items, plan, store=store)
+        assert per_shard == [
+            [noisy(items[i]) for i in shard.node_indices]
+            for shard in plan.shards
+        ]
+        assert store.puts == 3 + 3  # the warm-up puts + the 3 misses
+
+
+class TestAdaptiveStore:
+    SETTINGS = dict(ci_target=1e-9, min_replications=2)  # never converges
+
+    def _run(self, store, max_replications, **kwargs):
+        return run_adaptive_rounds(
+            noisy,
+            lambda i, r: ((0.1, 0.5)[i], 100 + 17 * i + r),
+            2,
+            AdaptiveSettings(max_replications=max_replications, **self.SETTINGS),
+            executor=ParallelExecutor(workers=1),
+            store=store,
+            **kwargs,
+        )
+
+    def _ensemble_kwargs(self):
+        return dict(
+            ensemble_fn=noisy_ensemble,
+            ensemble_task_for=lambda i, start, n: (
+                (0.1, 0.5)[i],
+                tuple(100 + 17 * i + r for r in range(start, start + n)),
+            ),
+        )
+
+    def test_warm_adaptive_run_is_all_hits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = self._run(store, 4)
+        store.hits = store.misses = 0
+        warm = self._run(store, 4)
+        assert [r.values for r in warm] == [r.values for r in cold]
+        assert store.misses == 0
+        assert store.hits == sum(r.replications for r in cold)
+
+    def test_raising_max_replications_reuses_the_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        short = self._run(store, 4)
+        store.hits = store.misses = 0
+        long = self._run(store, 8)
+        for short_run, long_run in zip(short, long):
+            assert long_run.values[:4] == short_run.values
+        assert store.hits == 2 * 4  # the cached prefix, both points
+        assert store.misses == 2 * 4  # only the delta was computed
+        # ... and the topped-up run matches a cold uncached full run.
+        uncached = self._run(None, 8)
+        assert [r.values for r in long] == [r.values for r in uncached]
+
+    def test_ensemble_path_reads_interpreted_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        interpreted = self._run(store, 4)
+        store.hits = store.misses = 0
+        vectorized = self._run(store, 4, **self._ensemble_kwargs())
+        assert [r.values for r in vectorized] == [
+            r.values for r in interpreted
+        ]
+        assert store.misses == 0
+
+    def test_ensemble_path_tops_up_with_one_tail_per_round(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._run(store, 4, **self._ensemble_kwargs())
+        store.hits = store.misses = store.puts = 0
+        long = self._run(store, 8, **self._ensemble_kwargs())
+        assert store.hits == 2 * 4
+        assert store.puts == 2 * 4
+        assert [r.values for r in long] == [
+            r.values for r in self._run(None, 8)
+        ]
