@@ -13,6 +13,9 @@
 #             bit-identical against the interpreted engine
 #   store     content-addressed result store: cold run, warm run diffed
 #             bit-identical, `store stats` asserted to report hits
+#   scenario  declarative scenario files: validate + run every gallery
+#             spec at its --smoke scale, `scenario run fig14.yaml`
+#             diffed bit-identical against the flag-spelled fig run
 #   all       every group above (default)
 #
 # Each group exercises the CLI exactly as a user would — tiny horizons,
@@ -192,6 +195,37 @@ smoke_store() {
     rm -rf "$store_dir"
 }
 
+smoke_scenario() {
+    echo "--- smoke: declarative scenario gallery ---"
+    # Every shipped spec must validate and run at its own CI scale.
+    local file
+    for file in scenarios/*.yaml; do
+        $CLI scenario validate "$file"
+        $CLI scenario run "$file" --smoke
+    done
+    # The acceptance gate: a scenario run prints the same bytes as the
+    # flag spelling it replaces (fig14.yaml's smoke shape is
+    # `fig 14 --horizon 2.0 --replications 2`).
+    local out_scenario out_flags
+    out_scenario="$(mktemp)"
+    out_flags="$(mktemp)"
+    $CLI scenario run scenarios/fig14.yaml --smoke >"$out_scenario"
+    $CLI fig 14 --horizon 2.0 --replications 2 >"$out_flags"
+    if diff "$out_scenario" "$out_flags"; then
+        echo "scenario run output is bit-identical to the flag spelling"
+    else
+        echo "FAIL: scenario run output differs from the flag spelling" >&2
+        return 1
+    fi
+    # Schema errors must name the bad key and exit non-zero.
+    if $CLI scenario run scenarios/fig14.yaml \
+        --override params.bogus=1 >/dev/null 2>&1; then
+        echo "FAIL: scenario accepted an unknown params key" >&2
+        return 1
+    fi
+    echo "scenario correctly rejects an unknown params key"
+}
+
 groups=("${@:-all}")
 for group in "${groups[@]}"; do
     case "$group" in
@@ -201,10 +235,11 @@ for group in "${groups[@]}"; do
         socket)   smoke_socket ;;
         engine)   smoke_engine ;;
         store)    smoke_store ;;
-        all)      smoke_runtime; smoke_adaptive; smoke_sharded; smoke_socket; smoke_engine; smoke_store ;;
+        scenario) smoke_scenario ;;
+        all)      smoke_runtime; smoke_adaptive; smoke_sharded; smoke_socket; smoke_engine; smoke_store; smoke_scenario ;;
         *)
             echo "unknown smoke group: $group" >&2
-            echo "valid groups: runtime adaptive sharded socket engine store all" >&2
+            echo "valid groups: runtime adaptive sharded socket engine store scenario all" >&2
             exit 2
             ;;
     esac

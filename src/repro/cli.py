@@ -17,6 +17,10 @@ Usage::
     python -m repro.cli worker --serve 9000
     python -m repro.cli network --sweep --backend socket \
         --connect hostA:9000 --connect hostB:9000
+    python -m repro.cli scenario run scenarios/fig14.yaml
+    python -m repro.cli scenario run scenarios/grid100.yaml --smoke \
+        --override execution.workers=4
+    python -m repro.cli scenario validate scenarios/validation.yaml
 
 Each subcommand prints the same rows the corresponding benchmark
 persists, so quick what-if runs don't require pytest.  ``--workers N``
@@ -55,17 +59,32 @@ in the test suite and CI.
 ``--store DIR`` memoizes per-replication simulation results in a
 content-addressed on-disk :class:`~repro.runtime.store.ResultStore`
 (also settable via the ``REPRO_STORE`` environment variable;
-``--no-store`` disables it for one run).  Warm re-runs print output
-byte-identical to cold runs — entries are keyed by the task spec
-(parameters, seed, horizon), never by workers/shards/backend/engine, so
-every execution configuration shares one cache.  ``python -m repro.cli
-store {stats,verify,gc} --store DIR`` inspects, integrity-checks and
+``--no-store`` disables it for one run — combining it with ``--store
+DIR`` is a flag error).  Warm re-runs print output byte-identical to
+cold runs — entries are keyed by the task spec (parameters, seed,
+horizon), never by workers/shards/backend/engine, so every execution
+configuration shares one cache.  ``python -m repro.cli store
+{stats,verify,gc} --store DIR`` inspects, integrity-checks and
 compacts a store.
+
+All of those execution flags are one shared set
+(:func:`add_execution_args`), parsed into one
+:class:`~repro.runtime.config.ExecutionConfig`
+(:func:`execution_config_from_args`) and resolved once per run —
+drivers receive the single ``exec_cfg`` object instead of a loose
+keyword bundle.  ``scenario {run,validate,show} FILE`` drives the same
+run functions from a declarative YAML/JSON
+:class:`~repro.scenarios.ScenarioSpec` (model + params + execution +
+outputs), with ``--override KEY=VALUE`` dotted-path tweaks and
+``--smoke`` applying the spec's own CI-scale overrides; ``scenario
+run`` output is byte-identical to the equivalent flag-spelled
+invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import os
 import sys
@@ -91,7 +110,8 @@ from .experiments import (
     run_simple_node_validation,
 )
 from .models import NodeParameters, WSNNodeModel
-from .runtime import BACKEND_NAMES, make_backend
+from .runtime import BACKEND_NAMES
+from .runtime.config import ExecutionConfig, ResolvedExecution
 from .experiments.network import (
     NetworkScenarioConfig,
     format_network_summary,
@@ -208,30 +228,144 @@ def _add_store_args(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--no-store",
         action="store_true",
-        help="disable the result store even if $REPRO_STORE is set",
+        help=(
+            "disable the result store even if $REPRO_STORE is set "
+            "(contradicts --store DIR; passing both is an error)"
+        ),
     )
 
 
-def _add_runtime_args(sub_parser: argparse.ArgumentParser) -> None:
+def add_execution_args(
+    sub_parser: argparse.ArgumentParser,
+    *,
+    replications: bool = True,
+    engine: bool = True,
+    shards: bool = False,
+) -> None:
+    """Attach the shared execution flags to a run subcommand.
+
+    One flag set for every run subcommand — workers, replications,
+    engine, adaptive control, backend, store, and (for sharded node
+    sets) shards.  :func:`execution_config_from_args` is the inverse:
+    it folds whatever subset a subcommand carries into one
+    :class:`~repro.runtime.config.ExecutionConfig`.
+    """
     sub_parser.add_argument(
         "--workers",
         type=_positive_int,
         default=1,
-        help="process-pool size for grid points/replications (default 1)",
-    )
-    sub_parser.add_argument(
-        "--replications",
-        type=_positive_int,
-        default=1,
         help=(
-            "independent replications per stochastic point (default 1); "
-            "with --ci-target this is the minimum per point"
+            "process-pool size for grid points / replications / shard "
+            "tasks (default 1)"
         ),
     )
-    _add_engine_arg(sub_parser)
+    if replications:
+        sub_parser.add_argument(
+            "--replications",
+            type=_positive_int,
+            default=1,
+            help=(
+                "independent replications per stochastic point (default 1); "
+                "with --ci-target this is the minimum per point"
+            ),
+        )
+    if engine:
+        _add_engine_arg(sub_parser)
     _add_adaptive_args(sub_parser)
     _add_backend_args(sub_parser)
     _add_store_args(sub_parser)
+    if shards:
+        sub_parser.add_argument(
+            "--shards",
+            type=_positive_int,
+            default=1,
+            help=(
+                "worker-group shards over the node set "
+                "(default 1 = unsharded)"
+            ),
+        )
+        sub_parser.add_argument(
+            "--shard-strategy",
+            choices=["contiguous", "round-robin"],
+            default="contiguous",
+            help="node partition strategy for --shards > 1",
+        )
+
+
+def execution_config_from_args(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser | None = None,
+) -> ExecutionConfig:
+    """Fold the shared execution flags into one ``ExecutionConfig``.
+
+    Validates the cross-flag constraints (socket needs ``--connect``,
+    ``--store`` contradicts ``--no-store``, the adaptive replication
+    floor) and resolves the store directory precedence explicitly:
+    ``--no-store`` > ``--store DIR`` > ``$REPRO_STORE`` > off.  With a
+    ``parser``, violations are argparse errors (exit 2); without one,
+    they raise :class:`ValueError` — so programmatic callers get an
+    exception instead of a ``sys.exit``.
+    """
+
+    def fail(message: str) -> None:
+        if parser is not None:
+            parser.error(message)
+        raise ValueError(message)
+
+    backend = getattr(args, "backend", None)
+    connect = getattr(args, "connect", None)
+    if backend == "socket" and not connect:
+        fail(
+            "--backend socket requires at least one --connect HOST:PORT "
+            "(start workers with 'python -m repro.cli worker --serve PORT')"
+        )
+    if connect and backend != "socket":
+        fail("--connect only applies with --backend socket")
+    if connect:
+        from .runtime.remote import parse_address
+
+        try:
+            for address in connect:
+                parse_address(address)
+        except ValueError as exc:
+            fail(str(exc))
+    if (
+        getattr(args, "ci_target", None) is not None
+        and getattr(args, "replications", 1) > args.max_replications
+    ):
+        fail(
+            f"--replications {args.replications} is the per-point floor "
+            f"under --ci-target and must be <= --max-replications "
+            f"{args.max_replications}"
+        )
+    no_store = getattr(args, "no_store", False)
+    store_flag = getattr(args, "store", None)
+    if no_store and store_flag:
+        fail(
+            "--store DIR and --no-store contradict each other; pass at "
+            "most one (--no-store exists to override $REPRO_STORE for "
+            "one run)"
+        )
+    if no_store:
+        store_dir = None
+    else:
+        store_dir = store_flag or os.environ.get("REPRO_STORE") or None
+    try:
+        return ExecutionConfig(
+            workers=getattr(args, "workers", 1),
+            replications=getattr(args, "replications", 1),
+            backend=backend,
+            connect=tuple(connect or ()),
+            engine=getattr(args, "engine", "interpreted"),
+            store_dir=store_dir,
+            shards=getattr(args, "shards", 1),
+            shard_strategy=getattr(args, "shard_strategy", "contiguous"),
+            ci_target=getattr(args, "ci_target", None),
+            max_replications=getattr(args, "max_replications", 64),
+        )
+    except ValueError as exc:
+        fail(str(exc))
+        raise AssertionError("unreachable") from exc
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -247,25 +381,25 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("number", type=int, choices=[4, 5, 6, 7, 8, 9, 14, 15])
     fig.add_argument("--horizon", type=float, default=None, help="simulated seconds")
     fig.add_argument("--seed", type=int, default=2010)
-    _add_runtime_args(fig)
+    add_execution_args(fig)
 
     table = sub.add_parser("table", help="regenerate a delta table (4-6)")
     table.add_argument("number", type=int, choices=[4, 5, 6])
     table.add_argument("--horizon", type=float, default=1000.0)
     table.add_argument("--seed", type=int, default=2010)
-    _add_runtime_args(table)
+    add_execution_args(table)
 
     node = sub.add_parser("node-sweep", help="Figs. 14/15 node threshold sweep")
     node.add_argument("--workload", choices=["closed", "open"], default="closed")
     node.add_argument("--horizon", type=float, default=900.0)
     node.add_argument("--seed", type=int, default=2010)
-    _add_runtime_args(node)
+    add_execution_args(node)
 
     val = sub.add_parser(
         "validate", help="Section V IMote2 validation (Tables VIII-X)"
     )
     val.add_argument("--seed", type=int, default=2010)
-    _add_runtime_args(val)
+    add_execution_args(val)
 
     network = sub.add_parser(
         "network", help="sharded multi-node network scenario"
@@ -305,27 +439,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="events/s sensed by each node before relaying (default 0.5)",
     )
     network.add_argument("--seed", type=int, default=2010)
-    network.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=1,
-        help="process-pool size for node/shard tasks (default 1)",
+    add_execution_args(network, replications=False, engine=False, shards=True)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run, validate or show a declarative scenario file",
     )
-    network.add_argument(
-        "--shards",
-        type=_positive_int,
-        default=1,
-        help="worker-group shards over the node set (default 1 = unsharded)",
+    scenario.add_argument(
+        "action",
+        choices=["run", "validate", "show"],
+        help=(
+            "run: execute the scenario; validate: schema-check it; "
+            "show: print the validated spec as canonical JSON"
+        ),
     )
-    network.add_argument(
-        "--shard-strategy",
-        choices=["contiguous", "round-robin"],
-        default="contiguous",
-        help="node partition strategy for --shards > 1",
+    scenario.add_argument("file", help="scenario spec (.yaml/.yml/.json)")
+    scenario.add_argument(
+        "--override",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "dotted-path spec override, e.g. params.horizon=5, "
+            "execution.workers=2 or params.grid=[3,3]; repeatable, "
+            "applied in order (after --smoke)"
+        ),
     )
-    _add_adaptive_args(network)
-    _add_backend_args(network)
-    _add_store_args(network)
+    scenario.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "apply the spec's own smoke: override block first — the "
+            "scenario's CI-scale shape"
+        ),
+    )
 
     store_cmd = sub.add_parser(
         "store", help="inspect or maintain a result store"
@@ -382,39 +529,6 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_backend(args: argparse.Namespace):
-    """Build the execution backend selected by --backend/--connect.
-
-    Returns ``None`` for the default behaviour (``--workers`` decides
-    between in-process and a local pool), keeping the historical CLI
-    bit-identical when the new flags are absent.
-    """
-    spec = getattr(args, "backend", None)
-    if spec is None:
-        return None
-    return make_backend(
-        spec,
-        workers=getattr(args, "workers", 1),
-        addresses=getattr(args, "connect", None),
-    )
-
-
-def _make_store(args: argparse.Namespace):
-    """Build the result store selected by --store/$REPRO_STORE.
-
-    ``--no-store`` wins over both; with neither flag nor environment
-    set there is no store — the historical CLI behaviour, bit for bit.
-    """
-    if getattr(args, "no_store", False):
-        return None
-    path = getattr(args, "store", None) or os.environ.get("REPRO_STORE")
-    if not path:
-        return None
-    from .runtime.store import ResultStore
-
-    return ResultStore(path)
-
-
 def _cmd_store(args: argparse.Namespace) -> int:
     from .runtime.store import ResultStore
 
@@ -454,30 +568,69 @@ def _cmd_list() -> int:
     print(
         "figures: 4 5 6 (state shares) 7 8 9 (energy) 14 15 (node sweeps)\n"
         "tables:  4 5 6 (delta energy) + validate (VIII-X)\n"
-        "extras:  node-sweep, lifetime, network (sharded multi-node)"
+        "extras:  node-sweep, lifetime, network (sharded multi-node), "
+        "scenario (declarative spec files)"
     )
     return 0
 
 
-def _cmd_fig(args: argparse.Namespace) -> int:
-    if args.number in (14, 15):
-        workload = "closed" if args.number == 14 else "open"
-        horizon = args.horizon if args.horizon is not None else 900.0
+def _cmd_scenario(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from .scenarios import ScenarioError, load_scenario, run_scenario
+
+    try:
+        spec = load_scenario(
+            args.file, overrides=args.override, smoke=args.smoke
+        )
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "validate":
+        print(
+            f"OK: {args.file}: scenario {spec.name!r} "
+            f"(model {spec.model}, schema v{spec.version}) is valid"
+        )
+        return 0
+    if args.action == "show":
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+    try:
+        return run_scenario(spec)
+    except ValueError as exc:
+        # e.g. a spec pairing engine=vectorized with a network model —
+        # a user configuration error, not a crash.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def run_fig(
+    number: int,
+    *,
+    horizon: float | None = None,
+    seed: int = 2010,
+    rx: ResolvedExecution | None = None,
+) -> int:
+    """Regenerate one figure; prints the same rows the benchmarks persist.
+
+    ``rx`` is the resolved execution configuration (default: serial,
+    no store).  Called by both the ``fig`` subcommand and the scenario
+    runner, so flag-spelled and scenario-spelled runs share one code
+    path and print byte-identical output.
+    """
+    rx = rx if rx is not None else ExecutionConfig().resolve()
+    if number in (14, 15):
+        workload = "closed" if number == 14 else "open"
+        horizon_s = horizon if horizon is not None else 900.0
         sweep = run_node_energy_sweep(
-            NodeSweepConfig(workload=workload, horizon=horizon, seed=args.seed),
-            workers=args.workers,
-            replications=args.replications,
-            ci_target=args.ci_target,
-            max_replications=args.max_replications,
-            backend=_make_backend(args),
-            engine=args.engine,
-            store=args.result_store,
+            NodeSweepConfig(workload=workload, horizon=horizon_s, seed=seed),
+            exec_cfg=rx,
         )
         print(
             format_breakdown_sweep(
                 sweep.thresholds,
                 sweep.breakdowns,
-                title=f"Figure {args.number} ({workload} model, {horizon:.0f} s)",
+                title=f"Figure {number} ({workload} model, {horizon_s:.0f} s)",
             )
         )
         t_opt, e_opt = sweep.optimum()
@@ -489,26 +642,20 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         )
         _print_replication_ci(sweep)
         return 0
-    pud = _FIG_TO_PUD[args.number]
-    horizon = args.horizon if args.horizon is not None else 1000.0
+    pud = _FIG_TO_PUD[number]
+    horizon_s = horizon if horizon is not None else 1000.0
     result = run_cpu_comparison(
         pud,
-        CPUComparisonConfig(horizon=horizon, seed=args.seed),
-        workers=args.workers,
-        replications=args.replications,
-        ci_target=args.ci_target,
-        max_replications=args.max_replications,
-        backend=_make_backend(args),
-        engine=args.engine,
-        store=args.result_store,
+        CPUComparisonConfig(horizon=horizon_s, seed=seed),
+        exec_cfg=rx,
     )
-    if args.number <= 6:
+    if number <= 6:
         for est in ("simulation", "markov", "petri"):
             print(
                 format_state_percentages(
                     result.thresholds,
                     result.fractions[est],
-                    title=f"Figure {args.number} (PUD={pud:g}s) — {est}",
+                    title=f"Figure {number} (PUD={pud:g}s) — {est}",
                 )
             )
             print()
@@ -521,11 +668,15 @@ def _cmd_fig(args: argparse.Namespace) -> int:
                     "Markov": result.energy_j["markov"],
                     "Petri Net": result.energy_j["petri"],
                 },
-                title=f"Figure {args.number} (PUD={pud:g}s)",
+                title=f"Figure {number} (PUD={pud:g}s)",
             )
         )
     _print_cpu_replication_ci(result)
     return 0
+
+
+def _cmd_fig(args: argparse.Namespace, rx: ResolvedExecution) -> int:
+    return run_fig(args.number, horizon=args.horizon, seed=args.seed, rx=rx)
 
 
 def _format_pm(ci) -> str:
@@ -616,52 +767,58 @@ def _print_cpu_replication_ci(result) -> None:
     print("  markov: deterministic (no sampling variance)")
 
 
-def _cmd_table(args: argparse.Namespace) -> int:
-    pud = _TABLE_TO_PUD[args.number]
+def run_table(
+    number: int,
+    *,
+    horizon: float = 1000.0,
+    seed: int = 2010,
+    rx: ResolvedExecution | None = None,
+) -> int:
+    """Regenerate one delta table (IV-VI); see :func:`run_fig` on ``rx``."""
+    rx = rx if rx is not None else ExecutionConfig().resolve()
+    pud = _TABLE_TO_PUD[number]
     result = run_cpu_comparison(
         pud,
-        CPUComparisonConfig(horizon=args.horizon, seed=args.seed),
-        workers=args.workers,
-        replications=args.replications,
-        ci_target=args.ci_target,
-        max_replications=args.max_replications,
-        backend=_make_backend(args),
-        engine=args.engine,
-        store=args.result_store,
+        CPUComparisonConfig(horizon=horizon, seed=seed),
+        exec_cfg=rx,
     )
     print(
         format_delta_table(
-            result.delta_energy(), pud, _TABLE_NUMERALS[args.number]
+            result.delta_energy(), pud, _TABLE_NUMERALS[number]
         )
     )
     _print_cpu_replication_ci(result)
     return 0
 
 
-def _cmd_node_sweep(args: argparse.Namespace) -> int:
+def _cmd_table(args: argparse.Namespace, rx: ResolvedExecution) -> int:
+    return run_table(args.number, horizon=args.horizon, seed=args.seed, rx=rx)
+
+
+def run_node_sweep(
+    *,
+    workload: str = "closed",
+    horizon: float = 900.0,
+    seed: int = 2010,
+    rx: ResolvedExecution | None = None,
+) -> int:
+    """The Figs. 14/15 threshold sweep; see :func:`run_fig` on ``rx``."""
+    rx = rx if rx is not None else ExecutionConfig().resolve()
     sweep = run_node_energy_sweep(
-        NodeSweepConfig(
-            workload=args.workload, horizon=args.horizon, seed=args.seed
-        ),
-        workers=args.workers,
-        replications=args.replications,
-        ci_target=args.ci_target,
-        max_replications=args.max_replications,
-        backend=_make_backend(args),
-        engine=args.engine,
-        store=args.result_store,
+        NodeSweepConfig(workload=workload, horizon=horizon, seed=seed),
+        exec_cfg=rx,
     )
     print(
         format_breakdown_sweep(
             sweep.thresholds,
             sweep.breakdowns,
-            title=f"Node sweep ({args.workload}, {args.horizon:.0f} s)",
+            title=f"Node sweep ({workload}, {horizon:.0f} s)",
         )
     )
     t_opt, e_opt = sweep.optimum()
     print(
         format_optimum_summary(
-            args.workload, t_opt, e_opt,
+            workload, t_opt, e_opt,
             sweep.savings_vs_immediate(), sweep.savings_vs_never(),
         )
     )
@@ -669,16 +826,22 @@ def _cmd_node_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_validate(args: argparse.Namespace) -> int:
+def _cmd_node_sweep(args: argparse.Namespace, rx: ResolvedExecution) -> int:
+    return run_node_sweep(
+        workload=args.workload, horizon=args.horizon, seed=args.seed, rx=rx
+    )
+
+
+def run_validate(
+    *,
+    seed: int = 2010,
+    rx: ResolvedExecution | None = None,
+) -> int:
+    """The Section V validation tables; see :func:`run_fig` on ``rx``."""
+    rx = rx if rx is not None else ExecutionConfig().resolve()
     result = run_simple_node_validation(
-        ValidationConfig(seed=args.seed),
-        workers=args.workers,
-        replications=args.replications,
-        ci_target=args.ci_target,
-        max_replications=args.max_replications,
-        backend=_make_backend(args),
-        engine=args.engine,
-        store=args.result_store,
+        ValidationConfig(seed=seed),
+        exec_cfg=rx,
     )
     print(format_steady_state_table(result.petri.stage_probabilities))
     print()
@@ -698,33 +861,40 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_network(args: argparse.Namespace) -> int:
-    width, height = args.grid
-    topology = make_topology(
-        args.topology, nodes=args.nodes, width=width, height=height
-    )
+def _cmd_validate(args: argparse.Namespace, rx: ResolvedExecution) -> int:
+    return run_validate(seed=args.seed, rx=rx)
+
+
+def run_network(
+    *,
+    topology: str = "line",
+    nodes: int = 5,
+    grid: tuple[int, int] = (10, 10),
+    threshold: float = 0.01,
+    sweep: bool = False,
+    horizon: float = 300.0,
+    base_rate: float = 0.5,
+    seed: int = 2010,
+    rx: ResolvedExecution | None = None,
+) -> int:
+    """One network scenario or threshold sweep; see :func:`run_fig` on ``rx``."""
+    rx = rx if rx is not None else ExecutionConfig().resolve()
+    width, height = grid
     config = NetworkScenarioConfig(
-        topology=topology,
-        horizon=args.horizon,
-        base_rate=args.base_rate,
-        seed=args.seed,
-        params=NodeParameters(power_down_threshold=args.threshold),
+        topology=make_topology(
+            topology, nodes=nodes, width=width, height=height
+        ),
+        horizon=horizon,
+        base_rate=base_rate,
+        seed=seed,
+        params=NodeParameters(power_down_threshold=threshold),
     )
     run_info = (
-        f"(workers={args.workers}, shards={args.shards}, "
-        f"{args.shard_strategy})"
+        f"(workers={rx.workers}, shards={rx.shards}, "
+        f"{rx.shard_strategy})"
     )
-    if args.sweep:
-        sweep = run_network_lifetime_sweep(
-            config,
-            workers=args.workers,
-            shards=args.shards,
-            shard_strategy=args.shard_strategy,
-            ci_target=args.ci_target,
-            max_replications=args.max_replications,
-            backend=_make_backend(args),
-            store=args.result_store,
-        )
+    if sweep:
+        sweep_result = run_network_lifetime_sweep(config, exec_cfg=rx)
         print(
             format_table(
                 [
@@ -734,31 +904,25 @@ def _cmd_network(args: argparse.Namespace) -> int:
                     "hotspot node",
                     "imbalance (x)",
                 ],
-                sweep.rows(),
-                title=f"Network lifetime sweep: {sweep.topology} {run_info}",
+                sweep_result.rows(),
+                title=(
+                    f"Network lifetime sweep: {sweep_result.topology} "
+                    f"{run_info}"
+                ),
             )
         )
-        if sweep.ci_target is not None:
-            _print_adaptive_point_cis(sweep, "network energy")
-        best = sweep.best()
+        if sweep_result.ci_target is not None:
+            _print_adaptive_point_cis(sweep_result, "network energy")
+        best = sweep_result.best()
         print(
             f"\nbest threshold for the network: "
             f"{best.power_down_threshold:g} s -> "
             f"{best.network_lifetime_days:.2f} days"
         )
         return 0
-    result = run_network_scenario(
-        config,
-        workers=args.workers,
-        shards=args.shards,
-        shard_strategy=args.shard_strategy,
-        ci_target=args.ci_target,
-        max_replications=args.max_replications,
-        backend=_make_backend(args),
-        store=args.result_store,
-    )
+    result = run_network_scenario(config, exec_cfg=rx)
     print(f"network scenario {run_info}")
-    if args.ci_target is not None:
+    if rx.ci_target is not None:
         print(format_network_summary(result.result))
         energy_ci = result.energy_ci()
         lifetime_ci = result.lifetime_ci()
@@ -774,6 +938,20 @@ def _cmd_network(args: argparse.Namespace) -> int:
         return 0
     print(format_network_summary(result))
     return 0
+
+
+def _cmd_network(args: argparse.Namespace, rx: ResolvedExecution) -> int:
+    return run_network(
+        topology=args.topology,
+        nodes=args.nodes,
+        grid=args.grid,
+        threshold=args.threshold,
+        sweep=args.sweep,
+        horizon=args.horizon,
+        base_rate=args.base_rate,
+        seed=args.seed,
+        rx=rx,
+    )
 
 
 def _cmd_lifetime(args: argparse.Namespace) -> int:
@@ -798,34 +976,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "backend", None) == "socket" and not getattr(
-        args, "connect", None
-    ):
-        parser.error(
-            "--backend socket requires at least one --connect HOST:PORT "
-            "(start workers with 'python -m repro.cli worker --serve PORT')"
-        )
-    if getattr(args, "connect", None) and args.backend != "socket":
-        parser.error("--connect only applies with --backend socket")
-    if getattr(args, "connect", None):
-        from .runtime.remote import parse_address
-
-        try:
-            for address in args.connect:
-                parse_address(address)
-        except ValueError as exc:
-            parser.error(str(exc))
     if args.command == "worker" and not 0 <= args.serve <= 65535:
         parser.error(f"--serve port must be in 0..65535, got {args.serve}")
-    if (
-        getattr(args, "ci_target", None) is not None
-        and getattr(args, "replications", 1) > args.max_replications
-    ):
-        parser.error(
-            f"--replications {args.replications} is the per-point floor "
-            f"under --ci-target and must be <= --max-replications "
-            f"{args.max_replications}"
-        )
     if args.command == "store":
         args.store = args.store or os.environ.get("REPRO_STORE")
         if not args.store:
@@ -837,6 +989,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "lifetime":
         return _cmd_lifetime(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args, parser)
     run_commands = {
         "fig": _cmd_fig,
         "table": _cmd_table,
@@ -845,14 +999,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         "network": _cmd_network,
     }
     if args.command in run_commands:
-        # Built once per invocation so hit/miss counters accumulate
-        # across the run and persist (flush) for `store stats`.
-        args.result_store = _make_store(args)
+        # One ExecutionConfig per invocation, resolved once, so store
+        # hit/miss counters accumulate across the run and persist
+        # (flush) for `store stats`.
+        rx = execution_config_from_args(args, parser).resolve()
         try:
-            return run_commands[args.command](args)
+            return run_commands[args.command](args, rx)
         finally:
-            if args.result_store is not None:
-                args.result_store.flush_counters()
+            if rx.store is not None:
+                rx.store.flush_counters()
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -59,8 +59,12 @@ def _check_engine(engine: str) -> None:
     if engine == "vectorized":
         raise ValueError(
             "engine='vectorized' does not apply to network scenarios: "
-            "each node is a distinct model config (an ensemble of one); "
-            "use the default interpreted engine with workers/shards"
+            "the lockstep engine batches replications of one model "
+            "config, but every network node runs a distinct "
+            "relay-inflated config, so each node would be a per-node "
+            "ensemble of one with nothing to batch; run with "
+            "engine='interpreted' (the default) and parallelise with "
+            "workers/shards instead"
         )
     if engine != "interpreted":
         raise ValueError(
@@ -292,6 +296,8 @@ def run_network_scenario(
     backend=None,
     engine: str = "interpreted",
     store=None,
+    *,
+    exec_cfg=None,
 ) -> NetworkResult | ReplicatedNetworkResult:
     """Simulate one network at one ``Power_Down_Threshold``.
 
@@ -309,7 +315,33 @@ def run_network_scenario(
     Only ``engine="interpreted"`` is supported here (see
     :func:`_check_engine` for why the vectorized engine does not apply
     to per-node network fan-outs).
+
+    ``exec_cfg`` — an :class:`~repro.runtime.config.ExecutionConfig`
+    (or resolved :class:`~repro.runtime.config.ResolvedExecution`) —
+    supplies all of the execution keywords above in one object and is
+    mutually exclusive with passing them individually; the loose
+    keywords remain as a deprecation shim.  Its ``replications`` field
+    is not used here: replication counts are adaptive
+    (``ci_target``-driven) for network scenarios.
     """
+    from ..runtime.config import resolve_execution
+
+    rx = resolve_execution(
+        exec_cfg,
+        workers=workers,
+        shards=shards,
+        shard_strategy=shard_strategy,
+        ci_target=ci_target,
+        max_replications=max_replications,
+        min_replications=min_replications,
+        backend=backend,
+        engine=engine,
+        store=store,
+    )
+    workers, shards, shard_strategy = rx.workers, rx.shards, rx.shard_strategy
+    ci_target, max_replications = rx.ci_target, rx.max_replications
+    min_replications, backend = rx.min_replications, rx.backend
+    engine, store = rx.engine, rx.store
     _check_engine(engine)
     cfg = config if config is not None else NetworkScenarioConfig()
     if threshold is not None:
@@ -356,6 +388,8 @@ def run_network_lifetime_sweep(
     backend=None,
     engine: str = "interpreted",
     store=None,
+    *,
+    exec_cfg=None,
 ) -> NetworkSweepResult:
     """Sweep ``config.thresholds`` on the network-lifetime metric.
 
@@ -367,7 +401,31 @@ def run_network_lifetime_sweep(
 
     Only ``engine="interpreted"`` is supported here (see
     :func:`_check_engine`).
+
+    ``exec_cfg`` — an :class:`~repro.runtime.config.ExecutionConfig`
+    (or resolved :class:`~repro.runtime.config.ResolvedExecution`) —
+    supplies all of the execution keywords above in one object and is
+    mutually exclusive with passing them individually; the loose
+    keywords remain as a deprecation shim.
     """
+    from ..runtime.config import resolve_execution
+
+    rx = resolve_execution(
+        exec_cfg,
+        workers=workers,
+        shards=shards,
+        shard_strategy=shard_strategy,
+        ci_target=ci_target,
+        max_replications=max_replications,
+        min_replications=min_replications,
+        backend=backend,
+        engine=engine,
+        store=store,
+    )
+    workers, shards, shard_strategy = rx.workers, rx.shards, rx.shard_strategy
+    ci_target, max_replications = rx.ci_target, rx.max_replications
+    min_replications, backend = rx.min_replications, rx.backend
+    engine, store = rx.engine, rx.store
     _check_engine(engine)
     cfg = config if config is not None else NetworkScenarioConfig()
     if ci_target is not None:

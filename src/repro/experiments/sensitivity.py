@@ -104,6 +104,8 @@ def node_optimum_vs_rate(
     backend=None,
     engine: str = "interpreted",
     store=None,
+    *,
+    exec_cfg=None,
 ) -> RateSensitivityResult:
     """Sweep the event rate; find the optimum threshold at each rate.
 
@@ -134,12 +136,32 @@ def node_optimum_vs_rate(
     ``store`` memoizes per-replication cell energies in a
     :class:`~repro.runtime.store.ResultStore` keyed by ``(rate,
     threshold, workload, horizon, seed)``.
+
+    ``exec_cfg`` — an :class:`~repro.runtime.config.ExecutionConfig`
+    (or resolved :class:`~repro.runtime.config.ResolvedExecution`) —
+    supplies all of the execution keywords above in one object and is
+    mutually exclusive with passing them individually; the loose
+    keywords remain as a deprecation shim.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
+    from ..runtime.config import resolve_execution
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
     from ..runtime.store import cached_ensemble_map, cached_map
 
+    rx = resolve_execution(
+        exec_cfg,
+        workers=workers,
+        ci_target=ci_target,
+        max_replications=max_replications,
+        min_replications=min_replications,
+        backend=backend,
+        engine=engine,
+        store=store,
+    )
+    workers, backend, engine, store = rx.workers, rx.backend, rx.engine, rx.store
+    ci_target, max_replications = rx.ci_target, rx.max_replications
+    min_replications = rx.min_replications
     if engine not in ("interpreted", "vectorized"):
         raise ValueError(
             f"engine must be 'interpreted' or 'vectorized', got {engine!r}"

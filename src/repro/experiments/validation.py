@@ -179,6 +179,8 @@ def run_simple_node_validation(
     backend=None,
     engine: str = "interpreted",
     store=None,
+    *,
+    exec_cfg=None,
 ) -> ValidationResult:
     """Execute the full Section V protocol.
 
@@ -210,12 +212,33 @@ def run_simple_node_validation(
     :class:`~repro.runtime.store.ResultStore` keyed by ``(config,
     seed)`` — shared across engines, backends and the fixed/adaptive
     paths.
+
+    ``exec_cfg`` — an :class:`~repro.runtime.config.ExecutionConfig`
+    (or resolved :class:`~repro.runtime.config.ResolvedExecution`) —
+    supplies all of the execution keywords above in one object and is
+    mutually exclusive with passing them individually; the loose
+    keywords remain as a deprecation shim.
     """
     from ..runtime.adaptive import AdaptiveSettings, run_adaptive_rounds
+    from ..runtime.config import resolve_execution
     from ..runtime.executor import ParallelExecutor
     from ..runtime.seeding import replication_seeds
     from ..runtime.store import cached_ensemble_map, cached_map
 
+    rx = resolve_execution(
+        exec_cfg,
+        workers=workers,
+        replications=replications,
+        ci_target=ci_target,
+        max_replications=max_replications,
+        min_replications=min_replications,
+        backend=backend,
+        engine=engine,
+        store=store,
+    )
+    workers, replications, backend = rx.workers, rx.replications, rx.backend
+    ci_target, max_replications = rx.ci_target, rx.max_replications
+    min_replications, engine, store = rx.min_replications, rx.engine, rx.store
     if engine not in ("interpreted", "vectorized"):
         raise ValueError(
             f"engine must be 'interpreted' or 'vectorized', got {engine!r}"

@@ -368,6 +368,8 @@ class SensorNetworkModel:
         seed_mode: str = "legacy",
         backend=None,
         store=None,
+        *,
+        exec_cfg=None,
     ) -> NetworkResult:
         """Simulate every node at its effective rate.
 
@@ -400,7 +402,15 @@ class SensorNetworkModel:
         node granularity means any topology, shard count or threshold
         sweep reuses every node simulation it shares with an earlier
         run.
+
+        ``exec_cfg`` — an
+        :class:`~repro.runtime.config.ExecutionConfig` (or resolved
+        :class:`~repro.runtime.config.ResolvedExecution`) — supplies
+        ``workers`` / ``shards`` / ``shard_strategy`` / ``seed_mode`` /
+        ``backend`` / ``store`` in one object; mutually exclusive with
+        passing them individually.
         """
+        from ..runtime.config import resolve_execution
         from ..runtime.executor import ParallelExecutor
         from ..runtime.sharding import (
             map_shards,
@@ -409,6 +419,21 @@ class SensorNetworkModel:
         )
         from ..runtime.store import cached_map
 
+        rx = resolve_execution(
+            exec_cfg,
+            workers=workers,
+            shards=shards,
+            shard_strategy=shard_strategy,
+            seed_mode=seed_mode,
+            backend=backend,
+            store=store,
+        )
+        workers, shards, backend = rx.workers, rx.shards, rx.backend
+        shard_strategy, seed_mode, store = (
+            rx.shard_strategy,
+            rx.seed_mode,
+            rx.store,
+        )
         if horizon <= 0:
             raise ValueError("horizon must be > 0")
         rates = self.topology.effective_rates(base_rate)
@@ -471,6 +496,8 @@ class SensorNetworkModel:
         seed_mode: str = "legacy",
         backend=None,
         store=None,
+        *,
+        exec_cfg=None,
     ) -> list[NetworkResult]:
         """Network result per threshold (network-lifetime optimisation).
 
@@ -478,7 +505,26 @@ class SensorNetworkModel:
         ``shards > 1``, the shards) of each network run; the threshold
         points themselves are processed in order so each
         :class:`NetworkResult` is complete before the next starts.
+        ``exec_cfg`` bundles the execution keywords as in
+        :meth:`simulate`.
         """
+        from ..runtime.config import resolve_execution
+
+        rx = resolve_execution(
+            exec_cfg,
+            workers=workers,
+            shards=shards,
+            shard_strategy=shard_strategy,
+            seed_mode=seed_mode,
+            backend=backend,
+            store=store,
+        )
+        workers, shards, backend = rx.workers, rx.shards, rx.backend
+        shard_strategy, seed_mode, store = (
+            rx.shard_strategy,
+            rx.seed_mode,
+            rx.store,
+        )
         out: list[NetworkResult] = []
         for t in thresholds:
             model = SensorNetworkModel(

@@ -44,7 +44,14 @@ time:
   top-ups recompute only what the cache has never seen.
   :func:`cached_map` / :func:`cached_ensemble_map` are the
   store-through-executor primitives the sweep/adaptive/shard layers
-  build on.
+  build on;
+* :mod:`repro.runtime.config` — the declarative seam over all of the
+  above: :class:`ExecutionConfig` bundles workers / backend spec /
+  engine / store dir / seed mode / shards / adaptive settings into one
+  frozen, serialisable value whose :meth:`~ExecutionConfig.resolve`
+  builds the live backend/store, and every driver accepts it as
+  ``exec_cfg=`` (the loose keyword bundle remains as a deprecation
+  shim through :func:`resolve_execution`).
 
 Every experiment driver (``repro.experiments.figures``,
 ``node_energy``, ``sensitivity``, ``validation``) and the network
@@ -54,6 +61,12 @@ exposes the same knobs as ``--workers`` / ``--replications``.
 """
 
 from .adaptive import AdaptivePointRun, AdaptiveSettings, run_adaptive_rounds
+from .config import (
+    ENGINE_NAMES,
+    ExecutionConfig,
+    ResolvedExecution,
+    resolve_execution,
+)
 from .backend import (
     BACKEND_NAMES,
     Backend,
@@ -90,6 +103,10 @@ from .store import (
 from .sweep import ReplicatedValue, map_sweep
 
 __all__ = [
+    "ExecutionConfig",
+    "ResolvedExecution",
+    "resolve_execution",
+    "ENGINE_NAMES",
     "ParallelExecutor",
     "TaskError",
     "Backend",

@@ -130,6 +130,7 @@ def run_adaptive_rounds(
     ensemble_fn: Callable[[Any], list[Any]] | None = None,
     ensemble_task_for: Callable[[int, int, int], Any] | None = None,
     store: ResultStore | None = None,
+    exec_cfg: Any | None = None,
 ) -> list[AdaptivePointRun]:
     """Drive ``fn`` over ``(point, replication)`` tasks until CIs close.
 
@@ -181,12 +182,35 @@ def run_adaptive_rounds(
         tail) and computed values are written back.  Raising
         ``max_replications`` on a warmed store therefore schedules
         only the delta replications.
+    exec_cfg:
+        An :class:`~repro.runtime.config.ExecutionConfig` (or resolved
+        :class:`~repro.runtime.config.ResolvedExecution`) supplying the
+        executor (``workers``/``backend``) and ``store`` in one object.
+        Mutually exclusive with ``executor``, ``backend`` and
+        ``store``.
 
     Returns
     -------
     list[AdaptivePointRun]
         One entry per point, in point order.
     """
+    if exec_cfg is not None:
+        if executor is not None or backend is not None or store is not None:
+            raise TypeError(
+                "pass execution settings either via exec_cfg or via "
+                "executor/backend/store, not both"
+            )
+        from .config import ExecutionConfig, ResolvedExecution
+
+        if isinstance(exec_cfg, ExecutionConfig):
+            exec_cfg = exec_cfg.resolve()
+        if not isinstance(exec_cfg, ResolvedExecution):
+            raise TypeError(
+                "exec_cfg must be an ExecutionConfig or "
+                f"ResolvedExecution, got {type(exec_cfg).__name__}"
+            )
+        executor = exec_cfg.executor()
+        store = exec_cfg.store
     if n_points < 0:
         raise ValueError(f"n_points must be >= 0, got {n_points}")
     if (ensemble_fn is None) != (ensemble_task_for is None):

@@ -1,0 +1,346 @@
+"""One execution-configuration object for every driver and the CLI.
+
+Every capability the runtime has grown — worker pools (PR 1), shards
+(PR 2), adaptive replication (PR 3), pluggable backends (PR 4), the
+vectorized engine (PR 6), the result store (PR 7) — added a keyword
+that had to be threaded through all five experiment drivers and every
+CLI subcommand.  :class:`ExecutionConfig` collapses that plumbing into
+a single frozen, serialisable value:
+
+* **declarative** — plain data (strings, ints, paths), so it can live
+  in a scenario file, an environment, or a test parametrisation;
+* **validated** — every field is checked on construction with an error
+  that names the field, so schema fuzzing gets precise rejections;
+* **resolvable** — :meth:`ExecutionConfig.resolve` builds the live
+  :class:`~repro.runtime.backend.Backend` /
+  :class:`~repro.runtime.store.ResultStore` objects exactly once,
+  yielding a :class:`ResolvedExecution` the drivers consume.
+
+Execution settings never change reported numbers (the repo's standing
+bit-identity invariant), so an ``ExecutionConfig`` is *how* to run,
+never *what* to run — it deliberately carries no model parameters and
+contributes nothing to :func:`~repro.runtime.store.task_key`.
+
+Drivers accept ``exec_cfg=`` (an :class:`ExecutionConfig` or an
+already-resolved :class:`ResolvedExecution`); the historical loose
+keywords (``workers=``, ``backend=``, ``store=``, ...) remain as a
+thin deprecation shim via :func:`resolve_execution` for one release.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass, fields, replace
+from typing import Any
+
+from .backend import BACKEND_NAMES, Backend, make_backend
+from .executor import ParallelExecutor
+from .sharding import SEED_MODES, SHARD_STRATEGIES
+from .store import ResultStore
+
+__all__ = [
+    "ENGINE_NAMES",
+    "ExecutionConfig",
+    "ResolvedExecution",
+    "resolve_execution",
+]
+
+#: Simulation engines understood by every driver (see repro.core.fast).
+ENGINE_NAMES = ("interpreted", "vectorized")
+
+
+def _check_positive_int(name: str, value: Any) -> None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+
+
+def _check_choice(name: str, value: Any, choices: tuple[str, ...]) -> None:
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {choices}, got {value!r}")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """*How* to execute a run: workers, backend, engine, store, adaptive.
+
+    All fields are plain data with the historical defaults, so
+    ``ExecutionConfig()`` reproduces every driver's legacy behaviour
+    bit for bit.  Instances are frozen (safe to share and to use as
+    defaults) and JSON-serialisable via :meth:`to_dict` /
+    :meth:`from_dict`.
+    """
+
+    #: Process-pool size for grid points / replications / shard tasks.
+    workers: int = 1
+    #: Independent replications per stochastic point (the adaptive
+    #: floor when ``ci_target`` is set).
+    replications: int = 1
+    #: Backend spec (one of :data:`~repro.runtime.backend.BACKEND_NAMES`)
+    #: or ``None`` for the historical default: processes when
+    #: ``workers > 1``, else in-process.
+    backend: str | None = None
+    #: ``host:port`` worker addresses for ``backend="socket"``.
+    connect: tuple[str, ...] = ()
+    #: Simulation engine, one of :data:`ENGINE_NAMES`.
+    engine: str = "interpreted"
+    #: Result-store directory (``None`` disables memoization).
+    store_dir: str | None = None
+    #: Per-item seed derivation for sharded node sets (see
+    #: :func:`~repro.runtime.sharding.shard_node_seeds`).
+    seed_mode: str = "legacy"
+    #: Worker-group shards over a network's node set.
+    shards: int = 1
+    #: Node partition strategy for ``shards > 1``.
+    shard_strategy: str = "contiguous"
+    #: Adaptive replication: target relative CI half-width (``None``
+    #: keeps the fixed ``replications`` count).
+    ci_target: float | None = None
+    #: Per-point replication cap under ``ci_target``.
+    max_replications: int = 64
+    #: Per-point replication floor under ``ci_target``.
+    min_replications: int = 2
+
+    def __post_init__(self) -> None:
+        if isinstance(self.connect, (list, str)):
+            # Tolerate list input (JSON has no tuples); reject a bare
+            # string, which would silently iterate per character.
+            if isinstance(self.connect, str):
+                raise ValueError(
+                    "connect must be a sequence of 'host:port' strings, "
+                    f"got the bare string {self.connect!r}"
+                )
+            object.__setattr__(self, "connect", tuple(self.connect))
+        for name in (
+            "workers",
+            "replications",
+            "shards",
+            "max_replications",
+            "min_replications",
+        ):
+            _check_positive_int(name, getattr(self, name))
+        _check_choice("engine", self.engine, ENGINE_NAMES)
+        if self.backend is not None:
+            _check_choice("backend", self.backend, BACKEND_NAMES)
+        _check_choice("seed_mode", self.seed_mode, SEED_MODES)
+        _check_choice("shard_strategy", self.shard_strategy, SHARD_STRATEGIES)
+        if not all(isinstance(a, str) for a in self.connect):
+            raise ValueError(
+                f"connect entries must be 'host:port' strings, "
+                f"got {self.connect!r}"
+            )
+        if self.connect and self.backend != "socket":
+            raise ValueError(
+                "connect only applies with backend='socket', "
+                f"got backend={self.backend!r}"
+            )
+        if self.backend == "socket" and not self.connect:
+            raise ValueError(
+                "backend='socket' requires at least one connect "
+                "'host:port' address"
+            )
+        if self.store_dir is not None and not isinstance(
+            self.store_dir, (str, os.PathLike)
+        ):
+            raise ValueError(
+                f"store_dir must be a path or None, got {self.store_dir!r}"
+            )
+        if self.ci_target is not None:
+            if isinstance(self.ci_target, bool) or not isinstance(
+                self.ci_target, (int, float)
+            ):
+                raise ValueError(
+                    f"ci_target must be a number or None, got {self.ci_target!r}"
+                )
+            if self.ci_target <= 0:
+                raise ValueError(
+                    f"ci_target must be > 0, got {self.ci_target}"
+                )
+            if self.replications > self.max_replications:
+                raise ValueError(
+                    f"replications {self.replications} is the per-point "
+                    f"floor under ci_target and must be <= "
+                    f"max_replications {self.max_replications}"
+                )
+
+    @classmethod
+    def from_env(
+        cls, environ: Mapping[str, str] | None = None, **overrides: Any
+    ) -> "ExecutionConfig":
+        """Build a config from the environment plus explicit overrides.
+
+        Recognised variables: ``REPRO_STORE`` (store directory, the
+        historical CLI variable), ``REPRO_WORKERS`` (pool size) and
+        ``REPRO_ENGINE``.  Keyword overrides win over the environment.
+        """
+        env = os.environ if environ is None else environ
+        values: dict[str, Any] = {}
+        if env.get("REPRO_STORE"):
+            values["store_dir"] = env["REPRO_STORE"]
+        if env.get("REPRO_WORKERS"):
+            try:
+                values["workers"] = int(env["REPRO_WORKERS"])
+            except ValueError:
+                raise ValueError(
+                    f"$REPRO_WORKERS must be an integer, "
+                    f"got {env['REPRO_WORKERS']!r}"
+                ) from None
+        if env.get("REPRO_ENGINE"):
+            values["engine"] = env["REPRO_ENGINE"]
+        values.update(overrides)
+        return cls(**values)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-serialisable mapping of every field."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if f.name == "connect" else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are an error.
+
+        Every rejection names the offending key (either here or from
+        ``__post_init__``'s per-field checks), which is what the
+        scenario-schema fuzzer asserts on.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"execution must be a mapping of settings, got {data!r}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown execution key {unknown[0]!r} "
+                f"(known keys: {', '.join(sorted(known))})"
+            )
+        return cls(**dict(data))
+
+    def with_overrides(self, **changes: Any) -> "ExecutionConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    def resolve(self) -> "ResolvedExecution":
+        """Build the live backend/store once; return the driver view."""
+        backend: Backend | None = None
+        if self.backend is not None:
+            backend = make_backend(
+                self.backend,
+                workers=self.workers,
+                addresses=list(self.connect) or None,
+            )
+        store = ResultStore(self.store_dir) if self.store_dir else None
+        return ResolvedExecution(
+            workers=self.workers,
+            replications=self.replications,
+            engine=self.engine,
+            seed_mode=self.seed_mode,
+            shards=self.shards,
+            shard_strategy=self.shard_strategy,
+            ci_target=self.ci_target,
+            max_replications=self.max_replications,
+            min_replications=self.min_replications,
+            backend=backend,
+            store=store,
+        )
+
+
+@dataclass
+class ResolvedExecution:
+    """An :class:`ExecutionConfig` with its live objects constructed.
+
+    This is what drivers consume: the scalar knobs plus an instantiated
+    :class:`~repro.runtime.backend.Backend` and
+    :class:`~repro.runtime.store.ResultStore` (both optional).  Resolve
+    once per run so store hit/miss counters accumulate across every
+    driver call of that run.
+    """
+
+    workers: int = 1
+    replications: int = 1
+    engine: str = "interpreted"
+    seed_mode: str = "legacy"
+    shards: int = 1
+    shard_strategy: str = "contiguous"
+    ci_target: float | None = None
+    max_replications: int = 64
+    min_replications: int = 2
+    backend: Backend | None = None
+    store: ResultStore | None = None
+
+    def executor(
+        self,
+        chunk_size: int | None = None,
+        mp_context: str | None = None,
+    ) -> ParallelExecutor:
+        """A :class:`ParallelExecutor` over this config's placement."""
+        return ParallelExecutor(
+            workers=self.workers,
+            chunk_size=chunk_size,
+            mp_context=mp_context,
+            backend=self.backend,
+        )
+
+
+#: The historical loose-keyword bundle and its defaults — the shim
+#: contract :func:`resolve_execution` keeps alive for one release.
+_LEGACY_DEFAULTS: dict[str, Any] = {
+    "workers": 1,
+    "replications": 1,
+    "ci_target": None,
+    "max_replications": 64,
+    "min_replications": 2,
+    "backend": None,
+    "engine": "interpreted",
+    "store": None,
+    "shards": 1,
+    "shard_strategy": "contiguous",
+    "seed_mode": "legacy",
+}
+
+
+def resolve_execution(
+    exec_cfg: "ExecutionConfig | ResolvedExecution | None" = None,
+    **legacy: Any,
+) -> ResolvedExecution:
+    """Merge the ``exec_cfg`` seam with the legacy keyword bundle.
+
+    Drivers call this with their historical keywords passed through
+    verbatim: with ``exec_cfg=None`` the keywords behave exactly as
+    before (the deprecation-shim path); with an ``exec_cfg`` given, any
+    legacy keyword still at its default is ignored and any *non*-default
+    one is a :class:`TypeError` — mixing the two styles silently would
+    make it ambiguous which setting wins.
+    """
+    unknown = sorted(set(legacy) - set(_LEGACY_DEFAULTS))
+    if unknown:
+        raise TypeError(f"unknown execution keyword {unknown[0]!r}")
+    if exec_cfg is None:
+        merged = dict(_LEGACY_DEFAULTS)
+        merged.update(legacy)
+        backend = merged.pop("backend")
+        store = merged.pop("store")
+        return ResolvedExecution(backend=backend, store=store, **merged)
+    overridden = sorted(
+        name
+        for name, value in legacy.items()
+        if value != _LEGACY_DEFAULTS[name]
+    )
+    if overridden:
+        raise TypeError(
+            "pass execution settings either via exec_cfg or via the "
+            f"legacy keywords, not both (got exec_cfg plus {overridden})"
+        )
+    if isinstance(exec_cfg, ResolvedExecution):
+        return exec_cfg
+    if isinstance(exec_cfg, ExecutionConfig):
+        return exec_cfg.resolve()
+    raise TypeError(
+        "exec_cfg must be an ExecutionConfig or ResolvedExecution, "
+        f"got {type(exec_cfg).__name__}"
+    )

@@ -111,6 +111,7 @@ def map_sweep(
     engine: str = "interpreted",
     ensemble_evaluate: Callable[[float, tuple[int, ...]], list[T]] | None = None,
     store: ResultStore | None = None,
+    exec_cfg: Any | None = None,
 ) -> list[SweepPoint]:
     """Evaluate ``evaluate(threshold, seed)`` over a grid, in parallel.
 
@@ -175,12 +176,37 @@ def map_sweep(
         bit-identical per replication, so both engines (and every
         backend; the store is consulted in the parent only) share one
         cache.  Execution knobs never enter the key.
+    exec_cfg:
+        An :class:`~repro.runtime.config.ExecutionConfig` (or resolved
+        :class:`~repro.runtime.config.ResolvedExecution`) supplying
+        ``workers`` / ``replications`` / ``backend`` / ``engine`` /
+        ``store`` and the adaptive knobs in one object.  Mutually
+        exclusive with passing those keywords individually.
 
     Returns
     -------
     list[SweepPoint]
         One point per threshold, in grid order.
     """
+    if exec_cfg is not None:
+        from .config import resolve_execution
+
+        rx = resolve_execution(
+            exec_cfg,
+            workers=workers,
+            replications=replications,
+            backend=backend,
+            ci_target=ci_target,
+            max_replications=max_replications,
+            min_replications=min_replications,
+            engine=engine,
+            store=store,
+        )
+        workers, replications = rx.workers, rx.replications
+        backend, engine, store = rx.backend, rx.engine, rx.store
+        ci_target = rx.ci_target
+        max_replications = rx.max_replications
+        min_replications = rx.min_replications
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
     if engine not in _ENGINES:

@@ -1,0 +1,66 @@
+"""Execute a validated :class:`~repro.scenarios.spec.ScenarioSpec`.
+
+The runner dispatches to the *same* run functions the CLI subcommands
+call (``repro.cli.run_fig`` and friends), with the spec's
+``ExecutionConfig`` resolved exactly once — so ``repro.cli scenario
+run fig14.yaml`` prints output byte-identical to the equivalent
+flag-spelled ``repro.cli fig 14 ...`` invocation.  That bit-identity
+is asserted per gallery scenario, across engines and backends, in
+``tests/scenarios/test_runner.py`` and diffed in CI by the
+``scenario`` group of ``scripts/ci_smoke.sh``.
+"""
+
+from __future__ import annotations
+
+from .spec import ScenarioSpec
+
+__all__ = ["run_scenario"]
+
+
+def run_scenario(spec: ScenarioSpec) -> int:
+    """Run one scenario; returns the process exit code.
+
+    The spec's ``execution`` is resolved here (backend and store built
+    once), and store counters are flushed on the way out — mirroring
+    what ``repro.cli main`` does for flag-spelled runs.
+    """
+    # Imported here, not at module top: the CLI imports this package
+    # for its `scenario` subcommand, and the run functions live there.
+    from .. import cli
+
+    rx = spec.execution.resolve()
+    p = spec.params
+    try:
+        if spec.model == "fig":
+            return cli.run_fig(
+                p["number"], horizon=p["horizon"], seed=p["seed"], rx=rx
+            )
+        if spec.model == "table":
+            return cli.run_table(
+                p["number"], horizon=p["horizon"], seed=p["seed"], rx=rx
+            )
+        if spec.model == "node-sweep":
+            return cli.run_node_sweep(
+                workload=p["workload"],
+                horizon=p["horizon"],
+                seed=p["seed"],
+                rx=rx,
+            )
+        if spec.model == "validate":
+            return cli.run_validate(seed=p["seed"], rx=rx)
+        if spec.model == "network":
+            return cli.run_network(
+                topology=p["topology"],
+                nodes=p["nodes"],
+                grid=p["grid"],
+                threshold=p["threshold"],
+                sweep=p["sweep"],
+                horizon=p["horizon"],
+                base_rate=p["base_rate"],
+                seed=p["seed"],
+                rx=rx,
+            )
+        raise AssertionError(f"unhandled scenario model {spec.model!r}")
+    finally:
+        if rx.store is not None:
+            rx.store.flush_counters()

@@ -1,0 +1,517 @@
+"""The versioned declarative scenario schema: ``ScenarioSpec``.
+
+A scenario file (YAML or JSON) names *what* to run (``model`` +
+``params``), *how* to run it (``execution`` — an
+:class:`~repro.runtime.config.ExecutionConfig`), and what to emit
+(``outputs``), making a CLI run a reproducible artifact::
+
+    version: 1
+    name: fig14-node-sweep
+    model: fig
+    params:
+      number: 14
+      horizon: 900.0
+      seed: 2010
+    execution:
+      replications: 4
+      workers: 2
+    outputs:
+      format: text
+    smoke:
+      params.horizon: 2.0
+      execution.replications: 2
+
+Design rules:
+
+* **Every rejection names the bad key.**  Schema errors are
+  :class:`ScenarioError` (a :class:`ValueError`) whose message contains
+  the offending key (``params.horizon``, ``execution.workers``, ...),
+  so CI can fuzz the schema and assert precise diagnostics.
+* **Round-trippable.**  ``ScenarioSpec.from_dict(spec.to_dict()) ==
+  spec`` holds for every valid spec: parameters are normalised (and
+  defaults filled) at construction.
+* **Execution is not identity.**  :meth:`ScenarioSpec.canonical_dict`
+  reuses :func:`repro.runtime.store.canonicalize` over the *semantic*
+  content only (version, model, params) — two specs that differ only
+  in workers/backend/engine/store canonicalise identically, exactly as
+  the result store never keys on execution knobs, so scenario runs
+  share the store with programmatic/flag runs.
+* ``smoke`` holds the spec's own CI-scale overrides (dotted paths, the
+  same syntax as ``repro.cli scenario run --override``), applied by
+  ``--smoke`` so ``scripts/ci_smoke.sh`` can run every gallery file in
+  seconds without knowing each model's knobs.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Callable
+
+from ..runtime.config import ExecutionConfig
+
+__all__ = [
+    "SPEC_VERSION",
+    "ScenarioError",
+    "ScenarioSpec",
+    "apply_overrides",
+    "load_scenario",
+    "parse_override",
+]
+
+#: Current schema version; bumped on incompatible schema changes.
+SPEC_VERSION = 1
+
+#: Models a scenario can run — the CLI run-subcommand namespace.
+SCENARIO_MODELS = ("fig", "table", "node-sweep", "validate", "network")
+
+
+class ScenarioError(ValueError):
+    """A scenario file/spec violates the schema.
+
+    The message always names the offending key (``params.number``,
+    ``execution.workers``, ...), which the schema fuzzer asserts on.
+    """
+
+
+_REQUIRED = object()
+
+
+def _int(key: str, value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(f"{key} must be an integer, got {value!r}")
+    return value
+
+
+def _pos_int(key: str, value: Any) -> int:
+    value = _int(key, value)
+    if value < 1:
+        raise ScenarioError(f"{key} must be >= 1, got {value}")
+    return value
+
+
+def _pos_float(key: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(f"{key} must be a number, got {value!r}")
+    if value <= 0:
+        raise ScenarioError(f"{key} must be > 0, got {value}")
+    return float(value)
+
+def _opt_pos_float(key: str, value: Any) -> float | None:
+    return None if value is None else _pos_float(key, value)
+
+
+def _bool(key: str, value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise ScenarioError(f"{key} must be true or false, got {value!r}")
+    return value
+
+
+def _choice(choices: tuple[Any, ...]) -> Callable[[str, Any], Any]:
+    def check(key: str, value: Any) -> Any:
+        if isinstance(value, bool) or value not in choices:
+            raise ScenarioError(
+                f"{key} must be one of {choices}, got {value!r}"
+            )
+        return value
+
+    return check
+
+
+def _grid(key: str, value: Any) -> tuple[int, int]:
+    """A grid spec: ``[width, height]`` or a ``"WxH"`` string."""
+    if isinstance(value, str):
+        parts = value.lower().split("x")
+        if len(parts) != 2:
+            raise ScenarioError(
+                f"{key} must be [width, height] or 'WxH', got {value!r}"
+            )
+        try:
+            value = [int(p) for p in parts]
+        except ValueError:
+            raise ScenarioError(
+                f"{key} must be [width, height] or 'WxH', got {value!r}"
+            ) from None
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or any(isinstance(v, bool) or not isinstance(v, int) for v in value)
+    ):
+        raise ScenarioError(
+            f"{key} must be [width, height] or 'WxH', got {value!r}"
+        )
+    width, height = value
+    if width < 1 or height < 1:
+        raise ScenarioError(
+            f"{key} dimensions must be >= 1, got {list(value)!r}"
+        )
+    return (width, height)
+
+
+@dataclass(frozen=True)
+class _Param:
+    """One model parameter: its default (or required) and its check."""
+
+    default: Any
+    check: Callable[[str, Any], Any]
+
+
+#: Per-model parameter schema.  Defaults mirror the CLI flag defaults
+#: exactly, so an empty ``params`` block equals the bare subcommand.
+_MODEL_PARAMS: dict[str, dict[str, _Param]] = {
+    "fig": {
+        "number": _Param(_REQUIRED, _choice((4, 5, 6, 7, 8, 9, 14, 15))),
+        "horizon": _Param(None, _opt_pos_float),
+        "seed": _Param(2010, _int),
+    },
+    "table": {
+        "number": _Param(_REQUIRED, _choice((4, 5, 6))),
+        "horizon": _Param(1000.0, _pos_float),
+        "seed": _Param(2010, _int),
+    },
+    "node-sweep": {
+        "workload": _Param("closed", _choice(("closed", "open"))),
+        "horizon": _Param(900.0, _pos_float),
+        "seed": _Param(2010, _int),
+    },
+    "validate": {
+        "seed": _Param(2010, _int),
+    },
+    "network": {
+        "topology": _Param("line", _choice(("line", "star", "grid"))),
+        "nodes": _Param(5, _pos_int),
+        "grid": _Param((10, 10), _grid),
+        "threshold": _Param(0.01, _pos_float),
+        "sweep": _Param(False, _bool),
+        "horizon": _Param(300.0, _pos_float),
+        "base_rate": _Param(0.5, _pos_float),
+        "seed": _Param(2010, _int),
+    },
+}
+
+_OUTPUT_FORMATS = ("text",)
+
+
+def _validate_params(model: str, params: Any) -> dict[str, Any]:
+    """Check/normalise a params mapping; fill model defaults."""
+    if params is None:
+        params = {}
+    if not isinstance(params, Mapping):
+        raise ScenarioError(
+            f"params must be a mapping, got {params!r}"
+        )
+    schema = _MODEL_PARAMS[model]
+    unknown = sorted(set(params) - set(schema))
+    if unknown:
+        raise ScenarioError(
+            f"unknown params key 'params.{unknown[0]}' for model "
+            f"{model!r} (known: {', '.join(sorted(schema))})"
+        )
+    out: dict[str, Any] = {}
+    for key, param in schema.items():
+        if key in params:
+            out[key] = param.check(f"params.{key}", params[key])
+        elif param.default is _REQUIRED:
+            raise ScenarioError(
+                f"missing required key 'params.{key}' for model {model!r}"
+            )
+        else:
+            out[key] = param.default
+    return out
+
+
+def _validate_outputs(outputs: Any) -> dict[str, Any]:
+    if outputs is None:
+        outputs = {}
+    if not isinstance(outputs, Mapping):
+        raise ScenarioError(f"outputs must be a mapping, got {outputs!r}")
+    unknown = sorted(set(outputs) - {"format"})
+    if unknown:
+        raise ScenarioError(
+            f"unknown outputs key 'outputs.{unknown[0]}' "
+            f"(known: format)"
+        )
+    fmt = outputs.get("format", "text")
+    if fmt not in _OUTPUT_FORMATS:
+        raise ScenarioError(
+            f"outputs.format must be one of {_OUTPUT_FORMATS}, got {fmt!r}"
+        )
+    return {"format": fmt}
+
+
+def _validate_smoke(smoke: Any) -> dict[str, Any]:
+    if smoke is None:
+        smoke = {}
+    if not isinstance(smoke, Mapping):
+        raise ScenarioError(
+            "smoke must be a mapping of dotted override paths "
+            f"(e.g. 'params.horizon: 2.0'), got {smoke!r}"
+        )
+    out: dict[str, Any] = {}
+    for key, value in smoke.items():
+        if not isinstance(key, str) or not key:
+            raise ScenarioError(
+                f"smoke keys must be dotted override paths, got {key!r}"
+            )
+        head = key.split(".", 1)[0]
+        if head not in ("params", "execution", "outputs"):
+            raise ScenarioError(
+                f"smoke override 'smoke.{key}' must target params.*, "
+                "execution.* or outputs.*"
+            )
+        out[key] = value
+    return out
+
+
+def _jsonable(value: Any) -> Any:
+    """Tuples → lists, recursively — plain JSON for ``to_dict``."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One validated scenario: model + params + execution + outputs.
+
+    Construct via :meth:`from_dict` / :func:`load_scenario` (or
+    directly — ``__post_init__`` runs the same validation either way).
+    Parameters are normalised with model defaults filled, so two specs
+    spelling the same run compare equal and round-trip through
+    :meth:`to_dict` exactly.
+    """
+
+    name: str
+    model: str
+    params: dict[str, Any] = field(default_factory=dict)
+    execution: ExecutionConfig = ExecutionConfig()
+    outputs: dict[str, Any] = field(default_factory=dict)
+    smoke: dict[str, Any] = field(default_factory=dict)
+    version: int = SPEC_VERSION
+
+    def __post_init__(self) -> None:
+        if isinstance(self.version, bool) or not isinstance(self.version, int):
+            raise ScenarioError(
+                f"version must be an integer, got {self.version!r}"
+            )
+        if self.version != SPEC_VERSION:
+            raise ScenarioError(
+                f"version {self.version} is not supported "
+                f"(this build reads scenario schema version {SPEC_VERSION})"
+            )
+        if not isinstance(self.name, str) or not self.name:
+            raise ScenarioError(
+                f"name must be a non-empty string, got {self.name!r}"
+            )
+        if self.model not in SCENARIO_MODELS:
+            raise ScenarioError(
+                f"model must be one of {SCENARIO_MODELS}, got {self.model!r}"
+            )
+        object.__setattr__(
+            self, "params", _validate_params(self.model, self.params)
+        )
+        if isinstance(self.execution, Mapping):
+            try:
+                object.__setattr__(
+                    self,
+                    "execution",
+                    ExecutionConfig.from_dict(self.execution),
+                )
+            except (ValueError, TypeError) as exc:
+                raise ScenarioError(f"execution: {exc}") from None
+        elif not isinstance(self.execution, ExecutionConfig):
+            raise ScenarioError(
+                "execution must be a mapping of ExecutionConfig fields, "
+                f"got {self.execution!r}"
+            )
+        object.__setattr__(self, "outputs", _validate_outputs(self.outputs))
+        object.__setattr__(self, "smoke", _validate_smoke(self.smoke))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Validate a raw mapping (parsed YAML/JSON) into a spec."""
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"a scenario spec must be a mapping, got {data!r}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ScenarioError(
+                f"unknown scenario key {unknown[0]!r} "
+                f"(known keys: {', '.join(sorted(known))})"
+            )
+        for required in ("name", "model"):
+            if required not in data:
+                raise ScenarioError(
+                    f"missing required scenario key {required!r}"
+                )
+        return cls(**dict(data))
+
+    def to_dict(self) -> dict[str, Any]:
+        """The plain JSON-able form; inverse of :meth:`from_dict`."""
+        return {
+            "version": self.version,
+            "name": self.name,
+            "model": self.model,
+            "params": _jsonable(self.params),
+            "execution": self.execution.to_dict(),
+            "outputs": _jsonable(self.outputs),
+            "smoke": _jsonable(self.smoke),
+        }
+
+    def canonical_dict(self) -> Any:
+        """Canonical form of the spec's *semantic* content.
+
+        Reuses :func:`repro.runtime.store.canonicalize`, so the same
+        rules that make the result store execution-agnostic apply here:
+        ``execution``, ``outputs``, ``smoke`` and the display ``name``
+        are excluded, floats are bit-exact, mapping order is
+        irrelevant.  Two specs with equal ``canonical_dict()`` describe
+        the same simulations and therefore hit the same
+        :func:`~repro.runtime.store.task_key` entries.
+        """
+        from ..runtime.store import canonicalize
+
+        return canonicalize(
+            {
+                "version": self.version,
+                "model": self.model,
+                "params": self.params,
+            }
+        )
+
+    def validate(self) -> "ScenarioSpec":
+        """Explicit no-op hook: construction already validated.
+
+        Exists so call sites can spell their intent
+        (``load_scenario(p).validate()``) and as the seam where future
+        schema versions would run migrations.
+        """
+        return self
+
+    def with_overrides(
+        self, overrides: Mapping[str, Any] | list[str]
+    ) -> "ScenarioSpec":
+        """A re-validated copy with dotted-path overrides applied."""
+        return ScenarioSpec.from_dict(
+            apply_overrides(self.to_dict(), overrides)
+        )
+
+
+def parse_override(text: str) -> tuple[str, Any]:
+    """Parse one ``KEY=VALUE`` override.
+
+    The value is parsed as JSON when possible (numbers, booleans,
+    lists), else kept as a literal string — so
+    ``params.horizon=2.5``, ``execution.backend=processes`` and
+    ``params.grid=[3,3]`` all do the obvious thing.
+    """
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise ScenarioError(
+            f"override must be KEY=VALUE (e.g. params.horizon=2.5), "
+            f"got {text!r}"
+        )
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value
+
+
+def apply_overrides(
+    data: Mapping[str, Any], overrides: Mapping[str, Any] | list[str]
+) -> dict[str, Any]:
+    """Apply dotted-path overrides to a raw spec mapping.
+
+    ``overrides`` is either a mapping ``{"params.horizon": 2.0}`` (the
+    ``smoke`` block shape) or a list of ``KEY=VALUE`` strings (the CLI
+    ``--override`` shape).  Returns a deep copy; the input is never
+    mutated.  Intermediate mappings are created as needed; overriding
+    *through* a non-mapping value is an error naming the path.
+    """
+    if isinstance(overrides, Mapping):
+        pairs = list(overrides.items())
+    else:
+        pairs = [parse_override(text) for text in overrides]
+    out: dict[str, Any] = copy.deepcopy(dict(data))
+    for key, value in pairs:
+        parts = key.split(".")
+        if not all(parts):
+            raise ScenarioError(f"override path {key!r} has an empty segment")
+        node = out
+        for i, part in enumerate(parts[:-1]):
+            child = node.get(part)
+            if child is None:
+                child = {}
+                node[part] = child
+            elif not isinstance(child, (dict, Mapping)):
+                raise ScenarioError(
+                    f"cannot override {key!r}: "
+                    f"{'.'.join(parts[: i + 1])!r} is not a mapping"
+                )
+            elif not isinstance(child, dict):
+                child = dict(child)
+                node[part] = child
+            node = child
+        node[parts[-1]] = copy.deepcopy(value)
+    return out
+
+
+def _parse_text(path: Path, text: str) -> Any:
+    suffix = path.suffix.lower()
+    if suffix in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError:
+            raise ScenarioError(
+                f"reading {path.name} requires the optional PyYAML "
+                "dependency; install pyyaml or write the spec as JSON"
+            ) from None
+        try:
+            return yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(f"invalid YAML in {path}: {exc}") from None
+    if suffix == ".json":
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid JSON in {path}: {exc}") from None
+    raise ScenarioError(
+        f"unsupported scenario file extension {suffix!r} for {path} "
+        "(use .yaml, .yml or .json)"
+    )
+
+
+def load_scenario(
+    path: str | Path,
+    overrides: Mapping[str, Any] | list[str] = (),
+    smoke: bool = False,
+) -> ScenarioSpec:
+    """Load and validate a scenario file.
+
+    With ``smoke=True`` the spec's own ``smoke`` block of dotted-path
+    overrides is applied first (the CI-scale shape of the scenario);
+    explicit ``overrides`` are applied after, so they win.
+    """
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario file {path}: {exc}") from None
+    data = _parse_text(p, text)
+    if not isinstance(data, Mapping):
+        raise ScenarioError(
+            f"a scenario spec must be a mapping, got {data!r} in {path}"
+        )
+    data = dict(data)
+    if smoke:
+        data = apply_overrides(data, _validate_smoke(data.get("smoke")))
+    if overrides:
+        data = apply_overrides(data, overrides)
+    return ScenarioSpec.from_dict(data)

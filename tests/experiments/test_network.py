@@ -66,6 +66,19 @@ class TestRunScenario:
         )
         assert sharded == serial
 
+    def test_vectorized_engine_refused_with_explanation(self):
+        # The refusal must say *why* (each node is a per-node ensemble
+        # of one — nothing to batch) and point at the fallback, not
+        # just name the bad value.
+        with pytest.raises(ValueError, match="ensemble of one") as excinfo:
+            run_network_scenario(self.config(), engine="vectorized")
+        message = str(excinfo.value)
+        assert "engine='vectorized'" in message
+        assert "interpreted" in message
+        assert "workers" in message
+        with pytest.raises(ValueError, match="ensemble of one"):
+            run_network_lifetime_sweep(self.config(), engine="vectorized")
+
 
 class TestRunSweep:
     def test_sweep_shape_and_best(self):

@@ -1,0 +1,234 @@
+"""Tests for the ExecutionConfig seam (repro.runtime.config)."""
+
+import pytest
+
+from repro.runtime.backend import ProcessPoolBackend, SerialBackend
+from repro.runtime.config import (
+    ExecutionConfig,
+    ResolvedExecution,
+    resolve_execution,
+)
+from repro.runtime.executor import ParallelExecutor
+from repro.runtime.store import ResultStore
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = ExecutionConfig()
+        assert cfg.workers == 1
+        assert cfg.engine == "interpreted"
+        assert cfg.backend is None
+        assert cfg.store_dir is None
+
+    @pytest.mark.parametrize(
+        "field", ["workers", "replications", "shards", "max_replications"]
+    )
+    def test_positive_int_fields_name_the_field(self, field):
+        for bad in (0, -1, 1.5, "2", True):
+            with pytest.raises(ValueError, match=field):
+                ExecutionConfig(**{field: bad})
+
+    @pytest.mark.parametrize(
+        ("field", "bad"),
+        [
+            ("engine", "turbo"),
+            ("backend", "quantum"),
+            ("seed_mode", "fixed"),
+            ("shard_strategy", "random"),
+        ],
+    )
+    def test_choice_fields_name_the_field(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            ExecutionConfig(**{field: bad})
+
+    def test_bare_string_connect_rejected(self):
+        # A bare string would silently iterate per character.
+        with pytest.raises(ValueError, match="connect"):
+            ExecutionConfig(backend="socket", connect="host:9000")
+
+    def test_connect_requires_socket_backend(self):
+        with pytest.raises(ValueError, match="connect"):
+            ExecutionConfig(backend="processes", connect=("h:1",))
+
+    def test_socket_backend_requires_connect(self):
+        with pytest.raises(ValueError, match="socket"):
+            ExecutionConfig(backend="socket")
+
+    def test_list_connect_coerced_to_tuple(self):
+        cfg = ExecutionConfig(backend="socket", connect=["h:1", "h:2"])
+        assert cfg.connect == ("h:1", "h:2")
+
+    def test_ci_target_must_be_positive(self):
+        with pytest.raises(ValueError, match="ci_target"):
+            ExecutionConfig(ci_target=0.0)
+        with pytest.raises(ValueError, match="ci_target"):
+            ExecutionConfig(ci_target=True)
+
+    def test_replication_floor_above_cap_rejected_under_ci_target(self):
+        with pytest.raises(ValueError, match="max_replications"):
+            ExecutionConfig(ci_target=0.1, replications=65)
+        # Without adaptive control the same counts are fine.
+        ExecutionConfig(replications=65)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExecutionConfig().workers = 4
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        cfg = ExecutionConfig(
+            workers=4,
+            replications=8,
+            backend="socket",
+            connect=("a:1", "b:2"),
+            engine="vectorized",
+            store_dir="/tmp/s",
+            shards=3,
+            shard_strategy="round-robin",
+            ci_target=0.05,
+        )
+        assert ExecutionConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_to_dict_is_json_plain(self):
+        import json
+
+        data = ExecutionConfig(backend="socket", connect=("a:1",)).to_dict()
+        assert data["connect"] == ["a:1"]
+        json.dumps(data)  # must not raise
+
+    def test_from_dict_unknown_key_named(self):
+        with pytest.raises(ValueError, match="turbo_mode"):
+            ExecutionConfig.from_dict({"turbo_mode": True})
+
+    def test_with_overrides_revalidates(self):
+        cfg = ExecutionConfig(workers=2)
+        assert cfg.with_overrides(workers=4).workers == 4
+        with pytest.raises(ValueError, match="workers"):
+            cfg.with_overrides(workers=0)
+
+
+class TestFromEnv:
+    def test_reads_store_workers_engine(self):
+        cfg = ExecutionConfig.from_env(
+            {
+                "REPRO_STORE": "/tmp/store",
+                "REPRO_WORKERS": "3",
+                "REPRO_ENGINE": "vectorized",
+            }
+        )
+        assert cfg.store_dir == "/tmp/store"
+        assert cfg.workers == 3
+        assert cfg.engine == "vectorized"
+
+    def test_overrides_win_over_environment(self):
+        cfg = ExecutionConfig.from_env({"REPRO_WORKERS": "3"}, workers=5)
+        assert cfg.workers == 5
+
+    def test_bad_workers_named(self):
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            ExecutionConfig.from_env({"REPRO_WORKERS": "many"})
+
+    def test_empty_environment_is_defaults(self):
+        assert ExecutionConfig.from_env({}) == ExecutionConfig()
+
+
+class TestResolve:
+    def test_default_resolves_to_no_backend_no_store(self):
+        rx = ExecutionConfig().resolve()
+        assert isinstance(rx, ResolvedExecution)
+        assert rx.backend is None
+        assert rx.store is None
+
+    def test_backend_and_store_constructed(self, tmp_path):
+        rx = ExecutionConfig(
+            backend="processes", workers=2, store_dir=str(tmp_path)
+        ).resolve()
+        assert isinstance(rx.backend, ProcessPoolBackend)
+        assert isinstance(rx.store, ResultStore)
+
+    def test_local_backend(self):
+        rx = ExecutionConfig(backend="local").resolve()
+        assert isinstance(rx.backend, SerialBackend)
+
+    def test_executor_carries_placement(self):
+        rx = ExecutionConfig(backend="local", workers=2).resolve()
+        executor = rx.executor()
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+class TestResolveExecutionShim:
+    def test_legacy_keywords_alone(self):
+        rx = resolve_execution(workers=3, engine="vectorized")
+        assert rx.workers == 3
+        assert rx.engine == "vectorized"
+        assert rx.backend is None
+
+    def test_exec_cfg_resolved(self):
+        rx = resolve_execution(ExecutionConfig(workers=2))
+        assert isinstance(rx, ResolvedExecution)
+        assert rx.workers == 2
+
+    def test_resolved_passthrough(self):
+        rx = ResolvedExecution(workers=7)
+        assert resolve_execution(rx) is rx
+
+    def test_default_legacy_keywords_ignored_with_exec_cfg(self):
+        rx = resolve_execution(ExecutionConfig(workers=2), workers=1)
+        assert rx.workers == 2
+
+    def test_conflicting_non_default_keyword_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            resolve_execution(ExecutionConfig(), workers=4)
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(TypeError, match="turbo"):
+            resolve_execution(turbo=True)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="ExecutionConfig"):
+            resolve_execution({"workers": 2})
+
+
+class TestDriversAcceptExecCfg:
+    """exec_cfg must be bit-identical to the legacy keyword spelling."""
+
+    def test_node_sweep_equivalence(self):
+        from repro.experiments import NodeSweepConfig, run_node_energy_sweep
+
+        cfg = NodeSweepConfig(horizon=2.0, seed=5)
+        legacy = run_node_energy_sweep(cfg, replications=2)
+        seamed = run_node_energy_sweep(
+            cfg, exec_cfg=ExecutionConfig(replications=2)
+        )
+        assert seamed.breakdowns == legacy.breakdowns
+        assert seamed.replicates == legacy.replicates
+
+    def test_network_equivalence(self):
+        from repro.experiments import (
+            NetworkScenarioConfig,
+            run_network_scenario,
+        )
+        from repro.models import LineTopology
+
+        cfg = NetworkScenarioConfig(
+            topology=LineTopology(3), horizon=5.0, seed=5
+        )
+        legacy = run_network_scenario(cfg, shards=2)
+        seamed = run_network_scenario(cfg, exec_cfg=ExecutionConfig(shards=2))
+        assert seamed == legacy
+
+    def test_mixing_styles_rejected(self):
+        from repro.experiments import NodeSweepConfig, run_node_energy_sweep
+
+        with pytest.raises(TypeError, match="not both"):
+            run_node_energy_sweep(
+                NodeSweepConfig(horizon=2.0),
+                replications=2,
+                exec_cfg=ExecutionConfig(),
+            )
+
+
+def _square(x):
+    return x * x

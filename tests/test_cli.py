@@ -312,6 +312,130 @@ class TestBackendSelection:
         assert socket_out == local_out
 
 
+class TestStoreFlags:
+    def test_store_and_no_store_conflict_rejected(self, capsys):
+        # Passing both is contradictory; the CLI must say so up front
+        # instead of silently letting one win.
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "node-sweep",
+                    "--horizon",
+                    "2",
+                    "--store",
+                    "/tmp/ignored",
+                    "--no-store",
+                ]
+            )
+        err = capsys.readouterr().err
+        assert "--store DIR and --no-store contradict each other" in err
+        assert "$REPRO_STORE" in err
+
+    def test_no_store_overrides_env(self, capsys, tmp_path, monkeypatch):
+        # $REPRO_STORE is the ambient default; --no-store must beat it
+        # for one run (that is its whole purpose).
+        store_dir = tmp_path / "envstore"
+        monkeypatch.setenv("REPRO_STORE", str(store_dir))
+        assert main(["node-sweep", "--horizon", "2", "--no-store"]) == 0
+        capsys.readouterr()
+        assert not store_dir.exists()
+        assert main(["node-sweep", "--horizon", "2"]) == 0
+        capsys.readouterr()
+        assert store_dir.exists()
+
+
+class TestScenarioSubcommand:
+    def _write(self, tmp_path, data):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def _valid(self):
+        return {
+            "version": 1,
+            "name": "cli-test",
+            "model": "fig",
+            "params": {"number": 14, "horizon": 2.0},
+            "execution": {"replications": 2},
+        }
+
+    def test_validate_ok(self, capsys, tmp_path):
+        path = self._write(tmp_path, self._valid())
+        assert main(["scenario", "validate", path]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "cli-test" in out
+
+    def test_show_prints_normalised_spec(self, capsys, tmp_path):
+        import json
+
+        path = self._write(tmp_path, self._valid())
+        assert main(["scenario", "show", path]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["params"]["seed"] == 2010  # default filled in
+        assert shown["execution"]["replications"] == 2
+
+    def test_run_matches_flag_invocation(self, capsys, tmp_path):
+        path = self._write(tmp_path, self._valid())
+        assert main(["scenario", "run", path]) == 0
+        scenario_out = capsys.readouterr().out
+        assert (
+            main(["fig", "14", "--horizon", "2.0", "--replications", "2"])
+            == 0
+        )
+        assert scenario_out == capsys.readouterr().out
+
+    def test_override_applied(self, capsys, tmp_path):
+        path = self._write(tmp_path, self._valid())
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    path,
+                    "--override",
+                    "params.number=15",
+                ]
+            )
+            == 0
+        )
+        assert "Figure 15" in capsys.readouterr().out
+
+    def test_schema_error_names_key_and_exits_2(self, capsys, tmp_path):
+        data = self._valid()
+        data["params"]["number"] = 3
+        path = self._write(tmp_path, data)
+        assert main(["scenario", "validate", path]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "params.number" in err
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        assert (
+            main(["scenario", "run", str(tmp_path / "absent.json")]) == 2
+        )
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_vectorized_network_spec_is_clean_error(self, capsys, tmp_path):
+        # A spec-level misconfiguration surfaces as an error message,
+        # not a traceback.
+        path = self._write(
+            tmp_path,
+            {
+                "version": 1,
+                "name": "bad",
+                "model": "network",
+                "params": {"horizon": 5.0},
+                "execution": {"engine": "vectorized"},
+            },
+        )
+        assert main(["scenario", "run", path]) == 2
+        err = capsys.readouterr().err
+        assert "ensemble of one" in err
+
+
 class TestWorkerSubcommand:
     def test_worker_requires_serve(self):
         with pytest.raises(SystemExit):
