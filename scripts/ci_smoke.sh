@@ -16,6 +16,10 @@
 #   scenario  declarative scenario files: validate + run every gallery
 #             spec at its --smoke scale, `scenario run fig14.yaml`
 #             diffed bit-identical against the flag-spelled fig run
+#   serve     sweep-serving query service: ephemeral-port server,
+#             `query` cold then warm, both diffed bit-identical
+#             against `scenario run`, /stats asserted to report the
+#             warm pass as pure hits
 #   all       every group above (default)
 #
 # Each group exercises the CLI exactly as a user would — tiny horizons,
@@ -226,6 +230,65 @@ smoke_scenario() {
     echo "scenario correctly rejects an unknown params key"
 }
 
+# Read one numeric field out of the server's /stats JSON, e.g.
+# `serve_stat "$server" hits`.
+serve_stat() {
+    $CLI query --server "$1" --stats | python -c \
+        "import json, sys; print(json.load(sys.stdin)['store']['$2'])"
+}
+
+smoke_serve() {
+    echo "--- smoke: sweep-serving query service ---"
+    local store_dir log port server out_ref out_cold out_warm
+    store_dir="$(mktemp -d)"
+    log="$(mktemp)"
+    out_ref="$(mktemp)"
+    out_cold="$(mktemp)"
+    out_warm="$(mktemp)"
+    # The ground truth the served answers must match byte-for-byte.
+    $CLI scenario run scenarios/fig14.yaml --smoke >"$out_ref"
+    # The server gets a fresh store: it computes the cold query
+    # itself, so the warm pass genuinely proves store-only serving.
+    $CLI serve --store "$store_dir" --progress-interval 0 >"$log" 2>&1 &
+    WORKER_PIDS+=("$!")
+    port="$(worker_port "$log")"
+    server="http://127.0.0.1:$port"
+    echo "serve on port $port"
+
+    $CLI query scenarios/fig14.yaml --smoke --server "$server" >"$out_cold"
+    if diff "$out_ref" "$out_cold"; then
+        echo "cold served output is bit-identical to scenario run"
+    else
+        echo "FAIL: cold served output differs from scenario run" >&2
+        return 1
+    fi
+    local hits_cold misses_cold hits_warm misses_warm
+    hits_cold="$(serve_stat "$server" hits)"
+    misses_cold="$(serve_stat "$server" misses)"
+
+    $CLI query scenarios/fig14.yaml --smoke --server "$server" >"$out_warm"
+    if diff "$out_ref" "$out_warm"; then
+        echo "warm served output is bit-identical to scenario run"
+    else
+        echo "FAIL: warm served output differs from scenario run" >&2
+        return 1
+    fi
+    hits_warm="$(serve_stat "$server" hits)"
+    misses_warm="$(serve_stat "$server" misses)"
+    if [ "$hits_warm" -gt "$hits_cold" ] && \
+        [ "$misses_warm" -eq "$misses_cold" ]; then
+        echo "warm pass was pure hits ($hits_cold -> $hits_warm," \
+            "misses flat at $misses_warm)"
+    else
+        echo "FAIL: warm pass was not store-only" \
+            "(hits $hits_cold -> $hits_warm," \
+            "misses $misses_cold -> $misses_warm)" >&2
+        return 1
+    fi
+    cleanup_workers
+    rm -rf "$store_dir"
+}
+
 groups=("${@:-all}")
 for group in "${groups[@]}"; do
     case "$group" in
@@ -236,10 +299,11 @@ for group in "${groups[@]}"; do
         engine)   smoke_engine ;;
         store)    smoke_store ;;
         scenario) smoke_scenario ;;
-        all)      smoke_runtime; smoke_adaptive; smoke_sharded; smoke_socket; smoke_engine; smoke_store; smoke_scenario ;;
+        serve)    smoke_serve ;;
+        all)      smoke_runtime; smoke_adaptive; smoke_sharded; smoke_socket; smoke_engine; smoke_store; smoke_scenario; smoke_serve ;;
         *)
             echo "unknown smoke group: $group" >&2
-            echo "valid groups: runtime adaptive sharded socket engine store scenario all" >&2
+            echo "valid groups: runtime adaptive sharded socket engine store scenario serve all" >&2
             exit 2
             ;;
     esac

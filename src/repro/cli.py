@@ -89,6 +89,8 @@ import math
 import os
 import sys
 from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
 
 from .energy import (
     format_breakdown_sweep,
@@ -518,6 +520,92 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: serve forever)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve sweep queries over HTTP from one long-lived store",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to listen on (default 0 picks a free port; the "
+        "bound address is announced on stdout)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; the API is "
+        "unauthenticated — expose it only on trusted networks)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="process-pool size for cache-miss tasks (default 1); the "
+        "pool is kept alive across requests",
+    )
+    serve.add_argument(
+        "--progress-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="minimum seconds between per-task job progress events "
+        "(default 0.2; 0 emits one per store access)",
+    )
+    _add_backend_args(serve)
+    _add_store_args(serve)
+
+    query = sub.add_parser(
+        "query",
+        help="run a scenario file against a 'serve' server",
+    )
+    query.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="scenario spec (.yaml/.yml/.json) — same files "
+        "'scenario run' takes; optional with --stats",
+    )
+    query.add_argument(
+        "--server",
+        required=True,
+        metavar="URL",
+        help="server base URL, e.g. http://127.0.0.1:8123 (the "
+        "address 'serve' announces)",
+    )
+    query.add_argument(
+        "--override",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="dotted-path spec override, exactly as in 'scenario run'; "
+        "repeatable, applied in order (after --smoke)",
+    )
+    query.add_argument(
+        "--smoke",
+        action="store_true",
+        help="apply the spec's own smoke: override block first",
+    )
+    query.add_argument(
+        "--mode",
+        choices=["sync", "poll", "stream"],
+        default="sync",
+        help="sync: one blocking request (default); poll: submit then "
+        "poll the job endpoint; stream: follow NDJSON events live",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="overall client-side deadline (default 600)",
+    )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server's /stats JSON and exit (no FILE needed)",
+    )
+
     life = sub.add_parser("lifetime", help="battery lifetime at a threshold")
     life.add_argument("--threshold", type=float, default=0.00178)
     life.add_argument("--workload", choices=["closed", "open"], default="closed")
@@ -562,6 +650,85 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
     print(f"repro worker done: {served} chunk(s) served")
     return 0
+
+
+def _cmd_serve(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from .serving import SweepService, make_server
+
+    execution = execution_config_from_args(args, parser)
+    service = SweepService(
+        execution, progress_interval=args.progress_interval
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    # The announcement format is shared with `worker --serve` and
+    # parsed by scripts/ci_smoke.sh (worker_port): keep the trailing
+    # "host:port" shape.
+    print(f"repro serve listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    stats = service.stats()
+    print(
+        f"repro serve done: {stats['requests']['total']} request(s), "
+        f"{stats['jobs']['total']} job(s)"
+    )
+    return 0
+
+
+def _cmd_query(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from .scenarios import ScenarioError
+    from .scenarios.spec import _parse_text
+    from .serving import ServerError, fetch_stats, query_server
+
+    try:
+        if args.stats:
+            stats = fetch_stats(args.server, timeout=args.timeout)
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        if not args.file:
+            parser.error("query needs a scenario FILE (or --stats)")
+        path = Path(args.file)
+        try:
+            data = _parse_text(path, path.read_text())
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # The raw mapping travels as-is: the *server* owns validation,
+        # so client and `scenario run` reject specs with one voice.
+        request: dict[str, Any] = {"scenario": data}
+        if args.override:
+            request["overrides"] = list(args.override)
+        if args.smoke:
+            request["smoke"] = True
+        snapshot = query_server(
+            args.server, request, mode=args.mode, timeout=args.timeout
+        )
+    except (ScenarioError, ServerError, TimeoutError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = snapshot.get("result") or {}
+    output = result.get("output")
+    if output:
+        # Verbatim, so stdout diffs clean against `scenario run`.
+        print(output, end="", flush=True)
+    if snapshot["state"] != "done":
+        detail = snapshot.get("error") or snapshot["state"]
+        print(
+            f"error: job {snapshot['id']} {snapshot['state']}: {detail}",
+            file=sys.stderr,
+        )
+        return 2
+    exit_code = result.get("exit_code")
+    return exit_code if isinstance(exit_code, int) else 0
 
 
 def _cmd_list() -> int:
@@ -978,6 +1145,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "worker" and not 0 <= args.serve <= 65535:
         parser.error(f"--serve port must be in 0..65535, got {args.serve}")
+    if args.command == "serve" and not 0 <= args.port <= 65535:
+        parser.error(f"--port must be in 0..65535, got {args.port}")
     if args.command == "store":
         args.store = args.store or os.environ.get("REPRO_STORE")
         if not args.store:
@@ -991,6 +1160,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_lifetime(args)
     if args.command == "scenario":
         return _cmd_scenario(args, parser)
+    if args.command == "serve":
+        return _cmd_serve(args, parser)
+    if args.command == "query":
+        return _cmd_query(args, parser)
     run_commands = {
         "fig": _cmd_fig,
         "table": _cmd_table,

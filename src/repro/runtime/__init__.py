@@ -98,6 +98,7 @@ from .store import (
     cached_map,
     canonical_json,
     canonicalize,
+    request_key,
     task_key,
 )
 from .sweep import ReplicatedValue, map_sweep
@@ -134,6 +135,7 @@ __all__ = [
     "StoreStats",
     "StoreWarning",
     "task_key",
+    "request_key",
     "canonicalize",
     "canonical_json",
     "cached_map",

@@ -87,6 +87,15 @@ class Backend(ABC):
         failing item's global index.
         """
 
+    def close(self) -> None:
+        """Release any long-lived resources the backend holds.
+
+        A no-op for stateless backends.  Long-lived owners (the
+        serving layer resolves one backend and reuses it across
+        requests) call this on shutdown; a closed backend may lazily
+        re-acquire resources if used again.
+        """
+
     def resolve_chunk_size(
         self, n_items: int, chunk_size: int | None = None
     ) -> int:
@@ -164,51 +173,86 @@ class ProcessPoolBackend(Backend):
     ``"forkserver"``, or ``None`` for the platform default).  Results
     never depend on the choice.
 
+    With ``keep_alive=True`` the pool is created lazily on first use
+    and **reused across** ``submit_chunks`` calls instead of being
+    rebuilt per call — the shape a long-lived owner like the serving
+    layer wants, where per-request pool spin-up would dominate small
+    requests.  Call :meth:`close` to shut the persistent pool down
+    (the next use re-creates it).  Reuse changes wall time only, never
+    results.
+
     >>> ProcessPoolBackend(workers=2).map(abs, [-2, -1, 3])
     [2, 1, 3]
     """
 
     name = "processes"
 
-    def __init__(self, workers: int, mp_context: str | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        mp_context: str | None = None,
+        keep_alive: bool = False,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self.mp_context = mp_context
+        self.keep_alive = bool(keep_alive)
+        self._pool: Any = None
 
     @property
     def parallelism(self) -> int:
         return self.workers
 
-    def submit_chunks(
-        self, fn: Callable[[Any], Any], chunks: Sequence[Chunk]
-    ) -> list[list[Any]]:
+    def _mp_ctx(self):
         import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
 
-        if not chunks:
-            return []
-        ctx = (
+        return (
             multiprocessing.get_context(self.mp_context)
             if self.mp_context is not None
             else None
         )
+
+    def _gather(self, pool: Any, fn: Callable[[Any], Any],
+                chunks: Sequence[Chunk]) -> list[list[Any]]:
+        futures = [
+            pool.submit(_run_chunk, fn, start, chunk)
+            for start, chunk in chunks
+        ]
         results: list[list[Any]] = []
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(chunks)), mp_context=ctx
-        ) as pool:
-            futures = [
-                pool.submit(_run_chunk, fn, start, chunk)
-                for start, chunk in chunks
-            ]
-            try:
-                for future in futures:
-                    results.append(future.result())
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                raise
+        try:
+            for future in futures:
+                results.append(future.result())
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
         return results
+
+    def submit_chunks(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Chunk]
+    ) -> list[list[Any]]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if not chunks:
+            return []
+        if self.keep_alive:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=self._mp_ctx()
+                )
+            return self._gather(self._pool, fn, chunks)
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(chunks)),
+            mp_context=self._mp_ctx(),
+        ) as pool:
+            return self._gather(pool, fn, chunks)
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op without ``keep_alive``)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 def make_backend(
@@ -217,6 +261,7 @@ def make_backend(
     workers: int = 1,
     mp_context: str | None = None,
     addresses: Sequence[str] | None = None,
+    keep_alive: bool = False,
 ) -> Backend:
     """Build a backend from a CLI-style spec.
 
@@ -224,11 +269,16 @@ def make_backend(
     pools ``workers`` local processes; ``"socket"`` dispatches to the
     remote workers listed in ``addresses`` (``"host:port"`` strings —
     one ``python -m repro.cli worker --serve PORT`` process each).
+    ``keep_alive`` asks for a backend meant to outlive one run
+    (currently: a persistent process pool); backends without long-lived
+    state ignore it.
     """
     if spec == "local":
         return SerialBackend()
     if spec == "processes":
-        return ProcessPoolBackend(workers=workers, mp_context=mp_context)
+        return ProcessPoolBackend(
+            workers=workers, mp_context=mp_context, keep_alive=keep_alive
+        )
     if spec == "socket":
         from .remote import SocketBackend
 

@@ -225,14 +225,22 @@ class ExecutionConfig:
         """A copy with the given fields replaced (re-validated)."""
         return replace(self, **changes)
 
-    def resolve(self) -> "ResolvedExecution":
-        """Build the live backend/store once; return the driver view."""
+    def resolve(self, *, keep_alive: bool = False) -> "ResolvedExecution":
+        """Build the live backend/store once; return the driver view.
+
+        ``keep_alive=True`` builds backends meant to outlive a single
+        run (a persistent process pool) — what a long-lived owner like
+        :class:`repro.serving.SweepService` wants, resolving once and
+        reusing the same backend and store across every request.  Call
+        ``backend.close()`` when done.  Reuse never changes results.
+        """
         backend: Backend | None = None
         if self.backend is not None:
             backend = make_backend(
                 self.backend,
                 workers=self.workers,
                 addresses=list(self.connect) or None,
+                keep_alive=keep_alive,
             )
         store = ResultStore(self.store_dir) if self.store_dir else None
         return ResolvedExecution(

@@ -66,6 +66,7 @@ __all__ = [
     "canonicalize",
     "canonical_json",
     "task_key",
+    "request_key",
     "cached_map",
     "cached_ensemble_map",
 ]
@@ -224,6 +225,28 @@ def task_key(fn: Callable[..., Any], item: Any) -> str:
     """
     payload = json.dumps(
         ["repro-store", KEY_SCHEMA, _callable_id(fn), canonicalize(item)],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def request_key(obj: Any) -> str:
+    """A canonical SHA-256 over an arbitrary request payload.
+
+    The serving layer's request digest: two requests that spell the
+    same content (dict order, tuple-vs-list, numpy scalars) share a
+    key, under the same :func:`canonicalize` rules as task hashing but
+    in a distinct namespace — a request key can never alias a
+    :func:`task_key` entry.  Used for idempotent job submission
+    (``repro.serving`` coalesces identical in-flight requests), not for
+    store addressing.
+
+    >>> request_key({"a": 1, "b": 2.0}) == request_key({"b": 2.0, "a": 1})
+    True
+    """
+    payload = json.dumps(
+        ["repro-request", KEY_SCHEMA, canonicalize(obj)],
         sort_keys=True,
         separators=(",", ":"),
     )
@@ -435,6 +458,19 @@ class ResultStore:
             return False, None
         self.hits += 1
         return True, value
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists for ``key`` — introspection only.
+
+        A pure read-path probe: no counters move and the payload is not
+        validated, so a corrupt entry still answers ``True`` here and
+        only degrades to a miss (with a warning) when :meth:`get`
+        actually reads it.  The serving layer uses this to report cache
+        coverage without perturbing hit/miss accounting.
+        """
+        if self._disabled:
+            return False
+        return self._entry_path(key).is_file()
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Warn about a bad entry, drop it, count it as corrupt+miss."""

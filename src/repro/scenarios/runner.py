@@ -12,23 +12,37 @@ is asserted per gallery scenario, across engines and backends, in
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .spec import ScenarioSpec
+
+if TYPE_CHECKING:
+    from ..runtime.config import ResolvedExecution
 
 __all__ = ["run_scenario"]
 
 
-def run_scenario(spec: ScenarioSpec) -> int:
+def run_scenario(
+    spec: ScenarioSpec, rx: "ResolvedExecution | None" = None
+) -> int:
     """Run one scenario; returns the process exit code.
 
     The spec's ``execution`` is resolved here (backend and store built
     once), and store counters are flushed on the way out — mirroring
     what ``repro.cli main`` does for flag-spelled runs.
+
+    ``rx`` overrides that resolution with an already-live
+    :class:`~repro.runtime.config.ResolvedExecution` — the seam the
+    serving layer uses to reuse one long-lived backend/store across
+    requests while keeping this exact dispatch (and therefore
+    byte-identical output) for every spelling of a run.
     """
     # Imported here, not at module top: the CLI imports this package
     # for its `scenario` subcommand, and the run functions live there.
     from .. import cli
 
-    rx = spec.execution.resolve()
+    if rx is None:
+        rx = spec.execution.resolve()
     p = spec.params
     try:
         if spec.model == "fig":

@@ -1,0 +1,142 @@
+"""A tiny urllib client for the sweep-serving HTTP API.
+
+This is what ``repro.cli query`` is built on, and what CI uses to talk
+to a server without curl.  It speaks all three request modes:
+
+* ``sync`` — ``POST /run`` and block until the final job snapshot;
+* ``poll`` — ``POST /jobs`` then poll ``/jobs/<id>/events`` until the
+  job is terminal (the shape a dashboard would use);
+* ``stream`` — ``POST /run?stream=1`` and read NDJSON events as the
+  job produces them.
+
+All three return the same final job snapshot, and ``on_event`` (when
+given) sees every event exactly once in ``seq`` order in the poll and
+stream modes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable
+from typing import Any
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+__all__ = ["ServerError", "fetch_json", "fetch_stats", "query_server"]
+
+QUERY_MODES = ("sync", "poll", "stream")
+
+
+class ServerError(RuntimeError):
+    """The server answered with an error status; carries its message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"server returned {status}: {message}")
+        self.status = status
+
+
+def _request(
+    server: str, path: str, body: Any | None = None, timeout: float = 60.0
+) -> Any:
+    url = server.rstrip("/") + path
+    data = None
+    headers = {}
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    try:
+        with urlopen(Request(url, data=data, headers=headers),
+                     timeout=timeout) as resp:
+            return json.loads(resp.read())
+    except HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        try:
+            detail = json.loads(detail)["error"]
+        except (ValueError, KeyError, TypeError):
+            pass
+        raise ServerError(exc.code, detail) from exc
+
+
+def fetch_json(server: str, path: str, timeout: float = 60.0) -> Any:
+    """GET ``path`` from ``server`` and decode the JSON body."""
+    return _request(server, path, timeout=timeout)
+
+
+def fetch_stats(server: str, timeout: float = 60.0) -> dict[str, Any]:
+    """The server's ``/stats`` payload."""
+    return _request(server, "/stats", timeout=timeout)
+
+
+def query_server(
+    server: str,
+    request: Any,
+    mode: str = "sync",
+    timeout: float = 600.0,
+    on_event: Callable[[dict[str, Any]], None] | None = None,
+) -> dict[str, Any]:
+    """Run one sweep request against ``server``; returns the job snapshot.
+
+    ``server`` is a base URL (``http://host:port``); ``request`` is the
+    JSON request body (``{"scenario": ..., "overrides": ..., "smoke":
+    ...}``).  Schema violations surface as :class:`ServerError` with
+    the server's message (which names the offending key).
+    """
+    if mode not in QUERY_MODES:
+        raise ValueError(f"mode must be one of {QUERY_MODES}, got {mode!r}")
+    if mode == "sync":
+        return _request(
+            server, f"/run?timeout={timeout:g}", request, timeout=timeout
+        )
+    if mode == "poll":
+        return _poll(server, request, timeout, on_event)
+    return _stream(server, request, timeout, on_event)
+
+
+def _poll(
+    server: str, request: Any, timeout: float,
+    on_event: Callable[[dict[str, Any]], None] | None,
+) -> dict[str, Any]:
+    job = _request(server, "/jobs", request, timeout=timeout)
+    deadline = time.monotonic() + timeout
+    seq = 0
+    while True:
+        page = _request(
+            server, f"/jobs/{job['id']}/events?since={seq}", timeout=timeout
+        )
+        for event in page["events"]:
+            seq = event["seq"] + 1
+            if on_event is not None:
+                on_event(event)
+        if page["state"] in ("done", "failed", "cancelled"):
+            return _request(server, f"/jobs/{job['id']}", timeout=timeout)
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                f"job {job['id']} still {page['state']} after {timeout:g}s"
+            )
+        time.sleep(0.05)
+
+
+def _stream(
+    server: str, request: Any, timeout: float,
+    on_event: Callable[[dict[str, Any]], None] | None,
+) -> dict[str, Any]:
+    url = server.rstrip("/") + "/run?stream=1"
+    data = json.dumps(request).encode("utf-8")
+    req = Request(url, data=data, headers={"Content-Type": "application/json"})
+    try:
+        with urlopen(req, timeout=timeout) as resp:
+            for line in resp:
+                event = json.loads(line)
+                if event.get("event") == "end":
+                    return event["job"]
+                if on_event is not None:
+                    on_event(event)
+    except HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        try:
+            detail = json.loads(detail)["error"]
+        except (ValueError, KeyError, TypeError):
+            pass
+        raise ServerError(exc.code, detail) from exc
+    raise ServerError(502, "stream ended without a final job snapshot")

@@ -1,0 +1,272 @@
+"""Stdlib-only JSON/HTTP front end for :class:`~repro.serving.SweepService`.
+
+One :class:`SweepHTTPServer` (a ``ThreadingHTTPServer`` with daemon
+handler threads) wraps one service.  Handler threads only parse, queue
+and serialise — every job still runs on the service's single worker
+thread, so concurrent HTTP clients cannot interleave job output or
+counters.
+
+Endpoints (all request/response bodies are JSON)::
+
+    GET  /health                 liveness probe
+    GET  /stats                  request/job/store counters
+    GET  /jobs                   every job, newest last
+    POST /jobs                   submit; 202 + job snapshot
+    GET  /jobs/<id>              one job snapshot
+    GET  /jobs/<id>/events       events (``?since=N`` for increments)
+    GET  /jobs/<id>/stream       NDJSON event stream until terminal
+    POST /jobs/<id>/cancel       cancel (cooperative when running)
+    POST /run                    submit + wait; ``?stream=1`` for NDJSON
+
+Errors: 400 for malformed JSON or schema violations (body carries
+``{"error": ...}`` naming the offending key), 404 for unknown jobs or
+paths, 405 for wrong methods, 413 for oversized bodies.  A client that
+disconnects mid-stream only ends its own response — the job keeps
+running and stays pollable.
+
+Streaming responses are newline-delimited JSON over ``HTTP/1.0`` with
+``Connection: close`` (body framed by connection end — no chunked
+encoding to parse), one event object per line, terminated by an
+``{"event": "end", "job": {...}}`` line carrying the final snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from .service import SweepService
+
+__all__ = ["MAX_BODY_BYTES", "SweepHTTPServer", "make_server", "serve_http"]
+
+#: Reject request bodies larger than this (a scenario spec is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+
+class SweepHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`SweepService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: SweepService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _HandledError(Exception):
+    """Internal: carries an HTTP status + message to the error writer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.0"  # connection-close framing for streams
+    server: SweepHTTPServer
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # requests are accounted in /stats, not stderr
+
+    @property
+    def service(self) -> SweepService:
+        return self.server.service
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HandledError(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise _HandledError(400, "request body must be a JSON object")
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise _HandledError(400, f"request body is not valid JSON: {exc}")
+
+    def _stream_job(self, job: Any) -> None:
+        """NDJSON: every event as it happens, then the final snapshot."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        seq = 0
+        try:
+            while True:
+                for event in job.events_since(seq):
+                    seq = event["seq"] + 1
+                    self.wfile.write(
+                        (json.dumps(event) + "\n").encode("utf-8")
+                    )
+                self.wfile.flush()
+                if job.done:
+                    break
+                job.wait(0.1)
+            self.wfile.write(
+                (json.dumps({"event": "end", "job": job.snapshot()}) + "\n")
+                .encode("utf-8")
+            )
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-stream.  Its choice — the job keeps
+            # running on the worker thread and stays pollable.
+            self.close_connection = True
+
+    # -- routing -------------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        import time
+
+        t0 = time.perf_counter()
+        endpoint = f"{method} /{parts[0] if parts else ''}"
+        error = False
+        try:
+            self._route(method, parts, query)
+        except _HandledError as exc:
+            error = True
+            self._send_json({"error": str(exc)}, status=exc.status)
+        except (BrokenPipeError, ConnectionResetError):
+            error = True
+            self.close_connection = True
+        except Exception as exc:  # noqa: BLE001 - handler must answer
+            error = True
+            try:
+                self._send_json(
+                    {"error": f"{type(exc).__name__}: {exc}"}, status=500
+                )
+            except OSError:
+                self.close_connection = True
+        finally:
+            self.service.record_request(
+                endpoint, (time.perf_counter() - t0) * 1000.0, error=error
+            )
+
+    def _route(
+        self, method: str, parts: list[str], query: dict[str, list[str]]
+    ) -> None:
+        service = self.service
+        if parts == ["health"]:
+            self._need(method, "GET")
+            self._send_json({"status": "ok"})
+        elif parts == ["stats"]:
+            self._need(method, "GET")
+            self._send_json(service.stats())
+        elif parts == ["run"]:
+            self._need(method, "POST")
+            body = self._read_json()
+            try:
+                if query.get("stream", ["0"])[0] in ("1", "true"):
+                    job, _ = service.submit(body)
+                    self._stream_job(job)
+                else:
+                    timeout = float(query.get("timeout", ["0"])[0]) or None
+                    job = service.run(body, timeout=timeout)
+                    self._send_json(job.snapshot())
+            except ValueError as exc:  # ServiceError and bad floats
+                raise _HandledError(400, str(exc))
+            except TimeoutError as exc:
+                raise _HandledError(504, str(exc))
+        elif parts == ["jobs"]:
+            if method == "GET":
+                self._send_json(
+                    {"jobs": [job.snapshot() for job in service.jobs()]}
+                )
+            elif method == "POST":
+                body = self._read_json()
+                try:
+                    job, created = service.submit(body)
+                except ValueError as exc:
+                    raise _HandledError(400, str(exc))
+                snap = job.snapshot()
+                snap["created_now"] = created
+                self._send_json(snap, status=202 if created else 200)
+            else:
+                raise _HandledError(405, f"method {method} not allowed")
+        elif len(parts) >= 2 and parts[0] == "jobs":
+            job = service.job(parts[1])
+            if job is None:
+                raise _HandledError(404, f"no such job {parts[1]!r}")
+            rest = parts[2:]
+            if not rest:
+                self._need(method, "GET")
+                self._send_json(job.snapshot())
+            elif rest == ["events"]:
+                self._need(method, "GET")
+                try:
+                    since = int(query.get("since", ["0"])[0])
+                except ValueError:
+                    raise _HandledError(400, "'since' must be an integer")
+                self._send_json(
+                    {
+                        "id": job.id,
+                        "state": job.state,
+                        "events": job.events_since(since),
+                    }
+                )
+            elif rest == ["stream"]:
+                self._need(method, "GET")
+                self._stream_job(job)
+            elif rest == ["cancel"]:
+                self._need(method, "POST")
+                service.cancel(job.id)
+                self._send_json(job.snapshot())
+            else:
+                raise _HandledError(404, f"no such path {self.path!r}")
+        else:
+            raise _HandledError(404, f"no such path {self.path!r}")
+
+    def _need(self, method: str, expected: str) -> None:
+        if method != expected:
+            raise _HandledError(
+                405, f"method {method} not allowed (use {expected})"
+            )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+def make_server(
+    service: SweepService, host: str = "127.0.0.1", port: int = 0
+) -> SweepHTTPServer:
+    """Bind a server for ``service`` (``port=0`` picks an ephemeral one)."""
+    return SweepHTTPServer((host, port), service)
+
+
+def serve_http(
+    service: SweepService, host: str = "127.0.0.1", port: int = 0
+) -> tuple[SweepHTTPServer, threading.Thread]:
+    """Start a server on a daemon thread; returns ``(server, thread)``.
+
+    The caller owns shutdown: ``server.shutdown()`` then
+    ``service.close()``.  Read the bound port off
+    ``server.server_address`` (useful with ``port=0``).
+    """
+    server = make_server(service, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="sweep-http", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -41,6 +41,7 @@ from repro.runtime.store import (
     cached_map,
     canonical_json,
     canonicalize,
+    request_key,
     task_key,
 )
 
@@ -296,6 +297,49 @@ class TestResultStore:
         for seed in range(5):
             store.put(task_key(noisy, (0.5, seed)), float(seed))
         assert not list(store.objects_dir.glob("**/.*.tmp"))
+
+    def test_contains_is_pure_introspection(self, tmp_path):
+        # The serving layer's read-path probe: no counters, no payload
+        # read, and a disabled store always answers False.
+        store = ResultStore(tmp_path)
+        key = task_key(noisy, (0.5, 7))
+        assert not store.contains(key)
+        store.put(key, 1.0)
+        store.flush_counters()
+        assert store.contains(key)
+        assert (store.hits, store.misses) == (0, 0)
+
+    def test_contains_answers_false_on_a_disabled_store(self, tmp_path):
+        store, key, _path = _single_entry(tmp_path)
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["store_schema"] = STORE_SCHEMA + 1
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.warns(StoreWarning, match="store disabled"):
+            skewed = ResultStore(tmp_path)
+        assert not skewed.contains(key)  # entry exists, schema doesn't match
+
+
+class TestRequestKey:
+    def test_insertion_order_never_matters(self):
+        a = request_key({"scenario": {"x": 1, "y": 2}, "smoke": False})
+        b = request_key({"smoke": False, "scenario": {"y": 2, "x": 1}})
+        assert a == b
+
+    def test_semantic_changes_always_matter(self):
+        base = request_key({"scenario": {"horizon": 2.0}})
+        assert base != request_key({"scenario": {"horizon": 3.0}})
+        assert base != request_key({"scenario": {"horizon": 2.0}, "s": 1})
+
+    def test_distinct_from_task_key_namespace(self):
+        # Same canonical payload, different key family: a request digest
+        # can never collide into the task-entry address space.
+        payload = {"threshold": 0.5, "seed": 7}
+        assert request_key(payload) != task_key(noisy, payload)
+
+    def test_shape_is_a_store_grade_digest(self):
+        digest = request_key({"scenario": {}})
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
 
 
 # ----------------------------------------------------------------------
