@@ -20,6 +20,10 @@
 #             `query` cold then warm, both diffed bit-identical
 #             against `scenario run`, /stats asserted to report the
 #             warm pass as pure hits
+#   topology  scenario-diversity subsystem: both generated-topology
+#             gallery scenarios at --smoke, a churning bursty run
+#             diffed bit-identical between sharded and serial
+#             spellings, `topology describe` asserted stable
 #   all       every group above (default)
 #
 # Each group exercises the CLI exactly as a user would — tiny horizons,
@@ -230,6 +234,52 @@ smoke_scenario() {
     echo "scenario correctly rejects an unknown params key"
 }
 
+smoke_topology() {
+    echo "--- smoke: generated topologies, churn and bursty traffic ---"
+    # Both generated-topology gallery scenarios at their CI scale.
+    $CLI scenario validate scenarios/geo1000.yaml
+    $CLI scenario run scenarios/geo1000.yaml --smoke
+    $CLI scenario validate scenarios/churn_tree.yaml
+    $CLI scenario run scenarios/churn_tree.yaml --smoke
+    # The acceptance gate for the dynamics layer: a churning, bursty
+    # geometric run must print the same bytes sharded as serial.  The
+    # first output line records the execution shape (workers/shards),
+    # which is exactly what differs — drop it, diff the numbers.
+    local args=(network --topology geometric --nodes 12 --horizon 5
+        --base-rate 0.2 --failure-rate 0.2 --duty-spread 0.3
+        --traffic bursty --seed 3)
+    local out_serial out_sharded
+    out_serial="$(mktemp)"
+    out_sharded="$(mktemp)"
+    $CLI "${args[@]}" | tail -n +2 >"$out_serial"
+    $CLI "${args[@]}" --shards 3 --workers 2 | tail -n +2 >"$out_sharded"
+    if diff "$out_serial" "$out_sharded"; then
+        echo "churn run output is bit-identical sharded vs serial"
+    else
+        echo "FAIL: churn run output differs sharded vs serial" >&2
+        return 1
+    fi
+    if ! grep -q "failures" "$out_serial"; then
+        echo "FAIL: churn run reported no churn summary" >&2
+        return 1
+    fi
+    # `topology describe` is pure inspection: two runs, same bytes.
+    local desc_a desc_b
+    desc_a="$(mktemp)"
+    desc_b="$(mktemp)"
+    $CLI topology describe --topology geometric --nodes 200 \
+        --seed 2010 >"$desc_a"
+    $CLI topology describe --topology geometric --nodes 200 \
+        --seed 2010 >"$desc_b"
+    if diff "$desc_a" "$desc_b"; then
+        echo "topology describe output is stable"
+    else
+        echo "FAIL: topology describe output is unstable" >&2
+        return 1
+    fi
+    cat "$desc_a"
+}
+
 # Read one numeric field out of the server's /stats JSON, e.g.
 # `serve_stat "$server" hits`.
 serve_stat() {
@@ -300,10 +350,11 @@ for group in "${groups[@]}"; do
         store)    smoke_store ;;
         scenario) smoke_scenario ;;
         serve)    smoke_serve ;;
-        all)      smoke_runtime; smoke_adaptive; smoke_sharded; smoke_socket; smoke_engine; smoke_store; smoke_scenario; smoke_serve ;;
+        topology) smoke_topology ;;
+        all)      smoke_runtime; smoke_adaptive; smoke_sharded; smoke_socket; smoke_engine; smoke_store; smoke_scenario; smoke_serve; smoke_topology ;;
         *)
             echo "unknown smoke group: $group" >&2
-            echo "valid groups: runtime adaptive sharded socket engine store scenario serve all" >&2
+            echo "valid groups: runtime adaptive sharded socket engine store scenario serve topology all" >&2
             exit 2
             ;;
     esac

@@ -121,6 +121,7 @@ from .experiments.network import (
     run_network_lifetime_sweep,
     run_network_scenario,
 )
+from .topology import ChurnModel, MMPPTraffic, describe_topology
 
 _FIG_TO_PUD = {4: 0.001, 5: 0.3, 6: 10.0, 7: 0.001, 8: 0.3, 9: 10.0}
 _TABLE_TO_PUD = {4: 0.001, 5: 0.3, 6: 10.0}
@@ -141,6 +142,27 @@ def _ci_target(text: str) -> float:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _fraction(text: str) -> float:
+    value = float(text)
+    if not 0 <= value < 1:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1), got {value}")
+    return value
+
+
 def _grid_spec(text: str) -> tuple[int, int]:
     """Parse a ``WIDTHxHEIGHT`` grid spec like ``10x10``."""
     try:
@@ -155,6 +177,53 @@ def _grid_spec(text: str) -> tuple[int, int]:
             f"grid dimensions must be >= 1, got {text!r}"
         )
     return width, height
+
+
+def _add_topology_args(sub_parser: argparse.ArgumentParser) -> None:
+    """Topology-selection flags shared by ``network`` and ``topology``."""
+    sub_parser.add_argument(
+        "--topology",
+        choices=["line", "star", "grid", "geometric", "cluster-tree"],
+        default="line",
+    )
+    sub_parser.add_argument(
+        "--nodes",
+        type=_positive_int,
+        default=5,
+        help=(
+            "chain length (line), leaf count (star) or deployment size "
+            "(geometric); ignored for grid and cluster-tree"
+        ),
+    )
+    sub_parser.add_argument(
+        "--grid",
+        type=_grid_spec,
+        default=(10, 10),
+        metavar="WxH",
+        help="grid dimensions for --topology grid (default 10x10)",
+    )
+    sub_parser.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help=(
+            "connectivity radius for --topology geometric (default: "
+            "auto-sized from the node count; retried/grown "
+            "deterministically if the deployment comes out disconnected)"
+        ),
+    )
+    sub_parser.add_argument(
+        "--fanout",
+        type=_positive_int,
+        default=3,
+        help="children per cluster head for --topology cluster-tree",
+    )
+    sub_parser.add_argument(
+        "--depth",
+        type=_positive_int,
+        default=3,
+        help="tree depth for --topology cluster-tree",
+    )
 
 
 def _add_adaptive_args(sub_parser: argparse.ArgumentParser) -> None:
@@ -406,21 +475,56 @@ def _build_parser() -> argparse.ArgumentParser:
     network = sub.add_parser(
         "network", help="sharded multi-node network scenario"
     )
+    _add_topology_args(network)
     network.add_argument(
-        "--topology", choices=["line", "star", "grid"], default="line"
+        "--failure-rate",
+        type=_nonneg_float,
+        default=0.0,
+        help=(
+            "per-node exponential failure rate (1/s) for churn; dead "
+            "relays rewire their orphans to the nearest live relay "
+            "(default 0 = immortal nodes)"
+        ),
     )
     network.add_argument(
-        "--nodes",
-        type=_positive_int,
-        default=5,
-        help="chain length (line) or leaf count (star); ignored for grid",
+        "--duty-spread",
+        type=_fraction,
+        default=0.0,
+        help=(
+            "half-width of the uniform per-node duty-cycle factor, in "
+            "[0, 1): each node senses at base-rate x (1 +/- spread) "
+            "(default 0 = identical nodes)"
+        ),
     )
     network.add_argument(
-        "--grid",
-        type=_grid_spec,
-        default=(10, 10),
-        metavar="WxH",
-        help="grid dimensions for --topology grid (default 10x10)",
+        "--traffic",
+        choices=["poisson", "bursty"],
+        default="poisson",
+        help=(
+            "arrival process: poisson (the paper's) or bursty "
+            "mean-rate-preserving MMPP/on-off"
+        ),
+    )
+    network.add_argument(
+        "--burst-on",
+        type=_positive_float,
+        default=5.0,
+        help="mean burst (ON) duration in seconds for --traffic bursty",
+    )
+    network.add_argument(
+        "--burst-off",
+        type=_positive_float,
+        default=15.0,
+        help="mean quiet (OFF) duration in seconds for --traffic bursty",
+    )
+    network.add_argument(
+        "--burst-off-fraction",
+        type=_fraction,
+        default=0.0,
+        help=(
+            "quiet-state emission rate as a fraction of the burst rate, "
+            "in [0, 1) (default 0 = silent between bursts)"
+        ),
     )
     network.add_argument(
         "--threshold",
@@ -442,6 +546,32 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     network.add_argument("--seed", type=int, default=2010)
     add_execution_args(network, replications=False, engine=False, shards=True)
+
+    topology = sub.add_parser(
+        "topology",
+        help="inspect a topology without simulating it",
+    )
+    topology.add_argument(
+        "action",
+        choices=["describe"],
+        help=(
+            "describe: print node count, depth histogram and per-hop "
+            "relay load for the selected topology"
+        ),
+    )
+    _add_topology_args(topology)
+    topology.add_argument(
+        "--base-rate",
+        type=float,
+        default=0.5,
+        help="events/s sensed by each node before relaying (default 0.5)",
+    )
+    topology.add_argument(
+        "--seed",
+        type=int,
+        default=2010,
+        help="layout seed for generated topologies (default 2010)",
+    )
 
     scenario = sub.add_parser(
         "scenario",
@@ -1042,19 +1172,57 @@ def run_network(
     horizon: float = 300.0,
     base_rate: float = 0.5,
     seed: int = 2010,
+    radius: float | None = None,
+    fanout: int = 3,
+    depth: int = 3,
+    failure_rate: float = 0.0,
+    duty_spread: float = 0.0,
+    traffic: str = "poisson",
+    burst_on: float = 5.0,
+    burst_off: float = 15.0,
+    burst_off_fraction: float = 0.0,
     rx: ResolvedExecution | None = None,
 ) -> int:
-    """One network scenario or threshold sweep; see :func:`run_fig` on ``rx``."""
+    """One network scenario or threshold sweep; see :func:`run_fig` on ``rx``.
+
+    The scenario-diversity knobs compose freely: generated topologies
+    (``geometric`` / ``cluster-tree`` with ``radius`` / ``fanout`` /
+    ``depth``), node churn (``failure_rate`` / ``duty_spread``) and
+    bursty arrivals (``traffic="bursty"`` with the ``burst_*`` shape).
+    All default to the paper's static Poisson setup.
+    """
     rx = rx if rx is not None else ExecutionConfig().resolve()
     width, height = grid
+    if traffic not in ("poisson", "bursty"):
+        raise ValueError(
+            f"traffic must be 'poisson' or 'bursty', got {traffic!r}"
+        )
+    dynamics = ChurnModel(failure_rate=failure_rate, duty_spread=duty_spread)
     config = NetworkScenarioConfig(
         topology=make_topology(
-            topology, nodes=nodes, width=width, height=height
+            topology,
+            nodes=nodes,
+            width=width,
+            height=height,
+            radius=radius,
+            fanout=fanout,
+            depth=depth,
+            seed=seed,
         ),
         horizon=horizon,
         base_rate=base_rate,
         seed=seed,
         params=NodeParameters(power_down_threshold=threshold),
+        dynamics=dynamics if dynamics.is_active() else None,
+        traffic=(
+            MMPPTraffic(
+                burst_on_s=burst_on,
+                burst_off_s=burst_off,
+                off_fraction=burst_off_fraction,
+            )
+            if traffic == "bursty"
+            else None
+        ),
     )
     run_info = (
         f"(workers={rx.workers}, shards={rx.shards}, "
@@ -1117,7 +1285,61 @@ def _cmd_network(args: argparse.Namespace, rx: ResolvedExecution) -> int:
         horizon=args.horizon,
         base_rate=args.base_rate,
         seed=args.seed,
+        radius=args.radius,
+        fanout=args.fanout,
+        depth=args.depth,
+        failure_rate=args.failure_rate,
+        duty_spread=args.duty_spread,
+        traffic=args.traffic,
+        burst_on=args.burst_on,
+        burst_off=args.burst_off,
+        burst_off_fraction=args.burst_off_fraction,
         rx=rx,
+    )
+
+
+def run_topology_describe(
+    *,
+    topology: str = "line",
+    nodes: int = 5,
+    grid: tuple[int, int] = (10, 10),
+    radius: float | None = None,
+    fanout: int = 3,
+    depth: int = 3,
+    base_rate: float = 0.5,
+    seed: int = 2010,
+) -> int:
+    """Print a deterministic structural report for a topology spec.
+
+    No simulation runs: the report (node count, depth histogram,
+    per-hop relay load, hotspot) is a pure function of the topology
+    arguments, which CI pins by diffing two invocations.
+    """
+    width, height = grid
+    topo = make_topology(
+        topology,
+        nodes=nodes,
+        width=width,
+        height=height,
+        radius=radius,
+        fanout=fanout,
+        depth=depth,
+        seed=seed,
+    )
+    print(describe_topology(topo, base_rate))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    return run_topology_describe(
+        topology=args.topology,
+        nodes=args.nodes,
+        grid=args.grid,
+        radius=args.radius,
+        fanout=args.fanout,
+        depth=args.depth,
+        base_rate=args.base_rate,
+        seed=args.seed,
     )
 
 
@@ -1158,6 +1380,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "lifetime":
         return _cmd_lifetime(args)
+    if args.command == "topology":
+        return _cmd_topology(args)
     if args.command == "scenario":
         return _cmd_scenario(args, parser)
     if args.command == "serve":

@@ -22,6 +22,7 @@ Both accept ``workers`` (process-pool size) and ``shards``
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from ..core.statistics import ConfidenceInterval, replication_interval
 from ..energy.battery import IMOTE2_3xAAA, LinearBattery, PeukertBattery
@@ -35,6 +36,10 @@ from ..models.network import (
 )
 from ..models.wsn_node import NodeParameters
 from .sweep import NETWORK_THRESHOLDS
+
+if TYPE_CHECKING:
+    from ..topology.dynamics import ChurnModel
+    from ..topology.traffic import MMPPTraffic
 
 __all__ = [
     "NetworkScenarioConfig",
@@ -73,13 +78,24 @@ def _check_engine(engine: str) -> None:
 
 
 def make_topology(
-    kind: str, nodes: int = 5, width: int = 10, height: int = 10
+    kind: str,
+    nodes: int = 5,
+    width: int = 10,
+    height: int = 10,
+    radius: float | None = None,
+    fanout: int = 3,
+    depth: int = 3,
+    seed: int = 0,
 ) -> NetworkTopology:
     """Build a topology from CLI-style arguments.
 
     ``kind`` is ``"line"`` (``nodes`` chain links), ``"star"``
-    (``nodes`` counts the leaves; the hub is added) or ``"grid"``
-    (``width × height`` nodes, corner sink).
+    (``nodes`` counts the leaves; the hub is added), ``"grid"``
+    (``width × height`` nodes, corner sink), ``"geometric"``
+    (``nodes`` dropped uniformly in the unit square with connectivity
+    ``radius`` — ``None`` auto-sizes — laid out from ``seed``) or
+    ``"cluster-tree"`` (a complete ``fanout``-ary tree of ``depth``
+    levels; ``nodes`` is implied).
     """
     if kind == "line":
         return LineTopology(nodes)
@@ -87,7 +103,22 @@ def make_topology(
         return StarTopology(nodes)
     if kind == "grid":
         return GridTopology(width, height)
-    raise ValueError(f"kind must be 'line', 'star' or 'grid', got {kind!r}")
+    if kind == "geometric":
+        # Imported here, not at module top: repro.topology reaches the
+        # runtime package (for seeding), whose __init__ reaches back
+        # into repro.experiments — a top-level import would make this
+        # module's import order-dependent.
+        from ..topology.generators import RandomGeometricTopology
+
+        return RandomGeometricTopology(nodes, radius=radius, seed=seed)
+    if kind == "cluster-tree":
+        from ..topology.generators import ClusterTreeTopology
+
+        return ClusterTreeTopology(fanout, depth)
+    raise ValueError(
+        "kind must be 'line', 'star', 'grid', 'geometric' or "
+        f"'cluster-tree', got {kind!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -102,6 +133,10 @@ class NetworkScenarioConfig:
     params: NodeParameters = NodeParameters(power_down_threshold=0.01)
     battery: LinearBattery | PeukertBattery = IMOTE2_3xAAA
     workload: str = "open"
+    #: Optional node churn (failures, rewiring, duty variation).
+    dynamics: ChurnModel | None = None
+    #: Optional bursty (MMPP) arrivals replacing pure Poisson.
+    traffic: MMPPTraffic | None = None
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -114,7 +149,12 @@ class NetworkScenarioConfig:
     def model(self) -> SensorNetworkModel:
         """The configured network model."""
         return SensorNetworkModel(
-            self.topology, self.params, self.battery, self.workload
+            self.topology,
+            self.params,
+            self.battery,
+            self.workload,
+            dynamics=self.dynamics,
+            traffic=self.traffic,
         )
 
 
@@ -253,6 +293,8 @@ def _adaptive_network_runs(
             cfg.params.with_threshold(t),
             cfg.battery,
             cfg.workload,
+            dynamics=cfg.dynamics,
+            traffic=cfg.traffic,
         )
         for t in thresholds
     ]
@@ -470,16 +512,22 @@ def run_network_lifetime_sweep(
 def format_network_summary(result: NetworkResult) -> str:
     """Human-readable one-run summary (hotspot, lifetime, energy)."""
     hotspot = result.hotspot
-    return "\n".join(
-        [
-            f"topology            : {result.topology}",
-            f"Power_Down_Threshold: {result.power_down_threshold:g} s",
-            f"simulated horizon   : {result.horizon_s:g} s",
-            f"total energy        : {result.total_energy_j:.4f} J",
-            f"network lifetime    : {result.network_lifetime_days:.2f} days "
-            f"(first death: node {hotspot.node_id} "
-            f"at {hotspot.event_rate:g} events/s)",
-            f"lifetime imbalance  : {result.lifetime_imbalance():.2f}x "
-            "(max/min node lifetime)",
-        ]
-    )
+    lines = [
+        f"topology            : {result.topology}",
+        f"Power_Down_Threshold: {result.power_down_threshold:g} s",
+        f"simulated horizon   : {result.horizon_s:g} s",
+        f"total energy        : {result.total_energy_j:.4f} J",
+        f"network lifetime    : {result.network_lifetime_days:.2f} days "
+        f"(first death: node {hotspot.node_id} "
+        f"at {hotspot.event_rate:g} events/s)",
+        f"lifetime imbalance  : {result.lifetime_imbalance():.2f}x "
+        "(max/min node lifetime)",
+    ]
+    if result.dynamics is not None:
+        d = result.dynamics
+        lines.append(
+            f"churn               : {d.failures} failures "
+            f"({d.survivors} survivors), {d.reparented} nodes rewired, "
+            f"{d.unreachable} cut off"
+        )
+    return "\n".join(lines)

@@ -33,6 +33,7 @@ from .network import (
 from .simple_node import SimpleNodeModel, SimpleNodeParameters, SimpleNodeResult
 from .workload import (
     ClosedWorkload,
+    MMPPWorkload,
     OpenWorkload,
     TraceWorkload,
     WorkloadGenerator,
@@ -65,6 +66,7 @@ __all__ = [
     "OpenWorkload",
     "ClosedWorkload",
     "TraceWorkload",
+    "MMPPWorkload",
     "SensorNetworkModel",
     "NetworkTopology",
     "LineTopology",

@@ -35,13 +35,19 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from ..energy.battery import LinearBattery, NodeLifetimeEstimator, PeukertBattery
 from .wsn_node import (
     NodeParameters,
+    WSNNodeModel,
     WSNNodeResult,
     simulate_node_task,
 )
+
+if TYPE_CHECKING:
+    from ..topology.dynamics import ChurnModel, ChurnReport, NodeSegment
+    from ..topology.traffic import MMPPTraffic
 
 __all__ = [
     "NetworkTopology",
@@ -51,7 +57,11 @@ __all__ = [
     "NodeSummary",
     "NetworkResult",
     "SensorNetworkModel",
+    "simulate_node_segments_task",
 ]
+
+#: Seconds per day, for converting failure times to lifetime units.
+_DAY_S = 86400.0
 
 
 class NetworkTopology:
@@ -67,6 +77,35 @@ class NetworkTopology:
     def describe(self) -> str:
         """One-line topology description."""
         raise NotImplementedError
+
+    def tree_parents(self) -> tuple[int, ...]:
+        """Convergecast routing tree as a parent array.
+
+        Entry ``i`` is the 0-based index of the node that relays node
+        ``i``'s traffic; :data:`repro.topology.routing.SINK` (``-1``)
+        marks nodes that reach the sink directly.  Every topology's
+        :meth:`effective_rates` must equal ``base_rate`` × the subtree
+        sizes of this tree — the :mod:`repro.topology` dynamics layer
+        relies on that consistency when it recomputes per-epoch rates.
+
+        >>> from repro.models import LineTopology
+        >>> LineTopology(4).tree_parents()
+        (-1, 0, 1, 2)
+        """
+        raise NotImplementedError
+
+    def rewire(self, alive: Sequence[bool]) -> tuple[int, ...]:
+        """Routing tree after the nodes where ``alive`` is false died.
+
+        The default policy re-parents each survivor to its nearest
+        live *ancestor* on the original tree (ultimately the sink, so
+        survivors always stay connected); geometry-aware topologies
+        override this with a true shortest-path recompute.  Dead nodes
+        are marked :data:`repro.topology.routing.UNREACHABLE` (``-2``).
+        """
+        from ..topology.routing import climb_rewire
+
+        return climb_rewire(self.tree_parents(), alive)
 
 
 @dataclass(frozen=True)
@@ -91,6 +130,9 @@ class LineTopology(NetworkTopology):
         return [
             base_rate * (self.n_nodes - i) for i in range(self.n_nodes)
         ]
+
+    def tree_parents(self) -> tuple[int, ...]:
+        return tuple(i - 1 if i > 0 else -1 for i in range(self.n_nodes))
 
     def describe(self) -> str:
         return f"line of {self.n_nodes} nodes (node 1 adjacent to the sink)"
@@ -118,6 +160,9 @@ class StarTopology(NetworkTopology):
         if base_rate <= 0:
             raise ValueError("base_rate must be > 0")
         return [base_rate * (self.n_leaves + 1)] + [base_rate] * self.n_leaves
+
+    def tree_parents(self) -> tuple[int, ...]:
+        return (-1,) + (0,) * self.n_leaves
 
     def describe(self) -> str:
         return f"star with 1 hub and {self.n_leaves} leaves"
@@ -177,6 +222,18 @@ class GridTopology(NetworkTopology):
             base_rate * self.subtree_size(i) for i in range(self.n_nodes)
         ]
 
+    def tree_parents(self) -> tuple[int, ...]:
+        parents = []
+        for i in range(self.n_nodes):
+            x, y = self.position(i)
+            if y > 0:
+                parents.append(i - 1)  # (x, y-1) is the previous index
+            elif x > 0:
+                parents.append(i - self.height)  # (x-1, 0)
+            else:
+                parents.append(-1)
+        return tuple(parents)
+
     def describe(self) -> str:
         return (
             f"{self.width}x{self.height} grid of {self.n_nodes} nodes "
@@ -211,6 +268,9 @@ class NetworkResult:
     power_down_threshold: float
     horizon_s: float
     nodes: list[NodeSummary]
+    #: Churn statistics, attached by the parent after any merge —
+    #: shards never see or produce this, so merging stays exact.
+    dynamics: ChurnReport | None = None
 
     @classmethod
     def merge(cls, results: Sequence["NetworkResult"]) -> "NetworkResult":
@@ -276,6 +336,37 @@ class NetworkResult:
         return max(lifetimes) / lo if lo > 0 else float("inf")
 
 
+def simulate_node_segments_task(
+    task: tuple[
+        NodeParameters, str, "MMPPTraffic | None", tuple["NodeSegment", ...]
+    ],
+) -> list[WSNNodeResult]:
+    """Worker task: one churn-scheduled node, all its alive segments.
+
+    ``task = (params, workload, traffic, segments)`` — the picklable
+    unit the runtime maps under churn.  Each
+    :class:`~repro.topology.dynamics.NodeSegment` is simulated
+    back-to-back at its epoch's effective rate with its own
+    deterministic seed; results come back per segment for the parent
+    to fold into one :class:`NodeSummary`.  Keeping the whole node in
+    one task preserves the node-granular sharding and result-store
+    keying of the static path.
+    """
+    params, workload, traffic, segments = task
+    results = []
+    for seg in segments:
+        seg_params = replace(params, arrival_rate=seg.rate)
+        seg_workload = (
+            traffic.workload(seg.rate) if traffic is not None else workload
+        )
+        results.append(
+            WSNNodeModel(seg_params, seg_workload).simulate(
+                seg.duration_s, seed=seg.seed
+            )
+        )
+    return results
+
+
 class SensorNetworkModel:
     """A network of Figs. 12/13 nodes with per-node relayed workloads.
 
@@ -292,6 +383,19 @@ class SensorNetworkModel:
     workload:
         ``"open"`` (default — relayed traffic arrives regardless of the
         relay's state, which is physically right) or ``"closed"``.
+    dynamics:
+        Optional :class:`~repro.topology.dynamics.ChurnModel`.  When
+        active, every run precomputes a deterministic
+        :class:`~repro.topology.dynamics.ChurnSchedule` in the parent
+        (failures, rewiring, duty variation) and simulates each node's
+        alive segments via :func:`simulate_node_segments_task`.  An
+        inert model (both knobs zero) is normalised to ``None`` so the
+        exact legacy path — and its result-store keys — is used.
+    traffic:
+        Optional :class:`~repro.topology.traffic.MMPPTraffic`.  Each
+        node then draws bursty MMPP arrivals whose long-run mean
+        equals its topology-assigned effective rate (open workload
+        only).
 
     Notes
     -----
@@ -322,6 +426,8 @@ class SensorNetworkModel:
         params: NodeParameters | None = None,
         battery: LinearBattery | PeukertBattery | None = None,
         workload: str = "open",
+        dynamics: ChurnModel | None = None,
+        traffic: MMPPTraffic | None = None,
     ) -> None:
         self.topology = topology
         self.params = params if params is not None else NodeParameters()
@@ -332,7 +438,18 @@ class SensorNetworkModel:
         )
         if workload not in ("open", "closed"):
             raise ValueError(f"workload must be open or closed, got {workload!r}")
+        if traffic is not None and workload != "open":
+            raise ValueError(
+                "bursty traffic requires the open workload "
+                f"(relayed arrivals are state-independent), got {workload!r}"
+            )
         self.workload = workload
+        # An inert churn model changes nothing: normalise it away so
+        # the legacy task path (and its store keys) stays byte-exact.
+        self.dynamics = (
+            dynamics if dynamics is not None and dynamics.is_active() else None
+        )
+        self.traffic = traffic
 
     def _summarise(
         self,
@@ -355,6 +472,44 @@ class SensorNetworkModel:
             lifetime_days=estimator.lifetime_days(mean_power_mw),
             cpu_wakeups=result.cpu_wakeups,
             events_completed=result.events_completed,
+        )
+
+    def _summarise_segments(
+        self,
+        node_index: int,
+        segments: Sequence["NodeSegment"],
+        results: Sequence[WSNNodeResult],
+        estimator: NodeLifetimeEstimator,
+        failure_time_s: float | None,
+    ) -> NodeSummary:
+        """Fold a churn-scheduled node's segment runs into one row.
+
+        Energy and counters sum across segments; mean power averages
+        over the node's *alive* time; the reported event rate is the
+        duration-weighted mean of the per-epoch effective rates.  A
+        node killed by churn has its lifetime clipped to the failure
+        time — network lifetime (time to first node death) then
+        reflects the churn event, exactly as it would a battery death.
+        """
+        energy = sum(r.total_energy_j for r in results)
+        alive_s = sum(r.duration for r in results)
+        mean_power_mw = energy / alive_s * 1000.0 if alive_s > 0 else 0.0
+        lifetime_days = estimator.lifetime_days(mean_power_mw)
+        if failure_time_s is not None:
+            lifetime_days = min(lifetime_days, failure_time_s / _DAY_S)
+        rate = (
+            sum(s.rate * s.duration_s for s in segments) / alive_s
+            if alive_s > 0
+            else 0.0
+        )
+        return NodeSummary(
+            node_id=node_index + 1,
+            event_rate=rate,
+            mean_power_mw=mean_power_mw,
+            energy_j=energy,
+            lifetime_days=lifetime_days,
+            cpu_wakeups=sum(r.cpu_wakeups for r in results),
+            events_completed=sum(r.events_completed for r in results),
         )
 
     def simulate(
@@ -439,50 +594,85 @@ class SensorNetworkModel:
         rates = self.topology.effective_rates(base_rate)
         estimator = NodeLifetimeEstimator(self.battery)
         seeds = shard_node_seeds(seed, len(rates), mode=seed_mode)
-        tasks = [
-            (replace(self.params, arrival_rate=rate), self.workload, horizon, seeds[i])
-            for i, rate in enumerate(rates)
-        ]
+        if self.dynamics is not None:
+            # Churn: the whole schedule — failures, rewired trees,
+            # per-epoch rates, per-segment seeds — is fixed here in
+            # the parent, so the worker tasks below stay a pure
+            # function of their own contents.
+            schedule = self.dynamics.schedule(
+                self.topology, base_rate, horizon, seed
+            )
+            task_fn = simulate_node_segments_task
+            tasks = [
+                (
+                    self.params,
+                    self.workload,
+                    self.traffic,
+                    schedule.node_segments(i, seeds[i]),
+                )
+                for i in range(len(rates))
+            ]
+        else:
+            schedule = None
+            task_fn = simulate_node_task
+            tasks = [
+                (
+                    replace(self.params, arrival_rate=rate),
+                    self.traffic.workload(rate)
+                    if self.traffic is not None
+                    else self.workload,
+                    horizon,
+                    seeds[i],
+                )
+                for i, rate in enumerate(rates)
+            ]
+
+        def summarise(i: int, result) -> NodeSummary:
+            if schedule is None:
+                return self._summarise(i, rates[i], result, estimator)
+            return self._summarise_segments(
+                i, tasks[i][3], result, estimator, schedule.failure_time(i)
+            )
+
         if shards == 1:
             results = cached_map(
                 ParallelExecutor(workers=workers, backend=backend),
-                simulate_node_task,
+                task_fn,
                 tasks,
                 store,
             )
-            summaries = [
-                self._summarise(i, rate, result, estimator)
-                for i, (rate, result) in enumerate(zip(rates, results))
+            out = NetworkResult(
+                topology=self.topology.describe(),
+                power_down_threshold=self.params.power_down_threshold,
+                horizon_s=horizon,
+                nodes=[summarise(i, result) for i, result in enumerate(results)],
+            )
+        else:
+            plan = partition_indices(len(tasks), shards, shard_strategy)
+            per_shard = map_shards(
+                task_fn,
+                tasks,
+                plan,
+                workers=workers,
+                backend=backend,
+                store=store,
+            )
+            shard_results = [
+                NetworkResult(
+                    topology=self.topology.describe(),
+                    power_down_threshold=self.params.power_down_threshold,
+                    horizon_s=horizon,
+                    nodes=[
+                        summarise(i, result)
+                        for i, result in zip(shard.node_indices, results)
+                    ],
+                )
+                for shard, results in zip(plan.shards, per_shard)
             ]
-            return NetworkResult(
-                topology=self.topology.describe(),
-                power_down_threshold=self.params.power_down_threshold,
-                horizon_s=horizon,
-                nodes=summaries,
-            )
-
-        plan = partition_indices(len(tasks), shards, shard_strategy)
-        per_shard = map_shards(
-            simulate_node_task,
-            tasks,
-            plan,
-            workers=workers,
-            backend=backend,
-            store=store,
-        )
-        shard_results = [
-            NetworkResult(
-                topology=self.topology.describe(),
-                power_down_threshold=self.params.power_down_threshold,
-                horizon_s=horizon,
-                nodes=[
-                    self._summarise(i, rates[i], result, estimator)
-                    for i, result in zip(shard.node_indices, results)
-                ],
-            )
-            for shard, results in zip(plan.shards, per_shard)
-        ]
-        return NetworkResult.merge(shard_results)
+            out = NetworkResult.merge(shard_results)
+        if schedule is not None:
+            out.dynamics = schedule.report()
+        return out
 
     def sweep_thresholds(
         self,
@@ -532,6 +722,8 @@ class SensorNetworkModel:
                 replace(self.params, power_down_threshold=t),
                 self.battery,
                 self.workload,
+                dynamics=self.dynamics,
+                traffic=self.traffic,
             )
             out.append(
                 model.simulate(

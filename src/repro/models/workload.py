@@ -31,6 +31,7 @@ __all__ = [
     "OpenWorkload",
     "ClosedWorkload",
     "TraceWorkload",
+    "MMPPWorkload",
 ]
 
 
@@ -128,6 +129,86 @@ class ClosedWorkload(WorkloadGenerator):
     def mean_interarrival(self) -> float:
         """Think-time mean only — the effective cycle adds service time."""
         return 1.0 / self.rate
+
+
+@dataclass
+class MMPPWorkload(WorkloadGenerator):
+    """Bursty open source: a 2-state Markov-modulated Poisson process.
+
+    A modulating token alternates between ``BurstOn`` and ``BurstOff``
+    via exponential dwell times (means ``mean_on_s`` / ``mean_off_s``);
+    events are emitted at ``rate_on`` while the token sits in
+    ``BurstOn`` and at ``rate_off`` (often 0 — the classic on-off /
+    interrupted-Poisson source) in ``BurstOff``.  Like
+    :class:`OpenWorkload` it fires regardless of system state, so
+    bursts queue while the node is busy — which is exactly the regime
+    where a bursty arrival stream stresses a ``Power_Down_Threshold``
+    policy differently from a Poisson stream of the same mean rate.
+
+    All four parameters are plain data; use
+    :meth:`repro.topology.MMPPTraffic.workload` to build one that
+    preserves a target mean rate.
+    """
+
+    rate_on: float
+    rate_off: float
+    mean_on_s: float
+    mean_off_s: float
+    on_place: str = "BurstOn"
+    off_place: str = "BurstOff"
+    emit_transition: str = "T0"
+
+    def __post_init__(self) -> None:
+        if self.rate_on <= 0:
+            raise ValueError(f"rate_on must be > 0, got {self.rate_on}")
+        if self.rate_off < 0:
+            raise ValueError(f"rate_off must be >= 0, got {self.rate_off}")
+        if self.mean_on_s <= 0 or self.mean_off_s <= 0:
+            raise ValueError(
+                "burst dwell times must be > 0, got "
+                f"on={self.mean_on_s}, off={self.mean_off_s}"
+            )
+
+    def attach(self, net: PetriNet, event_place: str) -> None:
+        net.add_place(self.on_place, initial_tokens=1)
+        net.add_place(self.off_place)
+        net.add_transition(
+            self.emit_transition,
+            Exponential(self.rate_on),
+            inputs=[self.on_place],
+            outputs=[self.on_place, event_place],
+            description="MMPP generator, burst (ON) state",
+        )
+        if self.rate_off > 0:
+            net.add_transition(
+                f"{self.emit_transition}_off",
+                Exponential(self.rate_off),
+                inputs=[self.off_place],
+                outputs=[self.off_place, event_place],
+                description="MMPP generator, quiet (OFF) state",
+            )
+        net.add_transition(
+            "Burst_End",
+            Exponential(1.0 / self.mean_on_s),
+            inputs=[self.on_place],
+            outputs=[self.off_place],
+            description="modulating chain: ON -> OFF",
+        )
+        net.add_transition(
+            "Burst_Begin",
+            Exponential(1.0 / self.mean_off_s),
+            inputs=[self.off_place],
+            outputs=[self.on_place],
+            description="modulating chain: OFF -> ON",
+        )
+
+    def mean_rate(self) -> float:
+        """Long-run event rate across both modulating states."""
+        p_on = self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+        return p_on * self.rate_on + (1.0 - p_on) * self.rate_off
+
+    def mean_interarrival(self) -> float:
+        return 1.0 / self.mean_rate()
 
 
 @dataclass

@@ -80,6 +80,8 @@ from .seeding import (
     sequence_to_seed,
     spawn_seeds,
     spawn_sequences,
+    substream_seed,
+    substream_sequence,
 )
 from .sharding import (
     SHARD_STRATEGIES,
@@ -124,6 +126,8 @@ __all__ = [
     "sequence_to_seed",
     "spawn_seeds",
     "spawn_sequences",
+    "substream_seed",
+    "substream_sequence",
     "Shard",
     "ShardPlan",
     "SHARD_STRATEGIES",

@@ -25,6 +25,8 @@ __all__ = [
     "spawn_sequences",
     "spawn_seeds",
     "replication_seeds",
+    "substream_sequence",
+    "substream_seed",
 ]
 
 
@@ -44,6 +46,32 @@ def spawn_sequences(seed: int | None, n: int) -> list[np.random.SeedSequence]:
 def spawn_seeds(seed: int | None, n: int) -> list[int]:
     """``n`` collision-free integer seeds spawned from ``seed``."""
     return [sequence_to_seed(s) for s in spawn_sequences(seed, n)]
+
+
+def substream_sequence(
+    seed: int | None, *key: int
+) -> np.random.SeedSequence:
+    """A *tagged* sub-stream of ``seed``, keyed by an integer tuple.
+
+    Where :func:`spawn_sequences` numbers children ``0..n-1``,
+    ``substream_sequence`` addresses a child by an explicit ``key``
+    (``SeedSequence(seed, spawn_key=key)``), so independent subsystems
+    can carve collision-free streams out of one run seed without
+    coordinating a child count — e.g. topology layout, churn failure
+    times and duty-cycle draws each own a fixed tag.  Tags should be
+    large constants (``>= 2**16``) so they can never collide with the
+    small indices :meth:`~numpy.random.SeedSequence.spawn` hands out
+    for the same parent seed.
+    """
+    for k in key:
+        if not 0 <= k < 2**32:
+            raise ValueError(f"substream key words must be uint32, got {k}")
+    return np.random.SeedSequence(seed, spawn_key=tuple(key))
+
+
+def substream_seed(seed: int | None, *key: int) -> int:
+    """Integer seed for the tagged sub-stream ``key`` of ``seed``."""
+    return sequence_to_seed(substream_sequence(seed, *key))
 
 
 def replication_seeds(base_seed: int | None, replications: int) -> list[int | None]:

@@ -12,6 +12,7 @@ the Section V validation, a 100-node grid network).
 from .runner import run_scenario
 from .spec import (
     SPEC_VERSION,
+    SUPPORTED_VERSIONS,
     ScenarioError,
     ScenarioSpec,
     apply_overrides,
@@ -21,6 +22,7 @@ from .spec import (
 
 __all__ = [
     "SPEC_VERSION",
+    "SUPPORTED_VERSIONS",
     "ScenarioError",
     "ScenarioSpec",
     "apply_overrides",

@@ -63,6 +63,8 @@ def run_scenario(
         if spec.model == "validate":
             return cli.run_validate(seed=p["seed"], rx=rx)
         if spec.model == "network":
+            # Scenario-diversity keys exist from schema v2 on; v1
+            # specs don't carry them, so fall back to the defaults.
             return cli.run_network(
                 topology=p["topology"],
                 nodes=p["nodes"],
@@ -72,6 +74,15 @@ def run_scenario(
                 horizon=p["horizon"],
                 base_rate=p["base_rate"],
                 seed=p["seed"],
+                radius=p.get("radius"),
+                fanout=p.get("fanout", 3),
+                depth=p.get("depth", 3),
+                failure_rate=p.get("failure_rate", 0.0),
+                duty_spread=p.get("duty_spread", 0.0),
+                traffic=p.get("traffic", "poisson"),
+                burst_on=p.get("burst_on", 5.0),
+                burst_off=p.get("burst_off", 15.0),
+                burst_off_fraction=p.get("burst_off_fraction", 0.0),
                 rx=rx,
             )
         raise AssertionError(f"unhandled scenario model {spec.model!r}")

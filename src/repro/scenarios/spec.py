@@ -55,6 +55,7 @@ from ..runtime.config import ExecutionConfig
 
 __all__ = [
     "SPEC_VERSION",
+    "SUPPORTED_VERSIONS",
     "ScenarioError",
     "ScenarioSpec",
     "apply_overrides",
@@ -63,7 +64,18 @@ __all__ = [
 ]
 
 #: Current schema version; bumped on incompatible schema changes.
-SPEC_VERSION = 1
+#: Version 2 added the scenario-diversity keys (generated topologies,
+#: churn, bursty traffic) to the ``network`` model.
+SPEC_VERSION = 2
+
+#: Versions this build reads.  A spec is validated against the schema
+#: *of the version it declares*: version-1 files only see the v1 keys
+#: and only get v1 defaults filled, so their round-trip
+#: (:meth:`ScenarioSpec.to_dict`) and canonical forms are byte-for-byte
+#: what the v1 reader produced — old gallery files and cached request
+#: keys stay valid.  Using a v2-only key under ``version: 1`` is an
+#: error naming the key and the version it needs.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Models a scenario can run — the CLI run-subcommand namespace.
 SCENARIO_MODELS = ("fig", "table", "node-sweep", "validate", "network")
@@ -102,6 +114,21 @@ def _pos_float(key: str, value: Any) -> float:
 
 def _opt_pos_float(key: str, value: Any) -> float | None:
     return None if value is None else _pos_float(key, value)
+
+
+def _nonneg_float(key: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(f"{key} must be a number, got {value!r}")
+    if value < 0:
+        raise ScenarioError(f"{key} must be >= 0, got {value}")
+    return float(value)
+
+
+def _fraction(key: str, value: Any) -> float:
+    value = _nonneg_float(key, value)
+    if value >= 1:
+        raise ScenarioError(f"{key} must be in [0, 1), got {value}")
+    return value
 
 
 def _bool(key: str, value: Any) -> bool:
@@ -192,10 +219,42 @@ _MODEL_PARAMS: dict[str, dict[str, _Param]] = {
     },
 }
 
+#: Keys added (or widened) by schema version 2: the scenario-diversity
+#: subsystem — generated topologies, node churn and bursty traffic.
+#: Merged over :data:`_MODEL_PARAMS` for specs declaring version >= 2;
+#: version-1 specs never see these (not even as filled defaults).
+_MODEL_PARAMS_V2: dict[str, dict[str, _Param]] = {
+    "network": {
+        "topology": _Param(
+            "line",
+            _choice(("line", "star", "grid", "geometric", "cluster-tree")),
+        ),
+        "radius": _Param(None, _opt_pos_float),
+        "fanout": _Param(3, _pos_int),
+        "depth": _Param(3, _pos_int),
+        "failure_rate": _Param(0.0, _nonneg_float),
+        "duty_spread": _Param(0.0, _fraction),
+        "traffic": _Param("poisson", _choice(("poisson", "bursty"))),
+        "burst_on": _Param(5.0, _pos_float),
+        "burst_off": _Param(15.0, _pos_float),
+        "burst_off_fraction": _Param(0.0, _fraction),
+    },
+}
+
 _OUTPUT_FORMATS = ("text",)
 
 
-def _validate_params(model: str, params: Any) -> dict[str, Any]:
+def _params_schema(model: str, version: int) -> dict[str, _Param]:
+    """The parameter schema a spec of ``version`` validates against."""
+    schema = dict(_MODEL_PARAMS[model])
+    if version >= 2:
+        schema.update(_MODEL_PARAMS_V2.get(model, {}))
+    return schema
+
+
+def _validate_params(
+    model: str, params: Any, version: int = SPEC_VERSION
+) -> dict[str, Any]:
     """Check/normalise a params mapping; fill model defaults."""
     if params is None:
         params = {}
@@ -203,11 +262,17 @@ def _validate_params(model: str, params: Any) -> dict[str, Any]:
         raise ScenarioError(
             f"params must be a mapping, got {params!r}"
         )
-    schema = _MODEL_PARAMS[model]
+    schema = _params_schema(model, version)
     unknown = sorted(set(params) - set(schema))
     if unknown:
+        key = unknown[0]
+        if key in _params_schema(model, SPEC_VERSION):
+            raise ScenarioError(
+                f"params key 'params.{key}' requires scenario schema "
+                f"version 2 or later (this spec declares version {version})"
+            )
         raise ScenarioError(
-            f"unknown params key 'params.{unknown[0]}' for model "
+            f"unknown params key 'params.{key}' for model "
             f"{model!r} (known: {', '.join(sorted(schema))})"
         )
     out: dict[str, Any] = {}
@@ -299,10 +364,11 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"version must be an integer, got {self.version!r}"
             )
-        if self.version != SPEC_VERSION:
+        if self.version not in SUPPORTED_VERSIONS:
             raise ScenarioError(
                 f"version {self.version} is not supported "
-                f"(this build reads scenario schema version {SPEC_VERSION})"
+                "(this build reads scenario schema versions "
+                f"{SUPPORTED_VERSIONS})"
             )
         if not isinstance(self.name, str) or not self.name:
             raise ScenarioError(
@@ -313,7 +379,9 @@ class ScenarioSpec:
                 f"model must be one of {SCENARIO_MODELS}, got {self.model!r}"
             )
         object.__setattr__(
-            self, "params", _validate_params(self.model, self.params)
+            self,
+            "params",
+            _validate_params(self.model, self.params, self.version),
         )
         if isinstance(self.execution, Mapping):
             try:

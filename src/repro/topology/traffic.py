@@ -1,0 +1,96 @@
+"""Bursty arrival configuration: mean-rate-preserving MMPP traffic.
+
+:class:`MMPPTraffic` is the *scenario-level* knob: it describes the
+burst structure (dwell times, quiet-state fraction) independently of
+any particular node's rate, and manufactures a per-node
+:class:`~repro.models.workload.MMPPWorkload` whose **long-run mean
+rate equals the node's topology-assigned effective rate**.  That
+mean-matching is the whole point — a bursty run answers "same offered
+load, different arrival correlation", so any lifetime shift against
+the Poisson baseline is attributable to burstiness alone.
+
+With ``off_fraction = 0`` (the default) the source is the classic
+on-off / interrupted Poisson process: silent between bursts.  A
+positive ``off_fraction`` keeps a trickle flowing in the quiet state
+(``rate_off = off_fraction × rate_on``), the general 2-state MMPP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.workload import MMPPWorkload
+
+__all__ = ["MMPPTraffic"]
+
+
+@dataclass(frozen=True)
+class MMPPTraffic:
+    """Burst shape for the network's arrival streams.
+
+    Parameters
+    ----------
+    burst_on_s:
+        Mean burst (ON state) duration, seconds.
+    burst_off_s:
+        Mean quiet (OFF state) duration, seconds.
+    off_fraction:
+        Quiet-state emission rate as a fraction of the burst rate, in
+        ``[0, 1)``; ``0`` means fully silent between bursts.
+    """
+
+    burst_on_s: float = 5.0
+    burst_off_s: float = 15.0
+    off_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.burst_on_s <= 0 or self.burst_off_s <= 0:
+            raise ValueError(
+                "burst dwell times must be > 0, got "
+                f"on={self.burst_on_s}, off={self.burst_off_s}"
+            )
+        if not 0 <= self.off_fraction < 1:
+            raise ValueError(
+                f"off_fraction must be in [0, 1), got {self.off_fraction}"
+            )
+
+    @property
+    def on_probability(self) -> float:
+        """Long-run fraction of time spent in the burst state."""
+        return self.burst_on_s / (self.burst_on_s + self.burst_off_s)
+
+    def rates(self, mean_rate: float) -> tuple[float, float]:
+        """``(rate_on, rate_off)`` whose long-run mean is ``mean_rate``.
+
+        Solves ``p·rate_on + (1-p)·rate_off = mean_rate`` with
+        ``rate_off = off_fraction · rate_on`` and ``p`` the ON-state
+        probability, so the bursty stream offers exactly the load the
+        topology assigned.
+        """
+        if mean_rate <= 0:
+            raise ValueError(f"mean_rate must be > 0, got {mean_rate}")
+        p = self.on_probability
+        rate_on = mean_rate / (p + (1.0 - p) * self.off_fraction)
+        return rate_on, self.off_fraction * rate_on
+
+    def workload(self, mean_rate: float) -> MMPPWorkload:
+        """A node workload generator offering ``mean_rate`` on average."""
+        rate_on, rate_off = self.rates(mean_rate)
+        return MMPPWorkload(
+            rate_on=rate_on,
+            rate_off=rate_off,
+            mean_on_s=self.burst_on_s,
+            mean_off_s=self.burst_off_s,
+        )
+
+    def describe(self) -> str:
+        """One-line traffic description for run summaries."""
+        quiet = (
+            "silent between bursts"
+            if self.off_fraction == 0
+            else f"quiet-state trickle {self.off_fraction:g}x"
+        )
+        return (
+            f"bursty MMPP arrivals (mean burst {self.burst_on_s:g}s, "
+            f"quiet {self.burst_off_s:g}s, {quiet})"
+        )

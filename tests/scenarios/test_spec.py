@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro.runtime.config import ExecutionConfig
 from repro.scenarios import (
     SPEC_VERSION,
+    SUPPORTED_VERSIONS,
     ScenarioError,
     ScenarioSpec,
     apply_overrides,
@@ -281,3 +282,58 @@ class TestLoadScenario:
             spec = load_scenario(path)
             smoked = load_scenario(path, smoke=True)
             assert smoked.model == spec.model
+
+
+class TestSchemaVersions:
+    """The v1/v2 compatibility contract of the versioned schema."""
+
+    def _network(self, version, **params):
+        return {
+            "version": version,
+            "name": "n",
+            "model": "network",
+            "params": params,
+        }
+
+    def test_current_version_and_support_window(self):
+        assert SPEC_VERSION == 2
+        assert SUPPORTED_VERSIONS == (1, 2)
+
+    def test_v2_keys_accepted_with_defaults(self):
+        spec = ScenarioSpec.from_dict(
+            self._network(2, topology="geometric", nodes=50)
+        )
+        assert spec.params["failure_rate"] == 0.0
+        assert spec.params["duty_spread"] == 0.0
+        assert spec.params["traffic"] == "poisson"
+        assert spec.params["radius"] is None
+
+    def test_v1_spec_gets_no_v2_defaults(self):
+        # A version-1 file must round-trip byte-identically, so the
+        # v2-only keys may not silently appear in its params.
+        spec = ScenarioSpec.from_dict(self._network(1, topology="line"))
+        for key in ("failure_rate", "duty_spread", "traffic", "radius"):
+            assert key not in spec.params
+        assert spec.to_dict()["version"] == 1
+
+    def test_v2_key_under_v1_names_key_and_version(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            ScenarioSpec.from_dict(self._network(1, failure_rate=0.01))
+        message = str(excinfo.value)
+        assert "params.failure_rate" in message
+        assert "version 2" in message
+        assert "declares version 1" in message
+
+    def test_v2_topologies_rejected_under_v1(self):
+        with pytest.raises(ScenarioError, match="topology"):
+            ScenarioSpec.from_dict(self._network(1, topology="geometric"))
+
+    def test_future_version_rejected_naming_the_window(self):
+        with pytest.raises(ScenarioError, match="not supported"):
+            ScenarioSpec.from_dict(self._network(3, topology="line"))
+
+    def test_v2_values_still_validated(self):
+        with pytest.raises(ScenarioError, match="params.traffic"):
+            ScenarioSpec.from_dict(self._network(2, traffic="lumpy"))
+        with pytest.raises(ScenarioError, match="params.duty_spread"):
+            ScenarioSpec.from_dict(self._network(2, duty_spread=2.0))

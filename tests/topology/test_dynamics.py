@@ -1,0 +1,198 @@
+"""Unit tests for the network-dynamics layer: churn and bursty traffic.
+
+The churn schedule is the seam that keeps dynamic topologies inside
+the repo's bit-identity contract — it must be a pure, deterministic
+function of ``(topology, base_rate, horizon, seed)``, computed wholly
+in the parent.  These tests pin that purity plus the structural
+invariants of the schedule (epoch tiling, segment accounting, rewiring
+policies) and the mean-rate preservation of the MMPP traffic model.
+"""
+
+import pytest
+
+from repro.models.network import GridTopology, LineTopology
+from repro.models.wsn_node import NodeParameters, WSNNodeModel
+from repro.topology import (
+    SINK,
+    UNREACHABLE,
+    ChurnModel,
+    ClusterTreeTopology,
+    MMPPTraffic,
+    RandomGeometricTopology,
+    climb_rewire,
+)
+
+#: At rate 1/s over 50 s, every node of a small net fails with
+#: probability ~1 — so any fixed seed gives a non-trivial schedule.
+BUSY = ChurnModel(failure_rate=1.0, duty_spread=0.2)
+
+
+class TestChurnModelValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ChurnModel(failure_rate=-1.0)
+        with pytest.raises(ValueError):
+            ChurnModel(duty_spread=1.0)
+        with pytest.raises(ValueError):
+            ChurnModel(duty_spread=-0.1)
+        with pytest.raises(ValueError):
+            ChurnModel(max_failures=-1)
+
+    def test_inert_model_is_inactive(self):
+        assert not ChurnModel().is_active()
+        assert ChurnModel(failure_rate=0.01).is_active()
+        assert ChurnModel(duty_spread=0.3).is_active()
+
+
+class TestChurnSchedule:
+    def test_pure_function_of_its_arguments(self):
+        topo = ClusterTreeTopology(fanout=2, depth=3)
+        a = BUSY.schedule(topo, 0.5, 50.0, seed=9)
+        b = BUSY.schedule(topo, 0.5, 50.0, seed=9)
+        assert a == b
+        assert a != BUSY.schedule(topo, 0.5, 50.0, seed=10)
+
+    def test_epochs_tile_the_horizon(self):
+        sched = BUSY.schedule(LineTopology(6), 1.0, 50.0, seed=3)
+        assert sched.epochs[0].start_s == 0.0
+        assert sched.epochs[-1].end_s == 50.0
+        for prev, cur in zip(sched.epochs, sched.epochs[1:]):
+            assert prev.end_s == cur.start_s
+
+    def test_failures_sorted_capped_and_inside_horizon(self):
+        model = ChurnModel(failure_rate=1.0, max_failures=3)
+        sched = model.schedule(GridTopology(4, 4), 1.0, 50.0, seed=1)
+        assert len(sched.failures) == 3
+        times = [t for t, _ in sched.failures]
+        assert times == sorted(times)
+        assert all(0 < t < 50.0 for t in times)
+
+    def test_no_duty_spread_keeps_baseline_rates(self):
+        # With duty variation off, the first epoch (nobody dead yet)
+        # must carry exactly the static topology's effective rates.
+        topo = ClusterTreeTopology(fanout=3, depth=2)
+        model = ChurnModel(failure_rate=0.01)
+        sched = model.schedule(topo, 1.0, 20.0, seed=5)
+        assert list(sched.epochs[0].rates) == topo.effective_rates(1.0)
+
+    def test_duty_factors_stay_inside_the_spread(self):
+        model = ChurnModel(duty_spread=0.3)
+        sched = model.schedule(LineTopology(40), 1.0, 10.0, seed=2)
+        assert all(0.7 <= d <= 1.3 for d in sched.duty)
+        assert len(set(sched.duty)) > 1
+
+    def test_survivor_segments_cover_the_horizon(self):
+        sched = BUSY.schedule(LineTopology(5), 1.0, 50.0, seed=4)
+        dead = {i for _, i in sched.failures}
+        for i in range(5):
+            segs = sched.node_segments(i, node_seed=100 + i)
+            covered = sum(s.duration_s for s in segs)
+            if i in dead:
+                assert covered == pytest.approx(sched.failure_time(i))
+            else:
+                assert sched.failure_time(i) is None
+                assert covered == pytest.approx(50.0)
+
+    def test_segment_seeds_depend_only_on_node_seed_and_epoch(self):
+        sched = BUSY.schedule(LineTopology(5), 1.0, 50.0, seed=4)
+        again = BUSY.schedule(LineTopology(5), 1.0, 50.0, seed=4)
+        assert sched.node_segments(2, 77) == again.node_segments(2, 77)
+        seeds = [s.seed for s in sched.node_segments(2, 77)]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds != [s.seed for s in sched.node_segments(2, 78)]
+
+    def test_dead_nodes_have_no_rate_after_death(self):
+        sched = BUSY.schedule(LineTopology(5), 1.0, 50.0, seed=4)
+        first_death = sched.failures[0][1]
+        for epoch in sched.epochs[1:]:
+            assert epoch.rates[first_death] is None
+            assert not epoch.alive[first_death]
+
+    def test_report_is_consistent(self):
+        sched = BUSY.schedule(LineTopology(6), 1.0, 50.0, seed=8)
+        report = sched.report()
+        assert report.failures == len(sched.failures)
+        assert report.survivors == 6 - report.failures
+        # "Reparented" counts nodes rewired while still alive, so it can
+        # include nodes that die later — but never more than the net.
+        assert 0 <= report.reparented <= 6
+
+    def test_rejects_degenerate_runs(self):
+        with pytest.raises(ValueError):
+            BUSY.schedule(LineTopology(3), 1.0, 0.0, seed=1)
+        with pytest.raises(ValueError):
+            BUSY.schedule(LineTopology(3), 0.0, 10.0, seed=1)
+
+
+class TestRewiring:
+    def test_climb_rewire_skips_dead_ancestors(self):
+        # Line 0 <- 1 <- 2 <- 3; killing node 1 sends node 2 to its
+        # grandparent, leaves node 3 on its (live) parent 2.
+        parents = (SINK, 0, 1, 2)
+        assert climb_rewire(parents, [True, False, True, True]) == (
+            SINK,
+            UNREACHABLE,
+            0,
+            2,
+        )
+
+    def test_climb_rewire_reaches_the_sink_if_needed(self):
+        parents = (SINK, 0, 1, 2)
+        assert climb_rewire(parents, [False, False, False, True]) == (
+            UNREACHABLE,
+            UNREACHABLE,
+            UNREACHABLE,
+            SINK,
+        )
+
+    def test_line_topology_uses_climb_policy(self):
+        topo = LineTopology(4)
+        assert topo.rewire([True, False, True, True]) == (SINK, UNREACHABLE, 0, 2)
+
+    def test_geometric_rewire_recomputes_over_live_graph(self):
+        topo = RandomGeometricTopology(40, seed=6)
+        alive = [True] * 40
+        alive[0] = False
+        rewired = topo.rewire(alive)
+        assert rewired[0] == UNREACHABLE
+        # Survivors either keep a live route or are explicitly cut off;
+        # no survivor may route through the dead node.
+        for i in range(1, 40):
+            assert rewired[i] != 0
+        assert topo.rewire(alive) == rewired  # deterministic
+
+
+class TestMMPPTraffic:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MMPPTraffic(burst_on_s=0.0)
+        with pytest.raises(ValueError):
+            MMPPTraffic(burst_off_s=-1.0)
+        with pytest.raises(ValueError):
+            MMPPTraffic(off_fraction=1.5)
+
+    def test_mean_rate_preserved(self):
+        traffic = MMPPTraffic(burst_on_s=5.0, burst_off_s=15.0, off_fraction=0.1)
+        rate_on, rate_off = traffic.rates(0.4)
+        p = traffic.on_probability
+        assert p * rate_on + (1 - p) * rate_off == pytest.approx(0.4)
+        assert rate_on > 0.4 > rate_off
+
+    def test_pure_on_off_source(self):
+        traffic = MMPPTraffic(burst_on_s=5.0, burst_off_s=15.0)
+        rate_on, rate_off = traffic.rates(0.25)
+        assert rate_off == 0.0
+        assert rate_on == pytest.approx(0.25 / traffic.on_probability)
+
+    def test_workload_carries_the_mean_rate(self):
+        workload = MMPPTraffic(burst_on_s=2.0, burst_off_s=8.0).workload(0.5)
+        assert workload.mean_rate() == pytest.approx(0.5)
+        assert workload.mean_interarrival() == pytest.approx(2.0)
+
+    def test_workload_simulates_through_the_node_model(self):
+        workload = MMPPTraffic(burst_on_s=2.0, burst_off_s=4.0).workload(2.0)
+        params = NodeParameters(power_down_threshold=0.01, arrival_rate=2.0)
+        result = WSNNodeModel(params, workload).simulate(40.0, seed=11)
+        assert result.events_completed > 0
+        again = WSNNodeModel(params, workload).simulate(40.0, seed=11)
+        assert again == result
